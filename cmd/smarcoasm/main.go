@@ -1,0 +1,79 @@
+// Command smarcoasm assembles and disassembles programs for the SmarCo
+// ISA, and can dump the built-in benchmark kernels.
+//
+// Usage:
+//
+//	smarcoasm -in kernel.s -out kernel.bin     # assemble
+//	smarcoasm -d -in kernel.bin                # disassemble
+//	smarcoasm -dump kmp                        # print a built-in kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smarco/internal/isa"
+	"smarco/internal/kernels"
+)
+
+// builtins maps benchmark names to their assembled kernels.
+var builtins = map[string]*isa.Program{
+	"wordcount": kernels.WordCountProg,
+	"wcmerge":   kernels.WCMergeProg,
+	"terasort":  kernels.TeraSortProg,
+	"teramerge": kernels.TeraMergeProg,
+	"search":    kernels.SearchProg,
+	"kmeans":    kernels.KMeansProg,
+	"kmp":       kernels.KMPProg,
+	"rnc":       kernels.RNCProg,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smarcoasm: ")
+	in := flag.String("in", "", "input file (.s assembly, or binary with -d)")
+	out := flag.String("out", "", "output file (default: stdout listing)")
+	disasm := flag.Bool("d", false, "disassemble a binary instead of assembling")
+	dump := flag.String("dump", "", "print a built-in kernel and exit")
+	flag.Parse()
+
+	if *dump != "" {
+		prog, ok := builtins[*dump]
+		if !ok {
+			log.Fatalf("unknown kernel %q (have: wordcount wcmerge terasort teramerge search kmeans kmp rnc)", *dump)
+		}
+		fmt.Printf("# %s: %d instructions\n%s", prog.Name, prog.Len(), isa.Disassemble(prog))
+		return
+	}
+	if *in == "" {
+		log.Fatal("need -in FILE or -dump KERNEL")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *disasm {
+		prog, err := isa.DecodeProgram(*in, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(isa.Disassemble(prog))
+		return
+	}
+
+	prog, err := isa.Assemble(*in, string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		fmt.Printf("# %s: %d instructions\n%s", *in, prog.Len(), isa.Disassemble(prog))
+		return
+	}
+	if err := os.WriteFile(*out, isa.EncodeProgram(prog), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d instructions -> %s\n", prog.Len(), *out)
+}

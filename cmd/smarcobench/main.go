@@ -1,0 +1,181 @@
+// Command smarcobench regenerates the paper's tables and figures from the
+// simulator and prints them as text tables.
+//
+// Usage:
+//
+//	smarcobench                      # every experiment at small scale
+//	smarcobench -scale paper         # paper-sized configurations (slow)
+//	smarcobench -only fig17,fig22    # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"smarco/internal/experiments"
+)
+
+type runner func(scale experiments.Scale, seed uint64) (string, error)
+
+var all = map[string]runner{
+	"fig1ab": func(s experiments.Scale, seed uint64) (string, error) {
+		return experiments.Fig01Table(experiments.Fig01ThreadScaling(s, seed)).String(), nil
+	},
+	"fig1cd": func(s experiments.Scale, seed uint64) (string, error) {
+		return experiments.Fig01CacheTable(experiments.Fig01CacheHierarchy(s, seed)).String(), nil
+	},
+	"fig2": func(s experiments.Scale, seed uint64) (string, error) {
+		return experiments.Fig02Table(experiments.Fig02CDN(seed)).String(), nil
+	},
+	"fig8": func(s experiments.Scale, seed uint64) (string, error) {
+		rows, err := experiments.Fig08Granularity(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig08Table(rows).String(), nil
+	},
+	"fig17": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig17TCGIPC(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig17Table(r).String(), nil
+	},
+	"fig18": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig18HighDensityNoC(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig18Table(r).String(), nil
+	},
+	"fig19": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig19MACTThreshold(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig19Table(r).String(), nil
+	},
+	"fig20": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig20MACTComparison(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig20Table(r).String(), nil
+	},
+	"fig21": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig21Scheduler(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig21Table(r).String(), nil
+	},
+	"table1": func(s experiments.Scale, seed uint64) (string, error) {
+		return experiments.Table1AreaPower().String(), nil
+	},
+	"table2": func(s experiments.Scale, seed uint64) (string, error) {
+		return experiments.Table2Configs().String(), nil
+	},
+	"fig22": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig22VsXeon(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig22Table(r, "Fig. 22 — SmarCo vs Xeon E7-8890V4").String(), nil
+	},
+	"fig23": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig23Scalability(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig23Table(r).String(), nil
+	},
+	"fig26": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Fig26Prototype(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.Fig22Table(r, "Fig. 26 — prototype (40 nm) vs Xeon E7-8890V4").String(), nil
+	},
+	"ablations": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.Ablations(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.AblationTable(r).String(), nil
+	},
+	"topology": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.TopologyStudy(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.TopologyTable(r).String(), nil
+	},
+	"nearmem": func(s experiments.Scale, seed uint64) (string, error) {
+		r, err := experiments.NearMemoryMatch(s, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.NearMemTable(r).String(), nil
+	},
+}
+
+// order fixes the output sequence.
+var order = []string{
+	"fig1ab", "fig1cd", "fig2", "fig8", "fig17", "fig18", "fig19",
+	"fig20", "fig21", "table1", "table2", "fig22", "fig23", "fig26",
+	"ablations", "topology", "nearmem",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smarcobench: ")
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	only := flag.String("only", "", "comma-separated experiment subset (e.g. fig17,fig22)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	scale := experiments.ScaleSmall
+	switch *scaleFlag {
+	case "small":
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q (want small or paper)", *scaleFlag)
+	}
+
+	selected := order
+	if *only != "" {
+		selected = nil
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := all[n]; !ok {
+				log.Fatalf("unknown experiment %q (use -list)", n)
+			}
+			selected = append(selected, n)
+		}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		out, err := all[name](scale, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

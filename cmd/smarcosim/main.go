@@ -1,0 +1,148 @@
+// Command smarcosim runs one benchmark on a configured SmarCo chip and
+// prints the run's metrics.
+//
+// Usage:
+//
+//	smarcosim -bench kmp -subrings 4 -cores 4 -tasks 32 -scale 512
+//	smarcosim -bench rnc -full            # the paper's 256-core chip
+//	smarcosim -bench terasort -mact=false # ablate the MACT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/power"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smarcosim: ")
+
+	bench := flag.String("bench", "wordcount", "benchmark: "+strings.Join(kernels.Names, ", "))
+	seed := flag.Uint64("seed", 1, "workload seed")
+	tasks := flag.Int("tasks", 0, "task count (default: 2 per core)")
+	scale := flag.Int("scale", 0, "per-task work (benchmark-specific; 0 = default)")
+	subrings := flag.Int("subrings", 4, "sub-rings")
+	cores := flag.Int("cores", 4, "cores per sub-ring")
+	mcs := flag.Int("mcs", 2, "memory controllers")
+	full := flag.Bool("full", false, "use the paper's full 256-core configuration")
+	mact := flag.Bool("mact", true, "enable the memory access collection table")
+	threshold := flag.Uint64("mact-threshold", 16, "MACT deadline in cycles")
+	sliced := flag.Bool("sliced", true, "high-density sliced NoC channels (false = conventional)")
+	sliceBytes := flag.Int("slice", 2, "channel slice width in bytes")
+	direct := flag.Bool("direct", true, "enable the direct datapaths")
+	stage := flag.Bool("stage", false, "stage task datasets into the SPMs (§3.6)")
+	prefetch := flag.Bool("prefetch", false, "enable the sequential SPM prefetcher (§7)")
+	mesh := flag.Bool("mesh", false, "use the 2D-mesh baseline interconnect instead of hierarchical rings")
+	parallel := flag.Bool("parallel", true, "parallel (PDES-style) execution")
+	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
+	showPower := flag.Bool("power", false, "print the power/area estimate for this configuration")
+	timeline := flag.String("timeline", "", "write a per-interval metrics CSV to this file")
+	interval := flag.Uint64("interval", 2000, "timeline sampling interval in cycles")
+	flag.Parse()
+
+	cfg := chip.SmallConfig()
+	if *full {
+		cfg = chip.DefaultConfig()
+	} else {
+		cfg.SubRings = *subrings
+		cfg.CoresPerSub = *cores
+		cfg.MCs = *mcs
+	}
+	cfg.MACT.Enabled = *mact
+	cfg.MACT.Threshold = *threshold
+	cfg.SubLink.Conventional = !*sliced
+	cfg.MainLink.Conventional = !*sliced
+	cfg.SubLink.SliceBytes = *sliceBytes
+	cfg.MainLink.SliceBytes = *sliceBytes
+	cfg.DirectPath = *direct
+	cfg.Core.Prefetch = *prefetch
+	if *mesh {
+		cfg.Topology = "mesh"
+	}
+	cfg.Parallel = *parallel
+
+	nTasks := *tasks
+	if nTasks <= 0 {
+		nTasks = 2 * cfg.Cores()
+	}
+	w, err := kernels.New(*bench, kernels.Config{Seed: *seed, Tasks: nTasks, Scale: *scale, StageSPM: *stage})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo := "hierarchical ring"
+	if *mesh {
+		topo = "2D mesh"
+	}
+	fmt.Printf("chip: %d sub-rings x %d cores (%d threads), %d MCs, %s, MACT=%v(th=%d), sliced=%v(%dB), stage=%v\n",
+		cfg.SubRings, cfg.CoresPerSub, cfg.Threads(), cfg.MCs, topo,
+		cfg.MACT.Enabled, cfg.MACT.Threshold, !cfg.SubLink.Conventional, cfg.SubLink.SliceBytes, *stage)
+	fmt.Printf("workload: %s, %d tasks, seed %d\n\n", w.Name, len(w.Tasks), *seed)
+
+	c := chip.New(cfg, w.Mem)
+	c.Submit(w.Tasks)
+	var cycles uint64
+	if *timeline != "" {
+		samples, end, err := c.RunWithTimeline(*budget, *interval)
+		if err != nil {
+			log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+		}
+		cycles = end
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := chip.WriteTimelineCSV(f, samples); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline: %d samples -> %s\n", len(samples), *timeline)
+	} else {
+		cy, err := c.Run(*budget)
+		if err != nil {
+			log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+		}
+		cycles = cy
+	}
+	if err := w.Check(); err != nil {
+		log.Fatalf("OUTPUT CHECK FAILED: %v", err)
+	}
+	fmt.Println("output check: PASSED (bit-identical to the Go reference)")
+
+	m := c.Metrics()
+	fmt.Printf(`
+cycles            %d  (%.3f ms at %.1f GHz)
+instructions      %d
+chip IPC          %.3f   (mean per-core %.3f)
+memory ops        %d  (loads %d, stores %d, SPM %d)
+load latency      mean %.1f cycles, p95 %d
+NoC               sub-ring util %.4f, main-ring util %.4f, %d packets moved
+MACT              collected %d, batches %d, forwards %d, bypassed %d
+memory            %d requests (%d batched), %d bus bytes, row-hit %.3f
+`,
+		cycles, c.Seconds(cycles)*1e3, cfg.ClockHz/1e9,
+		m.Instructions, m.IPC, m.IPCPerCore,
+		m.MemOps, m.Loads, m.Stores, m.SPMAccesses,
+		m.LoadLatMean, m.LoadLatP95,
+		m.SubRingUtil, m.MainRingUtil, m.PacketsMoved,
+		m.MACTCollected, m.MACTBatches, m.MACTForwards, m.MACTBypassed,
+		m.MemRequests, m.MemBatches, m.MemBusBytes, m.RowHitRate)
+
+	if *showPower {
+		b := power.ChipBreakdown(cfg, power.Node32)
+		act := power.ActivityFromMetrics(m, cfg)
+		fmt.Println()
+		fmt.Print(b.Table("power/area estimate (32 nm)").String())
+		fmt.Printf("run-average power: %.2f W\n", power.AvgPower(b, act))
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,26 @@
+// CDN example: the paper's motivating study (Fig. 2). A conventional
+// server pushes 25 Mb/s video streams through a 10 Gb/s NIC; as the client
+// count approaches the NIC limit the CPU stays under 10% utilized while
+// branch and L1 behaviour degrade — the mismatch between HTC workloads and
+// conventional processors that motivates SmarCo.
+package main
+
+import (
+	"fmt"
+
+	"smarco/internal/htc"
+)
+
+func main() {
+	cfg := htc.DefaultCDN()
+	fmt.Printf("CDN model: %.0f Gb/s NIC, %.0f Mb/s streams -> %d clients max\n\n",
+		cfg.NICGbps, cfg.StreamMbps, cfg.MaxClients())
+	fmt.Printf("%8s  %14s  %8s  %11s  %8s\n", "clients", "goodput (Gb/s)", "CPU util", "branch miss", "L1 miss")
+	for _, p := range htc.CDNSweep(cfg, 1) {
+		fmt.Printf("%8d  %14.2f  %8.3f  %11.3f  %8.3f\n",
+			p.Clients, p.GoodputGbs, p.CPUUtil, p.BranchMiss, p.L1Miss)
+	}
+	fmt.Println("\nAt the NIC limit the CPU is <10% busy yet the branch miss ratio")
+	fmt.Println("exceeds 10% and the L1 misses ~40% of accesses — throughput, not")
+	fmt.Println("single-task speed, is what the processor must be built for.")
+}

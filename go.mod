@@ -1,0 +1,3 @@
+module smarco
+
+go 1.22

@@ -1,0 +1,183 @@
+// Package cache provides set-associative cache timing models (tag arrays
+// with LRU replacement). Caches here model *timing only*: instruction and
+// data contents live in the functional stores, so the same model serves the
+// TCG cores' 16 KB L1s and the conventional baseline's three-level
+// hierarchy without needing a coherence protocol.
+package cache
+
+import (
+	"fmt"
+
+	"smarco/internal/stats"
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles
+}
+
+// L1D16K is the TCG core's 16 KB data cache.
+func L1D16K() Config { return Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2} }
+
+// L1I16K is the TCG core's 16 KB instruction cache.
+func L1I16K() Config { return Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 1} }
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses  stats.Counter
+	Misses    stats.Counter
+	Evictions stats.Counter
+	Writeback stats.Counter
+}
+
+// MissRatio returns misses/accesses.
+func (s *Stats) MissRatio() float64 {
+	return stats.Ratio(s.Misses.Value(), s.Accesses.Value())
+}
+
+type way struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative tag array with true-LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	shift   uint
+	tick    uint64
+	Stats   Stats
+}
+
+// New builds a cache. Size must be divisible by LineBytes*Ways.
+func New(cfg Config) *Cache {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines <= 0 || cfg.Ways <= 0 || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	var shift uint
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]way, nsets),
+		setMask: uint64(nsets - 1),
+		shift:   shift,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+// locate returns the set index and the tag. The tag is the full line number
+// (set bits included), which makes victim-address reconstruction trivial.
+func (c *Cache) locate(addr uint64) (set int, tag uint64) {
+	line := addr >> c.shift
+	return int(line & c.setMask), line
+}
+
+// Access looks up addr, updating LRU state and statistics. Returns whether
+// it hit. The access spans a line boundary if addr..addr+size-1 crosses one;
+// callers split such accesses.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.tick++
+	c.Stats.Accesses.Inc()
+	set, tag := c.locate(addr)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			w.used = c.tick
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	c.Stats.Misses.Inc()
+	return false
+}
+
+// Probe reports whether addr is resident without touching LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing addr, evicting the LRU way if needed.
+// It returns the evicted line's address and whether a dirty writeback is
+// required.
+func (c *Cache) Fill(addr uint64, write bool) (victim uint64, writeback bool) {
+	c.tick++
+	set, tag := c.locate(addr)
+	// Already present (e.g. a second miss to the same line raced the fill).
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			w.used = c.tick
+			if write {
+				w.dirty = true
+			}
+			return 0, false
+		}
+	}
+	lru := 0
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if !w.valid {
+			lru = i
+			break
+		}
+		if w.used < c.sets[set][lru].used {
+			lru = i
+		}
+	}
+	w := &c.sets[set][lru]
+	if w.valid {
+		c.Stats.Evictions.Inc()
+		victim = w.tag << c.shift
+		writeback = w.dirty
+		if writeback {
+			c.Stats.Writeback.Inc()
+		}
+	}
+	*w = way{valid: true, dirty: write, tag: tag, used: c.tick}
+	return victim, writeback
+}
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
+
+// InvalidateAll clears the cache (used between benchmark phases).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = way{}
+		}
+	}
+}

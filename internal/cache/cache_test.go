@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smarco/internal/sim"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(L1D16K())
+	if c.Access(0x1000, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Access(0x1000, false) {
+		t.Fatal("post-fill access missed")
+	}
+	if !c.Access(0x1030, false) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040, false) {
+		t.Fatal("next-line access hit without fill")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Two-way cache, walk three lines mapping to the same set.
+	cfg := Config{SizeBytes: 4 << 10, LineBytes: 64, Ways: 2, HitLatency: 1}
+	c := New(cfg)
+	setStride := uint64(cfg.SizeBytes / cfg.Ways) // lines that alias to set 0
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Fill(a, false)
+	c.Access(b, false)
+	c.Fill(b, false)
+	c.Access(a, false) // touch a so b becomes LRU
+	victim, wb := c.Fill(d, false)
+	if wb {
+		t.Fatal("clean line should not write back")
+	}
+	if victim != b {
+		t.Fatalf("victim = %#x, want %#x", victim, b)
+	}
+	if !c.Probe(a) || !c.Probe(d) || c.Probe(b) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1, HitLatency: 1}
+	c := New(cfg)
+	c.Fill(0, true) // dirty fill
+	victim, wb := c.Fill(128, false)
+	if !wb || victim != 0 {
+		t.Fatalf("expected dirty writeback of line 0, got victim=%#x wb=%v", victim, wb)
+	}
+	if c.Stats.Writeback.Value() != 1 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1, HitLatency: 1}
+	c := New(cfg)
+	c.Fill(0, false)
+	c.Access(0, true) // write hit dirties the line
+	_, wb := c.Fill(128, false)
+	if !wb {
+		t.Fatal("write-hit line should write back on eviction")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := New(L1D16K())
+	c.Fill(0x2000, false)
+	victim, wb := c.Fill(0x2000, false)
+	if victim != 0 || wb {
+		t.Fatal("refilling resident line must not evict")
+	}
+}
+
+func TestMissRatioStats(t *testing.T) {
+	c := New(L1D16K())
+	for i := 0; i < 10; i++ {
+		addr := uint64(i * 64)
+		if !c.Access(addr, false) {
+			c.Fill(addr, false)
+		}
+		c.Access(addr, false)
+	}
+	if got := c.Stats.Accesses.Value(); got != 20 {
+		t.Fatalf("accesses = %d", got)
+	}
+	if got := c.Stats.Misses.Value(); got != 10 {
+		t.Fatalf("misses = %d", got)
+	}
+	if r := c.Stats.MissRatio(); r != 0.5 {
+		t.Fatalf("miss ratio = %v", r)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(L1D16K())
+	c.Fill(0x40, false)
+	c.InvalidateAll()
+	if c.Probe(0x40) {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(L1D16K())
+	if c.LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr = %#x", c.LineAddr(0x1234))
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{SizeBytes: 100, LineBytes: 64, Ways: 3})
+}
+
+// TestMatchesReferenceModel cross-checks the cache against a brute-force
+// fully-mapped LRU reference over random access streams.
+func TestMatchesReferenceModel(t *testing.T) {
+	type refLine struct {
+		line uint64
+		used uint64
+	}
+	if err := quick.Check(func(seed uint64) bool {
+		cfg := Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, HitLatency: 1}
+		c := New(cfg)
+		nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+		ref := make(map[int][]refLine) // set -> resident lines
+		rng := sim.NewRNG(seed)
+		var tick uint64
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(64)) * 64 // 64 distinct lines
+			line := addr / 64
+			set := int(line) % nsets
+			tick++
+			// Reference lookup.
+			hitRef := false
+			for j := range ref[set] {
+				if ref[set][j].line == line {
+					ref[set][j].used = tick
+					hitRef = true
+					break
+				}
+			}
+			hit := c.Access(addr, false)
+			if hit != hitRef {
+				return false
+			}
+			if !hit {
+				c.Fill(addr, false)
+				if len(ref[set]) < cfg.Ways {
+					ref[set] = append(ref[set], refLine{line: line, used: tick})
+				} else {
+					lru := 0
+					for j := range ref[set] {
+						if ref[set][j].used < ref[set][lru].used {
+							lru = j
+						}
+					}
+					ref[set][lru] = refLine{line: line, used: tick}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package card models SmarCo's system integration (§1, §4.4): the
+// processor ships as a PCIe accelerator card holding one or two SmarCo
+// chips. The host CPU submits task batches over PCIe; the card's dispatch
+// logic splits them across its processors. The PCIe link adds submission
+// latency and caps command bandwidth — the integration costs a downstream
+// user of the accelerator actually pays.
+package card
+
+import (
+	"fmt"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/mem"
+)
+
+// PCIeConfig models the host link.
+type PCIeConfig struct {
+	// LatencyCycles is the one-way submission latency in chip cycles
+	// (PCIe round trips are ~1 µs ≈ 1500 cycles at 1.5 GHz).
+	LatencyCycles uint64
+	// TasksPerKCycle caps the command rate over the link.
+	TasksPerKCycle int
+}
+
+// DefaultPCIe is a Gen3 x8-class link.
+func DefaultPCIe() PCIeConfig {
+	return PCIeConfig{LatencyCycles: 1500, TasksPerKCycle: 64}
+}
+
+// Config describes a card.
+type Config struct {
+	// Processors is 1 or 2 (the paper built both, Fig. 25).
+	Processors int
+	Chip       chip.Config
+	PCIe       PCIeConfig
+}
+
+// Card is a PCIe accelerator card with one or two SmarCo processors.
+// Each processor has its own memory channels (its own backing store view);
+// the host partitions work between them.
+type Card struct {
+	cfg   Config
+	chips []*chip.Chip
+}
+
+// New builds a card. Every processor shares the provided memory image
+// (the host has staged the dataset into card memory before submission).
+func New(cfg Config, store *mem.Sparse) *Card {
+	if cfg.Processors < 1 || cfg.Processors > 2 {
+		panic(fmt.Sprintf("card: %d processors unsupported (build 1 or 2)", cfg.Processors))
+	}
+	c := &Card{cfg: cfg}
+	for i := 0; i < cfg.Processors; i++ {
+		c.chips = append(c.chips, chip.New(cfg.Chip, store))
+	}
+	return c
+}
+
+// Chips exposes the card's processors for metric inspection.
+func (c *Card) Chips() []*chip.Chip { return c.chips }
+
+// Run submits the tasks over PCIe (round-robin across processors, paced by
+// the link) and runs the card until every task completes. It returns the
+// cycle count at completion, measured on the card clock and including the
+// PCIe submission latency.
+func (c *Card) Run(tasks []kernels.Task, maxCycles uint64) (uint64, error) {
+	// Partition tasks across processors.
+	parts := make([][]kernels.Task, len(c.chips))
+	for i, t := range tasks {
+		parts[i%len(c.chips)] = append(parts[i%len(c.chips)], t)
+	}
+	// Pace submissions: the link delivers TasksPerKCycle tasks per 1000
+	// cycles after the initial latency. Submission is modelled by release
+	// cycles on the tasks themselves.
+	for p := range parts {
+		for i := range parts[p] {
+			delay := c.cfg.PCIe.LatencyCycles +
+				uint64(i/maxInt(c.cfg.PCIe.TasksPerKCycle, 1))*1000
+			if parts[p][i].ReleaseCycle < delay {
+				parts[p][i].ReleaseCycle = delay
+			}
+		}
+		c.chips[p].Submit(parts[p])
+	}
+	// Each processor simulates independently from cycle 0; the card
+	// completes when the slowest one does.
+	var worst uint64
+	for _, ch := range c.chips {
+		cy, err := ch.Run(maxCycles)
+		if err != nil {
+			return cy, err
+		}
+		if cy > worst {
+			worst = cy
+		}
+	}
+	// One more PCIe hop to report completion to the host.
+	return worst + c.cfg.PCIe.LatencyCycles, nil
+}
+
+// Seconds converts card cycles to wall time.
+func (c *Card) Seconds(cycles uint64) float64 {
+	return float64(cycles) / c.cfg.Chip.ClockHz
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

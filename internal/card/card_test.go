@@ -1,0 +1,85 @@
+package card
+
+import (
+	"testing"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+)
+
+func smallCardConfig(processors int) Config {
+	cfg := chip.SmallConfig()
+	cfg.SubRings = 2
+	cfg.CoresPerSub = 4
+	cfg.MCs = 1
+	return Config{Processors: processors, Chip: cfg, PCIe: DefaultPCIe()}
+}
+
+func TestSingleProcessorCardRunsAndVerifies(t *testing.T) {
+	w := kernels.MustNew("wordcount", kernels.Config{Seed: 41, Tasks: 16, Scale: 512, StageSPM: true})
+	c := New(smallCardConfig(1), w.Mem)
+	cycles, err := c.Run(w.Tasks, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// PCIe latency must be visible: nothing completes before two hops.
+	if cycles <= 2*DefaultPCIe().LatencyCycles {
+		t.Fatalf("cycles = %d, implausibly below the PCIe floor", cycles)
+	}
+}
+
+func TestDualProcessorCardScales(t *testing.T) {
+	run := func(processors int) uint64 {
+		w := kernels.MustNew("kmp", kernels.Config{Seed: 43, Tasks: 64, Scale: 768, StageSPM: true})
+		c := New(smallCardConfig(processors), w.Mem)
+		cycles, err := c.Run(w.Tasks, 40_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	one := run(1)
+	two := run(2)
+	if two >= one {
+		t.Fatalf("dual-processor card not faster: %d vs %d", two, one)
+	}
+	// The paper's dual card roughly doubles throughput on parallel work;
+	// allow generous slack for the PCIe floor and dispatch skew.
+	if float64(one)/float64(two) < 1.3 {
+		t.Fatalf("dual card speedup only %.2fx", float64(one)/float64(two))
+	}
+}
+
+func TestCardRejectsBadProcessorCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Processors: 3, Chip: chip.SmallConfig()}, nil)
+}
+
+func TestPCIePacingDelaysSubmission(t *testing.T) {
+	// With a 1-task-per-kcycle link, the 8th task cannot release before
+	// ~8000 cycles + latency.
+	cfg := smallCardConfig(1)
+	cfg.PCIe.TasksPerKCycle = 1
+	w := kernels.MustNew("rnc", kernels.Config{Seed: 47, Tasks: 8, StageSPM: true})
+	c := New(cfg, w.Mem)
+	cycles, err := c.Run(w.Tasks, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if cycles < cfg.PCIe.LatencyCycles+7*1000 {
+		t.Fatalf("cycles = %d, pacing not applied", cycles)
+	}
+}

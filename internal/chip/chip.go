@@ -1,0 +1,375 @@
+// Package chip assembles the full SmarCo processor (Fig. 4): 16 sub-rings
+// of 16 TCG cores each, hub routers hosting the per-sub-ring MACT and
+// sub-scheduler, a main ring with four DDR controllers at equal spacing and
+// a host interface, direct datapaths from every sub-ring to the memory
+// system, and the main scheduler.
+package chip
+
+import (
+	"fmt"
+
+	"smarco/internal/cpu"
+	"smarco/internal/dram"
+	"smarco/internal/isa"
+	"smarco/internal/kernels"
+	"smarco/internal/mact"
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sched"
+	"smarco/internal/sim"
+)
+
+// Config sizes a chip.
+type Config struct {
+	SubRings    int
+	CoresPerSub int
+	Core        cpu.Config
+	SubLink     noc.LinkConfig
+	MainLink    noc.LinkConfig
+	MACT        mact.Config
+	DRAM        dram.Config
+	MCs         int
+	Sched       sched.Config
+	// DirectPath enables the star-shaped direct datapaths (§3.5.2).
+	DirectPath bool
+	// DirectDelay / DirectBytes configure each direct link.
+	DirectDelay uint64
+	DirectBytes int
+	// Topology selects the interconnect: "" or "ring" builds the paper's
+	// hierarchical rings (with hubs, MACT, direct datapaths); "mesh"
+	// builds the 2D-mesh baseline of §3.2 (XY routing, no MACT).
+	Topology string
+	// MeshLink configures the mesh baseline's links.
+	MeshLink noc.MeshLinkConfig
+	// Parallel runs one goroutine per sub-ring partition (the PDES-style
+	// executor); results are identical to serial execution.
+	Parallel bool
+	// ClockHz converts cycles to seconds for cross-machine comparisons
+	// (SmarCo runs at 1.5 GHz).
+	ClockHz float64
+}
+
+// DefaultConfig is the paper's 256-core chip.
+func DefaultConfig() Config {
+	return Config{
+		SubRings:    16,
+		CoresPerSub: 16,
+		Core:        cpu.DefaultConfig(),
+		SubLink:     noc.DefaultSubRing(),
+		MainLink:    noc.DefaultMainRing(),
+		MACT:        mact.Default(),
+		DRAM:        dram.DDR4(),
+		MCs:         4,
+		Sched:       sched.DefaultHW(),
+		DirectPath:  true,
+		DirectDelay: 4,
+		DirectBytes: 8,
+		MeshLink:    noc.DefaultMeshLink(),
+		Parallel:    true,
+		ClockHz:     1.5e9,
+	}
+}
+
+// SmallConfig is a 4×4 (16-core) chip for tests and examples.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SubRings = 4
+	cfg.CoresPerSub = 4
+	cfg.MCs = 2
+	cfg.Parallel = false
+	return cfg
+}
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.SubRings * c.CoresPerSub }
+
+// Threads returns the total hardware thread count.
+func (c Config) Threads() int {
+	return c.Cores() * c.Core.Lanes * c.Core.ThreadsPerLane
+}
+
+// codeRegion is where program segments are placed in the DRAM map.
+const codeRegion uint64 = 0x4000_0000
+const codeStride uint64 = 1 << 20
+
+// Chip is a fully wired SmarCo instance.
+type Chip struct {
+	Config Config
+
+	eng   *sim.Engine
+	store *mem.Sparse
+
+	Cores []*cpu.Core
+	Subs  []*sched.SubScheduler
+	Main  *sched.MainScheduler
+	MCs   []*dram.Controller
+	Hubs  []*hub
+
+	MainRing *noc.Ring
+	SubRings []*noc.Ring
+	Mesh     *noc.Mesh // non-nil when Topology == "mesh"
+
+	codeBases map[*isa.Program]uint64
+	nextCode  uint64
+	submitted int
+
+	hostInject *sim.Port[*noc.Packet]
+	hostEject  *sim.Port[*noc.Packet]
+	hostSeq    uint64
+}
+
+// New builds a chip over the given backing store (typically a workload's
+// memory image).
+func New(cfg Config, store *mem.Sparse) *Chip {
+	if store == nil {
+		store = mem.NewSparse()
+	}
+	cfg.Core.MemCores = cfg.Cores()
+	c := &Chip{
+		Config:    cfg,
+		eng:       sim.NewEngine(),
+		store:     store,
+		codeBases: map[*isa.Program]uint64{},
+		nextCode:  codeRegion,
+	}
+	c.eng.SetParallel(cfg.Parallel)
+	if cfg.Topology == "mesh" {
+		c.buildMesh()
+	} else {
+		c.build()
+	}
+	return c
+}
+
+// mcFor maps a DRAM address to its controller, page-interleaved.
+func (c *Chip) mcFor(addr uint64) noc.NodeID {
+	return noc.MCNode(int((addr >> 12) % uint64(c.Config.MCs)))
+}
+
+// build wires every component.
+func (c *Chip) build() {
+	cfg := c.Config
+
+	// Main ring layout: hubs with MCs inserted at equal spacing, host last.
+	type stop struct{ node noc.NodeID }
+	var layout []stop
+	hubsPerMC := (cfg.SubRings + cfg.MCs - 1) / cfg.MCs
+	mcNext := 0
+	for s := 0; s < cfg.SubRings; s++ {
+		layout = append(layout, stop{noc.HubNode(s)})
+		if (s+1)%hubsPerMC == 0 && mcNext < cfg.MCs {
+			layout = append(layout, stop{noc.MCNode(mcNext)})
+			mcNext++
+		}
+	}
+	for mcNext < cfg.MCs {
+		layout = append(layout, stop{noc.MCNode(mcNext)})
+		mcNext++
+	}
+	layout = append(layout, stop{noc.HostNode()})
+
+	c.MainRing = noc.NewRing("main", len(layout), cfg.MainLink, 1_000_000)
+	c.MainRing.SetResolver(func(dst noc.NodeID) noc.NodeID {
+		if dst.IsCore() {
+			return noc.HubNode(dst.CoreIndex() / cfg.CoresPerSub)
+		}
+		return dst
+	})
+
+	mainPorts := map[noc.NodeID][2]*sim.Port[*noc.Packet]{}
+	for i, st := range layout {
+		inj, ej := c.MainRing.Attach(i, st.node)
+		mainPorts[st.node] = [2]*sim.Port[*noc.Packet]{inj, ej}
+	}
+	hp := mainPorts[noc.HostNode()]
+	c.hostInject, c.hostEject = hp[0], hp[1]
+
+	// Memory controllers.
+	for m := 0; m < cfg.MCs; m++ {
+		ports := mainPorts[noc.MCNode(m)]
+		ctl := dram.New(noc.MCNode(m), cfg.DRAM, c.store, ports[0], ports[1], uint64(900_000+m))
+		c.MCs = append(c.MCs, ctl)
+	}
+
+	// Sub-rings, cores, hubs, sub-schedulers.
+	var directLinks []*noc.DirectLink
+	for s := 0; s < cfg.SubRings; s++ {
+		ring := noc.NewRing(fmt.Sprintf("sub%d", s), cfg.CoresPerSub+1, cfg.SubLink, uint64(10_000*(s+1)))
+		c.SubRings = append(c.SubRings, ring)
+		lo, hi := s*cfg.CoresPerSub, (s+1)*cfg.CoresPerSub
+		ring.SetResolver(func(dst noc.NodeID) noc.NodeID {
+			if dst.IsCore() && dst.CoreIndex() >= lo && dst.CoreIndex() < hi {
+				return dst
+			}
+			return noc.HubNode(s)
+		})
+
+		done := sim.NewPort[cpu.Completion](0)
+		c.eng.AddPort(done)
+		var subCores []*cpu.Core
+		for k := 0; k < cfg.CoresPerSub; k++ {
+			id := lo + k
+			inj, ej := ring.Attach(k, noc.CoreNode(id))
+			core := cpu.New(id, cfg.Core, c.store, inj, ej, done, c.mcFor, uint64(100_000+id))
+			c.Cores = append(c.Cores, core)
+			subCores = append(subCores, core)
+		}
+		hubInj, hubEj := ring.Attach(cfg.CoresPerSub, noc.HubNode(s))
+		mp := mainPorts[noc.HubNode(s)]
+
+		var direct *noc.DirectLink
+		if cfg.DirectPath {
+			direct = noc.NewDirectLink(uint64(800_000+s), cfg.DirectDelay, cfg.DirectBytes)
+			directLinks = append(directLinks, direct)
+		}
+		h := newHub(s, cfg, hubInj, hubEj, mp[0], mp[1], direct, c.mcFor, uint64(700_000+s))
+		c.Hubs = append(c.Hubs, h)
+
+		sub := sched.NewSub(s, cfg.Sched, subCores, done, uint64(600_000+s))
+		c.Subs = append(c.Subs, sub)
+	}
+
+	// Each direct datapath terminates at one controller (sub-ring s wires
+	// to MC s mod MCs); controllers fan in several links and respond on
+	// the link a request arrived on.
+	for i, dl := range directLinks {
+		send, recv := dl.EndB()
+		c.MCs[i%len(c.MCs)].AttachDirect(send, recv)
+	}
+
+	c.Main = sched.NewMain(c.Subs, 500_000)
+
+	// Engine registration: one partition per sub-ring, one for the chip
+	// uncore (main ring, MCs, main scheduler, direct links).
+	for s := 0; s < cfg.SubRings; s++ {
+		var parts []sim.Ticker
+		for _, rt := range c.SubRings[s].Routers() {
+			parts = append(parts, rt)
+		}
+		lo := s * cfg.CoresPerSub
+		for k := 0; k < cfg.CoresPerSub; k++ {
+			parts = append(parts, c.Cores[lo+k])
+		}
+		parts = append(parts, c.Hubs[s], c.Subs[s])
+		c.eng.AddPartition(parts...)
+		for _, p := range c.SubRings[s].Ports() {
+			c.eng.AddPort(p)
+		}
+		for k := 0; k < cfg.CoresPerSub; k++ {
+			for _, p := range c.Cores[lo+k].Ports() {
+				c.eng.AddPort(p)
+			}
+		}
+		for _, p := range c.Subs[s].Ports() {
+			c.eng.AddPort(p)
+		}
+	}
+	var uncore []sim.Ticker
+	for _, rt := range c.MainRing.Routers() {
+		uncore = append(uncore, rt)
+	}
+	for _, mc := range c.MCs {
+		uncore = append(uncore, mc)
+	}
+	for _, dl := range directLinks {
+		uncore = append(uncore, dl)
+		for _, p := range dl.Ports() {
+			c.eng.AddPort(p)
+		}
+	}
+	uncore = append(uncore, c.Main)
+	c.eng.AddPartition(uncore...)
+	for _, p := range c.MainRing.Ports() {
+		c.eng.AddPort(p)
+	}
+	for _, p := range c.Main.Ports() {
+		c.eng.AddPort(p)
+	}
+}
+
+// codeBase assigns (or returns) the code-segment address for a program.
+func (c *Chip) codeBase(p *isa.Program) uint64 {
+	if base, ok := c.codeBases[p]; ok {
+		return base
+	}
+	base := c.nextCode
+	c.nextCode += codeStride
+	c.codeBases[p] = base
+	return base
+}
+
+// Submit queues workload tasks on the main scheduler.
+func (c *Chip) Submit(tasks []kernels.Task) {
+	works := make([]cpu.Work, 0, len(tasks))
+	for _, t := range tasks {
+		w := cpu.Work{
+			TaskID:       t.ID,
+			Prog:         t.Prog,
+			Args:         t.Args,
+			Priority:     t.Priority == kernels.PriorityRealTime,
+			Deadline:     t.Deadline,
+			ReleaseCycle: t.ReleaseCycle,
+			EstCycles:    t.EstCycles,
+			CodeBase:     c.codeBase(t.Prog),
+		}
+		for _, r := range t.Stage {
+			w.Stage = append(w.Stage, cpu.StageRegion{Arg: r.Arg, Bytes: r.Bytes, Out: r.Out})
+		}
+		works = append(works, w)
+	}
+	c.submitted += len(tasks)
+	c.Main.Submit(works...)
+}
+
+// Now returns the current cycle.
+func (c *Chip) Now() uint64 { return c.eng.Now() }
+
+// Step advances one cycle (exposed for fine-grained harnesses).
+func (c *Chip) Step() { c.eng.Step() }
+
+// CompletedTasks counts results across all sub-schedulers.
+func (c *Chip) CompletedTasks() int {
+	n := 0
+	for _, s := range c.Subs {
+		n += len(s.Results)
+	}
+	return n
+}
+
+// Results gathers completion records from every sub-ring.
+func (c *Chip) Results() []sched.Result {
+	var out []sched.Result
+	for _, s := range c.Subs {
+		out = append(out, s.Results...)
+	}
+	return out
+}
+
+// Run executes until every submitted task completes, or maxCycles elapse.
+func (c *Chip) Run(maxCycles uint64) (uint64, error) {
+	return c.eng.Run(maxCycles, func() bool {
+		return c.CompletedTasks() >= c.submitted
+	})
+}
+
+// HostSend injects a packet from the host/PCIe interface onto the main
+// ring (used for offload commands such as near-memory match requests).
+func (c *Chip) HostSend(p *noc.Packet) {
+	c.hostSeq++
+	c.hostInject.Send(999_999, c.hostSeq, p)
+}
+
+// HostReceive drains packets addressed to the host.
+func (c *Chip) HostReceive() []*noc.Packet {
+	return c.hostEject.DrainInto(nil, 0)
+}
+
+// RunUntil steps the chip until cond holds or the budget expires.
+func (c *Chip) RunUntil(maxCycles uint64, cond func() bool) (uint64, error) {
+	return c.eng.Run(maxCycles, cond)
+}
+
+// Seconds converts cycles to wall-clock seconds at the chip's clock.
+func (c *Chip) Seconds(cycles uint64) float64 {
+	return float64(cycles) / c.Config.ClockHz
+}

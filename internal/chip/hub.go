@@ -1,0 +1,139 @@
+package chip
+
+import (
+	"smarco/internal/mact"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+)
+
+// hub joins one sub-ring to the main ring. It hosts the sub-ring's MACT
+// (§3.4) and the sub-ring end of the direct datapath (§3.5.2): memory
+// requests leaving the sub-ring are offered to the MACT; priority reads may
+// skip both rings over the direct link; batch responses returning from
+// memory are scattered back to the requesting cores.
+type hub struct {
+	ring   int
+	key    uint64
+	lo, hi int // core-index range of this sub-ring
+
+	subInject *sim.Port[*noc.Packet] // into the sub-ring
+	subEject  *sim.Port[*noc.Packet] // out of the sub-ring
+	mainInj   *sim.Port[*noc.Packet] // onto the main ring
+	mainEj    *sim.Port[*noc.Packet] // off the main ring
+
+	directSend *sim.Port[*noc.Packet]
+	directRecv *sim.Port[*noc.Packet]
+
+	MACT  *mact.Table
+	mcFor func(addr uint64) noc.NodeID
+
+	seq     uint64
+	scratch []*noc.Packet
+}
+
+func newHub(ring int, cfg Config, subInject, subEject, mainInj, mainEj *sim.Port[*noc.Packet],
+	direct *noc.DirectLink, mcFor func(addr uint64) noc.NodeID, key uint64) *hub {
+	h := &hub{
+		ring:      ring,
+		key:       key,
+		lo:        ring * cfg.CoresPerSub,
+		hi:        (ring + 1) * cfg.CoresPerSub,
+		subInject: subInject,
+		subEject:  subEject,
+		mainInj:   mainInj,
+		mainEj:    mainEj,
+		MACT:      mact.New(noc.HubNode(ring), cfg.MACT),
+		mcFor:     mcFor,
+	}
+	if direct != nil {
+		h.directSend, h.directRecv = direct.EndA()
+	}
+	return h
+}
+
+// Commit implements sim.Ticker.
+func (h *hub) Commit(uint64) {}
+
+// Tick moves packets between the rings and runs the MACT.
+func (h *hub) Tick(now uint64) {
+	// Outbound: packets leaving the sub-ring.
+	if !h.subEject.Empty() {
+		h.scratch = h.subEject.DrainInto(h.scratch[:0], 0)
+		for _, p := range h.scratch {
+			h.outbound(now, p)
+		}
+	}
+	// MACT deadline timers.
+	for _, b := range h.MACT.Expire(now, h.mcFor) {
+		h.toMain(b)
+	}
+	// Inbound: packets arriving from the main ring.
+	if !h.mainEj.Empty() {
+		h.scratch = h.mainEj.DrainInto(h.scratch[:0], 0)
+		for _, p := range h.scratch {
+			h.inbound(now, p)
+		}
+	}
+	// Inbound: direct-datapath responses.
+	if h.directRecv != nil && !h.directRecv.Empty() {
+		h.scratch = h.directRecv.DrainInto(h.scratch[:0], 0)
+		for _, p := range h.scratch {
+			h.inbound(now, p)
+		}
+	}
+}
+
+// outbound handles a packet leaving the sub-ring.
+func (h *hub) outbound(now uint64, p *noc.Packet) {
+	if p.Dst.IsMC() {
+		// Priority reads and control messages use the direct datapath,
+		// "especially when the ring network is in heavy congestion".
+		if p.Priority && h.directSend != nil && p.Kind == noc.KReqRead {
+			h.seq++
+			h.directSend.Send(h.key, h.seq, p)
+			return
+		}
+		outs, absorbed := h.MACT.Offer(p, now, h.mcFor)
+		for _, o := range outs {
+			h.route(o)
+		}
+		if absorbed {
+			return
+		}
+	}
+	h.route(p)
+}
+
+// inbound handles a packet arriving for this sub-ring.
+func (h *hub) inbound(now uint64, p *noc.Packet) {
+	switch p.Kind {
+	case noc.KBatchRespRead, noc.KBatchRespWrite:
+		for _, o := range h.MACT.OnBatchResp(p, now) {
+			h.toSub(o)
+		}
+	default:
+		h.toSub(p)
+	}
+}
+
+// route sends a hub-originated or forwarded packet toward its destination:
+// back into the sub-ring when it targets one of this sub-ring's cores
+// (e.g. a MACT forward), otherwise onto the main ring (memory controllers,
+// remote sub-rings, host).
+func (h *hub) route(p *noc.Packet) {
+	if p.Dst.IsCore() && p.Dst.CoreIndex() >= h.lo && p.Dst.CoreIndex() < h.hi {
+		h.toSub(p)
+		return
+	}
+	h.toMain(p)
+}
+
+func (h *hub) toMain(p *noc.Packet) {
+	h.seq++
+	h.mainInj.Send(h.key, h.seq, p)
+}
+
+func (h *hub) toSub(p *noc.Packet) {
+	h.seq++
+	h.subInject.Send(h.key, h.seq, p)
+}

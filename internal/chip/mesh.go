@@ -1,0 +1,91 @@
+package chip
+
+import (
+	"math"
+
+	"smarco/internal/cpu"
+	"smarco/internal/dram"
+	"smarco/internal/noc"
+	"smarco/internal/sched"
+	"smarco/internal/sim"
+)
+
+// buildMesh wires the 2D-mesh baseline (§3.2's comparison point): the same
+// TCG cores, memory controllers, and schedulers, but connected by a mesh
+// with XY routing instead of hierarchical rings. There are no hubs, no
+// MACT, and no direct datapaths — those are ring-design mechanisms; the
+// mesh baseline sends every request straight to its controller.
+func (c *Chip) buildMesh() {
+	cfg := c.Config
+	nodes := cfg.Cores() + cfg.MCs + 1
+	cols := int(math.Ceil(math.Sqrt(float64(nodes))))
+	rows := (nodes + cols - 1) / cols
+	if rows < 2 {
+		rows = 2
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	c.Mesh = noc.NewMesh("mesh", rows, cols, cfg.MeshLink, 2_000_000)
+
+	// Row-major placement: cores first, then controllers, then the host.
+	var places []noc.NodeID
+	for i := 0; i < cfg.Cores(); i++ {
+		places = append(places, noc.CoreNode(i))
+	}
+	for m := 0; m < cfg.MCs; m++ {
+		places = append(places, noc.MCNode(m))
+	}
+	places = append(places, noc.HostNode())
+
+	ports := map[noc.NodeID][2]*sim.Port[*noc.Packet]{}
+	for i, node := range places {
+		inj, ej := c.Mesh.Attach(i/cols, i%cols, node)
+		ports[node] = [2]*sim.Port[*noc.Packet]{inj, ej}
+	}
+	hp := ports[noc.HostNode()]
+	c.hostInject, c.hostEject = hp[0], hp[1]
+
+	for m := 0; m < cfg.MCs; m++ {
+		p := ports[noc.MCNode(m)]
+		ctl := dram.New(noc.MCNode(m), cfg.DRAM, c.store, p[0], p[1], uint64(900_000+m))
+		c.MCs = append(c.MCs, ctl)
+	}
+
+	done := sim.NewPort[cpu.Completion](0)
+	c.eng.AddPort(done)
+	for i := 0; i < cfg.Cores(); i++ {
+		p := ports[noc.CoreNode(i)]
+		core := cpu.New(i, cfg.Core, c.store, p[0], p[1], done, c.mcFor, uint64(100_000+i))
+		c.Cores = append(c.Cores, core)
+	}
+	// One global scheduler domain (no sub-rings to partition by).
+	sub := sched.NewSub(0, cfg.Sched, c.Cores, done, 600_000)
+	c.Subs = []*sched.SubScheduler{sub}
+	c.Main = sched.NewMain(c.Subs, 500_000)
+
+	var parts []sim.Ticker
+	for _, rt := range c.Mesh.Routers() {
+		parts = append(parts, rt)
+	}
+	for _, core := range c.Cores {
+		parts = append(parts, core)
+		for _, p := range core.Ports() {
+			c.eng.AddPort(p)
+		}
+	}
+	for _, mc := range c.MCs {
+		parts = append(parts, mc)
+	}
+	parts = append(parts, sub, c.Main)
+	c.eng.AddPartition(parts...)
+	for _, p := range c.Mesh.Ports() {
+		c.eng.AddPort(p)
+	}
+	for _, p := range sub.Ports() {
+		c.eng.AddPort(p)
+	}
+	for _, p := range c.Main.Ports() {
+		c.eng.AddPort(p)
+	}
+}

@@ -1,0 +1,121 @@
+package chip
+
+import "smarco/internal/stats"
+
+// Metrics aggregates chip-wide counters after (or during) a run. It feeds
+// every experiment harness: IPC (Fig. 17), NoC throughput and utilization
+// (Figs. 18, 20), memory request counts and latency (Figs. 19, 20), and
+// scheduler results (Fig. 21).
+type Metrics struct {
+	Cycles       uint64
+	Instructions uint64
+	MemOps       uint64
+	Loads        uint64
+	Stores       uint64
+	SPMAccesses  uint64
+	RemoteSPM    uint64
+	IFMisses     uint64
+
+	IPC         float64 // chip-wide instructions per cycle
+	IPCPerCore  float64 // mean per-core IPC
+	LoadLatMean float64 // mean load round-trip latency (cycles)
+	LoadLatP95  uint64
+
+	// NoC.
+	SubRingBytes  uint64
+	MainRingBytes uint64
+	SubRingUtil   float64 // bytes sent / capacity
+	MainRingUtil  float64
+	PacketsMoved  uint64 // ring forwards + ejects (throughput proxy)
+
+	// MACT.
+	MACTCollected uint64
+	MACTBatches   uint64
+	MACTForwards  uint64
+	MACTBypassed  uint64
+
+	// Memory controllers.
+	MemRequests uint64 // requests arriving at the MCs (incl. batches)
+	MemReads    uint64
+	MemWrites   uint64
+	MemBatches  uint64
+	MemBusBytes uint64
+	RowHitRate  float64
+
+	// Tasks.
+	TasksDone uint64
+}
+
+// Metrics gathers the current counter values.
+func (c *Chip) Metrics() Metrics {
+	var m Metrics
+	m.Cycles = c.eng.Now()
+	var loadLat stats.Histogram
+	for _, core := range c.Cores {
+		s := &core.Stats
+		m.Instructions += s.Issued.Value()
+		m.MemOps += s.MemOps.Value()
+		m.Loads += s.Loads.Value()
+		m.Stores += s.Stores.Value()
+		m.SPMAccesses += s.SPMAccesses.Value()
+		m.RemoteSPM += s.RemoteSPM.Value()
+		m.IFMisses += s.IFMisses.Value()
+		m.IPCPerCore += s.IPC()
+		for _, v := range s.LoadLat.Samples() {
+			loadLat.Observe(v)
+		}
+	}
+	m.IPCPerCore /= float64(len(c.Cores))
+	if m.Cycles > 0 {
+		m.IPC = float64(m.Instructions) / float64(m.Cycles)
+	}
+	m.LoadLatMean = loadLat.Mean()
+	m.LoadLatP95 = loadLat.Percentile(95)
+
+	if c.Mesh != nil {
+		mt := c.Mesh.TotalStats()
+		m.MainRingBytes = mt.BytesSent.Value()
+		m.PacketsMoved += mt.Forwarded.Value() + mt.Ejected.Value()
+		if m.Cycles > 0 {
+			m.MainRingUtil = float64(m.MainRingBytes) / float64(c.Mesh.Capacity()*m.Cycles)
+		}
+	} else {
+		var subCap uint64
+		for _, r := range c.SubRings {
+			t := r.TotalStats()
+			m.SubRingBytes += t.BytesSent.Value()
+			m.PacketsMoved += t.Forwarded.Value() + t.Ejected.Value()
+			subCap += r.Capacity()
+		}
+		mt := c.MainRing.TotalStats()
+		m.MainRingBytes = mt.BytesSent.Value()
+		m.PacketsMoved += mt.Forwarded.Value() + mt.Ejected.Value()
+		if m.Cycles > 0 && subCap > 0 {
+			m.SubRingUtil = float64(m.SubRingBytes) / float64(subCap*m.Cycles)
+			m.MainRingUtil = float64(m.MainRingBytes) / float64(c.MainRing.Capacity()*m.Cycles)
+		}
+	}
+
+	for _, h := range c.Hubs {
+		s := &h.MACT.Stats
+		m.MACTCollected += s.Collected.Value()
+		m.MACTBatches += s.Batches.Value()
+		m.MACTForwards += s.Forwards.Value()
+		m.MACTBypassed += s.Bypassed.Value()
+	}
+
+	var rowHits, rowTotal uint64
+	for _, mc := range c.MCs {
+		s := &mc.Stats
+		m.MemRequests += s.Served.Value()
+		m.MemReads += s.Reads.Value()
+		m.MemWrites += s.Writes.Value()
+		m.MemBatches += s.Batches.Value()
+		m.MemBusBytes += s.BytesBus.Value()
+		rowHits += s.RowHits.Value()
+		rowTotal += s.RowHits.Value() + s.RowMisses.Value()
+	}
+	m.RowHitRate = stats.Ratio(rowHits, rowTotal)
+	m.TasksDone = uint64(c.CompletedTasks())
+	return m
+}

@@ -1,0 +1,75 @@
+package chip
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sample is one timeline interval: the delta of the cumulative metrics over
+// [Start, End) plus instantaneous occupancy, for plotting a run's behaviour
+// over time.
+type Sample struct {
+	Start, End   uint64
+	Instructions uint64
+	IPC          float64
+	MemRequests  uint64
+	NoCBytes     uint64
+	TasksDone    uint64
+	QueuedTasks  int // tasks waiting in the schedulers at End
+}
+
+// RunWithTimeline runs like Run but records one Sample per interval cycles.
+func (c *Chip) RunWithTimeline(maxCycles, interval uint64) ([]Sample, uint64, error) {
+	if interval == 0 {
+		interval = 1000
+	}
+	var samples []Sample
+	prev := c.Metrics()
+	prevCycle := c.Now()
+	done := func() bool { return c.CompletedTasks() >= c.submitted }
+
+	for c.Now()-prevCycle < maxCycles {
+		if done() {
+			break
+		}
+		target := c.Now() + interval
+		for c.Now() < target && !done() {
+			c.eng.Step()
+		}
+		cur := c.Metrics()
+		queued := c.Main.PendingLen()
+		for _, s := range c.Subs {
+			queued += s.QueueLen()
+		}
+		samples = append(samples, Sample{
+			Start:        prevCycle,
+			End:          c.Now(),
+			Instructions: cur.Instructions - prev.Instructions,
+			IPC:          float64(cur.Instructions-prev.Instructions) / float64(c.Now()-prevCycle),
+			MemRequests:  cur.MemRequests - prev.MemRequests,
+			NoCBytes:     cur.SubRingBytes + cur.MainRingBytes - prev.SubRingBytes - prev.MainRingBytes,
+			TasksDone:    cur.TasksDone - prev.TasksDone,
+			QueuedTasks:  queued,
+		})
+		prev = cur
+		prevCycle = c.Now()
+	}
+	if !done() {
+		return samples, c.Now(), fmt.Errorf("chip: timeline budget exhausted at cycle %d", c.Now())
+	}
+	return samples, c.Now(), nil
+}
+
+// WriteTimelineCSV renders samples as CSV for plotting.
+func WriteTimelineCSV(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, "start,end,instructions,ipc,mem_requests,noc_bytes,tasks_done,queued_tasks"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%d,%d,%d,%d\n",
+			s.Start, s.End, s.Instructions, s.IPC, s.MemRequests, s.NoCBytes, s.TasksDone, s.QueuedTasks); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,464 @@
+// Package conv models the conventional high-performance processor the paper
+// compares against (Intel Xeon E7-8890V4): 24 out-of-order cores with SMT-2,
+// a three-level cache hierarchy, a shared LLC, bandwidth-limited DRAM, and
+// software thread scheduling. The model is a hybrid functional/analytic
+// simulator: instructions execute functionally on the shared memory image
+// while timing is accumulated per quantum from cache behaviour, branch
+// prediction, SMT issue sharing, DRAM queueing, and scheduling overheads.
+//
+// This coarser fidelity is deliberate — the paper's Figs. 1, 2, 22 and 23
+// depend on the baseline's *scaling shape* (issue starvation at high thread
+// counts, multi-level miss cascades, the >64-thread scheduling collapse),
+// which this model reproduces, not on Intel's microarchitectural detail.
+package conv
+
+import (
+	"fmt"
+
+	"smarco/internal/cache"
+	"smarco/internal/isa"
+	"smarco/internal/kernels"
+	"smarco/internal/stats"
+)
+
+// Config describes the conventional machine.
+type Config struct {
+	Cores int
+	SMT   int
+
+	// BaseCPI is the effective out-of-order CPI on issue-bound code.
+	BaseCPI float64
+	// SMTIssueShare scales CPI when both SMT threads are active.
+	SMTIssueShare float64
+
+	L1I, L1D, L2, LLC cache.Config
+	L1Lat, L2Lat      int
+	LLCLat, DRAMLat   int
+	// OverlapFactor is the fraction of load miss latency the OoO window
+	// hides.
+	OverlapFactor float64
+
+	// DRAMBytesPerCycle caps memory bandwidth (85 GB/s at 2.2 GHz ≈ 38).
+	DRAMBytesPerCycle float64
+
+	// QuantumInstr is the scheduling quantum in instructions.
+	QuantumInstr int
+	// CtxSwitchCycles is charged per software context switch.
+	CtxSwitchCycles int
+	// ThreadSpawnCycles is charged once per software thread.
+	ThreadSpawnCycles int
+	// MispredictPenalty is the branch misprediction cost in cycles.
+	MispredictPenalty int
+
+	ClockHz float64
+}
+
+// XeonE78890V4 approximates the paper's comparison machine (Table 2).
+func XeonE78890V4() Config {
+	return Config{
+		Cores:         24,
+		SMT:           2,
+		BaseCPI:       0.30,
+		SMTIssueShare: 1.7,
+		L1I:           cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 1},
+		L1D:           cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 4},
+		L2:            cache.Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 12},
+		// The real part has 60 MB; the model rounds to 64 MB so the set
+		// count stays a power of two.
+		LLC:           cache.Config{SizeBytes: 64 << 20, LineBytes: 64, Ways: 16, HitLatency: 40},
+		L1Lat:         4,
+		L2Lat:         12,
+		LLCLat:        40,
+		DRAMLat:       220,
+		OverlapFactor: 0.45,
+		// 85 GB/s at 2.2 GHz.
+		DRAMBytesPerCycle: 38,
+		QuantumInstr:      5_000,
+		CtxSwitchCycles:   4_000,
+		ThreadSpawnCycles: 30_000,
+		MispredictPenalty: 15,
+		ClockHz:           2.2e9,
+	}
+}
+
+// Result reports a run's aggregate behaviour (the Fig. 1 metrics).
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+	Seconds      float64
+
+	// IdleRatio is the fraction of issue capacity lost to memory stalls
+	// and scheduling (Fig. 1a); StarveRatio is the fraction lost to
+	// frontend causes — I-misses and mispredicts (Fig. 1b).
+	IdleRatio   float64
+	StarveRatio float64
+
+	// Cache behaviour (Figs. 1c, 1d).
+	L1Miss, L2Miss, LLCMiss    float64
+	L1AvgLat, L2AvgLat, LLCLat float64
+
+	DRAMBytes  uint64
+	DRAMUtil   float64
+	Mispredict float64 // branch misprediction ratio
+
+	// TaskDone maps task ID to its completion cycle.
+	TaskDone map[int]uint64
+}
+
+// context is one hardware thread context.
+type context struct {
+	clock   uint64
+	core    int
+	machine *isa.Machine
+	task    *kernels.Task
+	thread  int // software thread bound to this context (timeslicing)
+}
+
+// swThread is a software thread: it runs tasks from the shared queue.
+type swThread struct {
+	id      int
+	clock   uint64 // the thread's own sequential timeline
+	machine *isa.Machine
+	task    int // index into tasks, -1 when between tasks
+	done    bool
+}
+
+// Run executes the workload with nThreads software threads and returns the
+// aggregate result.
+func Run(cfg Config, w *kernels.Workload, nThreads int) Result {
+	if nThreads <= 0 {
+		nThreads = 1
+	}
+	m := newMachineState(cfg, w)
+	return m.run(nThreads)
+}
+
+// machineState carries the shared timing structures of a run.
+type machineState struct {
+	cfg Config
+	w   *kernels.Workload
+
+	l1i, l1d, l2 []*cache.Cache // per core
+	llc          *cache.Cache   // shared
+
+	dramBytes uint64
+	predictor map[uint64]bool // 1-bit branch predictor, keyed by pc
+
+	// latency accumulators per level (hits at that level).
+	latSum  [4]uint64 // L1, L2, LLC, DRAM contributions
+	hitCnt  [4]uint64
+	accL1   uint64
+	accL2   uint64
+	accLLC  uint64
+	missL1  uint64
+	missL2  uint64
+	missLLC uint64
+
+	branches, mispredicts uint64
+
+	busyCycles   uint64 // issue-bound execution
+	memStall     uint64
+	frontStall   uint64
+	schedCycles  uint64
+	instructions uint64
+}
+
+func newMachineState(cfg Config, w *kernels.Workload) *machineState {
+	m := &machineState{cfg: cfg, w: w, predictor: map[uint64]bool{}}
+	for c := 0; c < cfg.Cores; c++ {
+		m.l1i = append(m.l1i, cache.New(cfg.L1I))
+		m.l1d = append(m.l1d, cache.New(cfg.L1D))
+		m.l2 = append(m.l2, cache.New(cfg.L2))
+	}
+	m.llc = cache.New(cfg.LLC)
+	return m
+}
+
+// access simulates one data access through the hierarchy of core c,
+// returning the exposed latency in cycles.
+func (m *machineState) access(core int, addr uint64, write bool, globalClock uint64) float64 {
+	cfg := m.cfg
+	m.accL1++
+	if m.l1d[core].Access(addr, write) {
+		m.latSum[0] += uint64(cfg.L1Lat)
+		m.hitCnt[0]++
+		return 0 // L1 hits are pipelined away by the OoO window
+	}
+	m.missL1++
+	m.accL2++
+	if m.l2[core].Access(addr, write) {
+		m.latSum[1] += uint64(cfg.L2Lat)
+		m.hitCnt[1]++
+		m.l1d[core].Fill(addr, write)
+		return float64(cfg.L2Lat) * (1 - cfg.OverlapFactor)
+	}
+	m.missL2++
+	m.accLLC++
+	if m.llc.Access(addr, write) {
+		m.latSum[2] += uint64(cfg.LLCLat)
+		m.hitCnt[2]++
+		m.l2[core].Fill(addr, write)
+		m.l1d[core].Fill(addr, write)
+		return float64(cfg.LLCLat) * (1 - cfg.OverlapFactor)
+	}
+	m.missLLC++
+	m.llc.Fill(addr, write)
+	m.l2[core].Fill(addr, write)
+	m.l1d[core].Fill(addr, write)
+	m.dramBytes += 64
+	lat := float64(cfg.DRAMLat) * m.queueFactor(globalClock)
+	m.latSum[3] += uint64(lat)
+	m.hitCnt[3]++
+	return lat * (1 - cfg.OverlapFactor)
+}
+
+// queueFactor inflates DRAM latency as bandwidth utilization rises.
+func (m *machineState) queueFactor(globalClock uint64) float64 {
+	if globalClock == 0 {
+		return 1
+	}
+	util := float64(m.dramBytes) / (m.cfg.DRAMBytesPerCycle * float64(globalClock))
+	if util > 0.95 {
+		util = 0.95
+	}
+	return 1 / (1 - util)
+}
+
+// run drives the contexts until all tasks complete.
+func (m *machineState) run(nThreads int) Result {
+	cfg := m.cfg
+	nCtx := cfg.Cores * cfg.SMT
+
+	// Software threads share the task queue.
+	threads := make([]*swThread, nThreads)
+	for i := range threads {
+		threads[i] = &swThread{id: i, task: -1}
+	}
+	nextTask := 0
+	taskDone := map[int]uint64{}
+
+	// Contexts timeslice software threads round-robin.
+	ctxs := make([]*context, nCtx)
+	for i := range ctxs {
+		ctxs[i] = &context{core: i % cfg.Cores}
+	}
+	// Spawn overhead: threads are created by a single master thread, so
+	// the cost serializes (the Fig. 23 thread-creation effect).
+	spawn := uint64(nThreads * cfg.ThreadSpawnCycles)
+	for _, ctx := range ctxs {
+		ctx.clock = spawn
+	}
+	m.schedCycles += spawn
+
+	liveThreads := func() int {
+		n := 0
+		for _, th := range threads {
+			if !th.done {
+				n++
+			}
+		}
+		return n
+	}
+
+	// smtShare returns the CPI multiplier given how many contexts of a
+	// core are active.
+	activePerCore := func() float64 {
+		n := liveThreads()
+		if n >= nCtx {
+			return float64(cfg.SMT)
+		}
+		perCore := float64(n) / float64(cfg.Cores)
+		if perCore > float64(cfg.SMT) {
+			perCore = float64(cfg.SMT)
+		}
+		if perCore < 1 {
+			perCore = 1
+		}
+		return perCore
+	}
+
+	rrThread := 0
+	for {
+		if liveThreads() == 0 {
+			break
+		}
+		// Pick the runnable software thread that is furthest behind, then
+		// the earliest-available context for it (a thread's own timeline
+		// is sequential: it can be on only one context at a time).
+		var th *swThread
+		for i := 0; i < nThreads; i++ {
+			cand := threads[(rrThread+i)%nThreads]
+			if !cand.done && (th == nil || cand.clock < th.clock) {
+				th = cand
+			}
+		}
+		if th == nil {
+			break
+		}
+		rrThread = (th.id + 1) % nThreads
+		ctx := ctxs[0]
+		for _, c := range ctxs[1:] {
+			if c.clock < ctx.clock {
+				ctx = c
+			}
+		}
+		// The quantum starts when both the context and the thread are free.
+		start := ctx.clock
+		if th.clock > start {
+			start = th.clock
+		}
+		// Context switch cost when a context changes software threads and
+		// threads outnumber contexts.
+		if nThreads > nCtx && ctx.thread != th.id {
+			start += uint64(cfg.CtxSwitchCycles)
+			m.schedCycles += uint64(cfg.CtxSwitchCycles)
+		}
+		ctx.thread = th.id
+
+		// Bind a task if the thread is idle.
+		if th.machine == nil {
+			if nextTask >= len(m.w.Tasks) {
+				th.done = true
+				continue
+			}
+			task := &m.w.Tasks[nextTask]
+			nextTask++
+			th.task = task.ID
+			th.machine = isa.NewMachine(m.w.Mem)
+			for i, v := range task.Args {
+				th.machine.Regs.Set(uint8(10+i), v)
+			}
+		}
+
+		cycles, finished := m.quantum(ctx, th, activePerCore())
+		end := start + cycles
+		ctx.clock = end
+		th.clock = end
+		if finished {
+			taskDone[th.task] = end
+			th.machine = nil
+			th.task = -1
+		}
+	}
+
+	var total uint64
+	for _, c := range ctxs {
+		if c.clock > total {
+			total = c.clock
+		}
+	}
+	return m.result(total, taskDone)
+}
+
+// quantum runs up to QuantumInstr instructions of th on ctx, returning the
+// consumed cycles and whether the task finished.
+func (m *machineState) quantum(ctx *context, th *swThread, smtActive float64) (uint64, bool) {
+	cfg := m.cfg
+	mach := th.machine
+	prog := m.w.Tasks[m.taskIndex(th.task)].Prog
+
+	issueCPI := cfg.BaseCPI
+	if smtActive > 1 {
+		issueCPI *= cfg.SMTIssueShare
+	}
+
+	var busy, memCy, frontCy float64
+	executed := 0
+	finished := false
+	for executed < cfg.QuantumInstr {
+		if mach.Halted {
+			finished = true
+			break
+		}
+		pc := mach.PC
+		in := prog.Insts[pc]
+		// Frontend: I-cache + branch prediction.
+		fetchAddr := uint64(0x7000_0000) + uint64(th.task)<<14 + uint64(pc)*4
+		if !m.l1i[ctx.core].Access(fetchAddr, false) {
+			m.l1i[ctx.core].Fill(fetchAddr, false)
+			frontCy += float64(cfg.L2Lat)
+		}
+		if in.Op.IsBranch() {
+			m.branches++
+			key := fetchAddr
+			// Predict with a 1-bit per-pc predictor.
+			predTaken, seen := m.predictor[key]
+			if err := mach.Step(prog); err != nil {
+				panic(fmt.Sprintf("conv: %v", err))
+			}
+			actualTaken := mach.PC != pc+1
+			if seen && predTaken != actualTaken || !seen && actualTaken {
+				m.mispredicts++
+				frontCy += float64(cfg.MispredictPenalty)
+			}
+			m.predictor[key] = actualTaken
+			busy += issueCPI
+			executed++
+			continue
+		}
+		if in.Op.IsMem() {
+			addr := isa.EffAddr(in, &mach.Regs)
+			exposed := m.access(ctx.core, addr, in.Op.IsStore(), ctx.clock)
+			if in.Op.IsStore() {
+				exposed = 0 // store buffers hide store latency
+			}
+			memCy += exposed
+		}
+		if err := mach.Step(prog); err != nil {
+			panic(fmt.Sprintf("conv: %v", err))
+		}
+		busy += issueCPI
+		executed++
+	}
+	if mach.Halted {
+		finished = true
+	}
+	m.instructions += uint64(executed)
+	m.busyCycles += uint64(busy)
+	m.memStall += uint64(memCy)
+	m.frontStall += uint64(frontCy)
+	return uint64(busy + memCy + frontCy), finished
+}
+
+func (m *machineState) taskIndex(id int) int {
+	for i := range m.w.Tasks {
+		if m.w.Tasks[i].ID == id {
+			return i
+		}
+	}
+	panic("conv: unknown task id")
+}
+
+func (m *machineState) result(total uint64, taskDone map[int]uint64) Result {
+	r := Result{
+		Cycles:       total,
+		Instructions: m.instructions,
+		Seconds:      float64(total) / m.cfg.ClockHz,
+		TaskDone:     taskDone,
+	}
+	denom := float64(m.busyCycles + m.memStall + m.frontStall + m.schedCycles)
+	if denom > 0 {
+		r.IdleRatio = float64(m.memStall+m.schedCycles) / denom
+		r.StarveRatio = float64(m.frontStall) / denom
+	}
+	r.L1Miss = stats.Ratio(m.missL1, m.accL1)
+	r.L2Miss = stats.Ratio(m.missL2, m.accL2)
+	r.LLCMiss = stats.Ratio(m.missLLC, m.accLLC)
+	if m.hitCnt[0] > 0 {
+		r.L1AvgLat = float64(m.latSum[0]) / float64(m.hitCnt[0])
+	}
+	// Average latency *observed at* each level includes the deeper levels
+	// it misses to, weighted by continuation.
+	if m.accL2 > 0 {
+		r.L2AvgLat = float64(m.latSum[1]+m.latSum[2]+m.latSum[3]) / float64(m.accL2)
+	}
+	if m.accLLC > 0 {
+		r.LLCLat = float64(m.latSum[2]+m.latSum[3]) / float64(m.accLLC)
+	}
+	r.DRAMBytes = m.dramBytes
+	if total > 0 {
+		r.DRAMUtil = float64(m.dramBytes) / (m.cfg.DRAMBytesPerCycle * float64(total))
+	}
+	r.Mispredict = stats.Ratio(m.mispredicts, m.branches)
+	return r
+}

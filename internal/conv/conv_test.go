@@ -1,0 +1,118 @@
+package conv
+
+import (
+	"testing"
+
+	"smarco/internal/kernels"
+)
+
+func wl(t *testing.T, name string, tasks, scale int) *kernels.Workload {
+	t.Helper()
+	return kernels.MustNew(name, kernels.Config{Seed: 17, Tasks: tasks, Scale: scale})
+}
+
+func TestRunCompletesAndVerifies(t *testing.T) {
+	for _, name := range kernels.Names {
+		w := wl(t, name, 8, 0)
+		res := Run(XeonE78890V4(), w, 8)
+		if res.Cycles == 0 || res.Instructions == 0 {
+			t.Fatalf("%s: empty result %+v", name, res)
+		}
+		if len(res.TaskDone) != 8 {
+			t.Fatalf("%s: %d tasks completed", name, len(res.TaskDone))
+		}
+		if err := w.Check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMoreThreadsWithinHWContextsSpeedUp(t *testing.T) {
+	cycles := func(n int) uint64 {
+		w := wl(t, "kmp", 32, 16384)
+		return Run(XeonE78890V4(), w, n).Cycles
+	}
+	one := cycles(1)
+	sixteen := cycles(16)
+	if sixteen >= one {
+		t.Fatalf("16 threads (%d cycles) not faster than 1 (%d)", sixteen, one)
+	}
+	if float64(one)/float64(sixteen) < 4 {
+		t.Fatalf("speedup only %.1fx at 16 threads", float64(one)/float64(sixteen))
+	}
+}
+
+// TestSchedulingCollapseBeyondContexts reproduces the Fig. 23 right side:
+// throughput stops improving (and degrades) when software threads far
+// exceed hardware contexts.
+func TestSchedulingCollapseBeyondContexts(t *testing.T) {
+	cycles := func(n int) uint64 {
+		w := wl(t, "kmp", 64, 512)
+		return Run(XeonE78890V4(), w, n).Cycles
+	}
+	at48 := cycles(48)
+	at512 := cycles(512)
+	if at512 <= at48 {
+		t.Fatalf("oversubscription should hurt: 48 threads %d, 512 threads %d", at48, at512)
+	}
+}
+
+// TestIdleRatioGrowsWithThreads is Fig. 1a: with rising concurrency the
+// memory system saturates and idle ratio climbs.
+func TestIdleRatioGrowsWithThreads(t *testing.T) {
+	idle := func(n int) float64 {
+		w := wl(t, "terasort", 64, 128)
+		return Run(XeonE78890V4(), w, n).IdleRatio
+	}
+	low := idle(2)
+	high := idle(64)
+	if high <= low {
+		t.Fatalf("idle ratio did not grow: %v -> %v", low, high)
+	}
+}
+
+// TestCacheMissCascade is Fig. 1c: HTC working sets miss increasingly in
+// deeper levels.
+func TestCacheMissCascade(t *testing.T) {
+	w := wl(t, "kmp", 32, 8192) // 8 KB of fresh text per task: cold lines
+	res := Run(XeonE78890V4(), w, 32)
+	if res.L1Miss <= 0 {
+		t.Fatal("no L1 misses")
+	}
+	if res.L2AvgLat <= res.L1AvgLat {
+		t.Fatalf("deeper levels should cost more: L1 %.1f, L2 %.1f", res.L1AvgLat, res.L2AvgLat)
+	}
+	if res.DRAMBytes == 0 {
+		t.Fatal("no DRAM traffic despite large working set")
+	}
+}
+
+func TestMispredictionsOnDataDependentBranches(t *testing.T) {
+	w := wl(t, "kmp", 8, 2048) // data-dependent matching branches
+	res := Run(XeonE78890V4(), w, 8)
+	if res.Mispredict <= 0.01 {
+		t.Fatalf("mispredict ratio %.3f implausibly low for KMP", res.Mispredict)
+	}
+	if res.Mispredict > 0.6 {
+		t.Fatalf("mispredict ratio %.3f implausibly high", res.Mispredict)
+	}
+}
+
+func TestSecondsUsesClock(t *testing.T) {
+	w := wl(t, "search", 4, 16)
+	res := Run(XeonE78890V4(), w, 4)
+	want := float64(res.Cycles) / 2.2e9
+	if res.Seconds != want {
+		t.Fatalf("seconds = %v, want %v", res.Seconds, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		w := wl(t, "rnc", 16, 0)
+		return Run(XeonE78890V4(), w, 16).Cycles
+	}
+	if run() != run() {
+		t.Fatal("conv model is nondeterministic")
+	}
+}

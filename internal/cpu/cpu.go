@@ -1,0 +1,467 @@
+// Package cpu models SmarCo's Thread Core Group (TCG, §3.1): a 4-wide
+// in-order core organised as four hardware lanes, each hosting a pair of
+// threads (8 living, 4 running). When a running thread misses in SPM or
+// D-cache its friend thread starts immediately — the in-pair interleaving
+// that hides memory latency for the similarly-behaving threads of HTC
+// applications (§3.1.1). The core also implements the shared-instruction-
+// segment prefetch (§3.1.2), a per-thread store buffer with forwarding, and
+// the SPM DMA engine (§3.5.1).
+package cpu
+
+import (
+	"fmt"
+
+	"smarco/internal/cache"
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+	"smarco/internal/spm"
+	"smarco/internal/stats"
+)
+
+// Config parameterizes a TCG core.
+type Config struct {
+	// Lanes is the number of issue lanes (4 in the paper: 4-wide issue).
+	Lanes int
+	// ThreadsPerLane is the in-pair depth (2 in the paper: 8 threads
+	// living, 4 running). 1 disables in-pair interleaving.
+	ThreadsPerLane int
+	// BranchPenalty is the taken-branch bubble in cycles (8-stage
+	// in-order pipeline).
+	BranchPenalty int
+	// StoreCredits bounds posted writes in flight per thread.
+	StoreCredits int
+	// ICache and DCache geometry.
+	ICache cache.Config
+	DCache cache.Config
+	// Cached selects D-cache data access (ablation mode). The default
+	// (false) is SmarCo's direct small-granularity access path feeding
+	// the MACT. See DESIGN.md §4.
+	Cached bool
+	// SharedISeg enables prefetching the whole instruction segment into
+	// SPM when a task starts, after which fetches never miss (§3.1.2).
+	SharedISeg bool
+	// SPMLatency is the scratchpad access latency in cycles.
+	SPMLatency int
+	// Prefetch enables the sequential next-line prefetcher (§7 future
+	// work: "data penetration and prefetch from memory to SPM").
+	Prefetch bool
+	// IFetchMissLatency is unused when fetches go through the NoC; kept
+	// for reduced standalone models.
+	MemCores int // total cores on the chip, for SPM address decoding
+}
+
+// DefaultConfig is the paper's TCG configuration.
+func DefaultConfig() Config {
+	return Config{
+		Lanes:          4,
+		ThreadsPerLane: 2,
+		BranchPenalty:  3,
+		StoreCredits:   8,
+		ICache:         cache.L1I16K(),
+		DCache:         cache.L1D16K(),
+		SharedISeg:     true,
+		SPMLatency:     spm.HitLatency,
+		MemCores:       256,
+	}
+}
+
+// ThreadState tracks a hardware thread slot.
+type ThreadState uint8
+
+// Thread states. Running is implicit: the lane's current Ready thread.
+const (
+	TIdle      ThreadState = iota // no task assigned
+	TStaging                      // dataset DMA into SPM in progress
+	TReady                        // can issue
+	TWaitMem                      // blocked on a load/remote access
+	TWaitIF                       // blocked on instruction fetch
+	TWaitStore                    // blocked on store credit / fence
+	TDraining                     // halted; staged outputs writing back
+	THalted                       // task finished, awaiting reap
+)
+
+// StageRegion marks one argument's memory region for SPM staging: it is
+// DMA-copied into the scratchpad before the task starts and, when Out is
+// set, written back after it halts (§3.6 dataset placement).
+type StageRegion struct {
+	Arg   int
+	Bytes int
+	Out   bool
+}
+
+// Work is one task assignment for a thread slot.
+type Work struct {
+	TaskID   int
+	Prog     *isa.Program
+	Args     [8]int64
+	Stage    []StageRegion
+	Priority bool
+	Deadline uint64
+	// ReleaseCycle is when the task became eligible to run.
+	ReleaseCycle uint64
+	// EstCycles is the scheduler's execution-time estimate, used for
+	// laxity computation (laxity = deadline - now - estimate).
+	EstCycles uint64
+	// CodeBase is the DRAM address where the program's code segment lives
+	// (for instruction-fetch traffic).
+	CodeBase uint64
+}
+
+// Completion reports a finished task to the scheduler.
+type Completion struct {
+	Core   int
+	Slot   int
+	TaskID int
+	Cycle  uint64
+}
+
+type storeEntry struct {
+	id   uint64
+	addr uint64
+	size int
+	data uint64
+}
+
+type thread struct {
+	slot     int
+	state    ThreadState
+	regs     isa.Regs
+	pc       int
+	work     Work
+	busy     int // remaining exec-latency stall cycles
+	waitID   uint64
+	loadInst isa.Inst // in-flight load for writeback
+	stores   []storeEntry
+	assigned uint64 // cycle the task was installed
+	// Staging: remaining DMA transfers before start / after halt, and the
+	// original DRAM addresses of staged regions for writeback.
+	stagePend int
+	stageOrig [8]int64
+	// pf is the sequential prefetcher's per-thread state.
+	pf prefetchState
+}
+
+type lane struct {
+	threads []*thread
+	current int
+}
+
+// isegState tracks shared-instruction-segment prefetch per code base.
+type isegState struct {
+	resident   bool
+	inFlight   int
+	nextOffset int
+	totalBytes int
+}
+
+// Stats aggregates one core's counters.
+type Stats struct {
+	Cycles         stats.Counter
+	Issued         stats.Counter
+	StagedTasks    stats.Counter
+	StageBytes     stats.Counter
+	MemOps         stats.Counter
+	Loads          stats.Counter
+	Stores         stats.Counter
+	SPMAccesses    stats.Counter
+	RemoteSPM      stats.Counter
+	IFMisses       stats.Counter
+	DMisses        stats.Counter // D-cache misses (cached mode)
+	LaneIdle       stats.Counter // lane-cycles with no ready thread
+	LaneBusy       stats.Counter // lane-cycles stalled on exec latency
+	StoreFwd       stats.Counter // loads forwarded from the store buffer
+	StoreStall     stats.Counter // cycles threads waited on store drain
+	PrefetchIssued stats.Counter
+	PrefetchHits   stats.Counter
+	LoadLat        stats.Histogram
+	TaskLat        stats.Histogram // release-to-completion latency
+}
+
+// IPC returns issued instructions per cycle.
+func (s *Stats) IPC() float64 { return stats.Ratio(s.Issued.Value(), s.Cycles.Value()) }
+
+// Core is one TCG core.
+type Core struct {
+	ID   int
+	Node noc.NodeID
+	cfg  Config
+	key  uint64
+
+	inject *sim.Port[*noc.Packet] // toward the sub-ring router
+	eject  *sim.Port[*noc.Packet] // from the sub-ring router
+
+	workPort *sim.Port[Work]
+	donePort *sim.Port[Completion] // owned by the sub-scheduler
+
+	SPM    *spm.SPM
+	icache *cache.Cache
+	dcache *cache.Cache
+	store  *mem.Sparse // functional DRAM image (cached mode + SPM staging)
+
+	lanes    []lane
+	threads  []*thread
+	freeSlot []int
+
+	reqSeq       uint64
+	sendSeq      uint64
+	pendLoad     map[uint64]*thread
+	pendStore    map[uint64]*thread // store ack -> owner (for credit/fence)
+	pendIFetch   map[uint64]uint64  // reqID -> code base
+	pendDFill    map[uint64]*thread // cached-mode line fills
+	pendPrefetch map[uint64]*thread
+	loadStart    map[uint64]uint64 // reqID -> issue cycle (latency stats)
+	isegs        map[uint64]*isegState
+	mcFor        func(addr uint64) noc.NodeID
+	dma          dmaEngine
+	outQ         []*noc.Packet // staged packets when inject backpressures
+	Stats        Stats
+}
+
+// New builds a core. inject/eject are the ports from attaching the core to
+// its sub-ring; mcFor maps a DRAM address to its memory controller node.
+func New(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Packet],
+	donePort *sim.Port[Completion], mcFor func(addr uint64) noc.NodeID, key uint64) *Core {
+	if cfg.Lanes <= 0 || cfg.ThreadsPerLane <= 0 {
+		panic("cpu: invalid lane configuration")
+	}
+	c := &Core{
+		ID:           id,
+		Node:         noc.CoreNode(id),
+		cfg:          cfg,
+		key:          key,
+		inject:       inject,
+		eject:        eject,
+		workPort:     sim.NewPort[Work](0),
+		donePort:     donePort,
+		SPM:          spm.New(id),
+		icache:       cache.New(cfg.ICache),
+		store:        store,
+		pendLoad:     map[uint64]*thread{},
+		pendStore:    map[uint64]*thread{},
+		pendIFetch:   map[uint64]uint64{},
+		pendDFill:    map[uint64]*thread{},
+		pendPrefetch: map[uint64]*thread{},
+		loadStart:    map[uint64]uint64{},
+		isegs:        map[uint64]*isegState{},
+		mcFor:        mcFor,
+	}
+	if cfg.Cached {
+		c.dcache = cache.New(cfg.DCache)
+	}
+	c.lanes = make([]lane, cfg.Lanes)
+	for l := range c.lanes {
+		for t := 0; t < cfg.ThreadsPerLane; t++ {
+			th := &thread{slot: l*cfg.ThreadsPerLane + t, state: TIdle}
+			c.threads = append(c.threads, th)
+			c.lanes[l].threads = append(c.lanes[l].threads, th)
+		}
+	}
+	// Hand out slots lane-major: tasks spread across lanes before pairing
+	// up, so k <= Lanes threads run fully in parallel and only beyond that
+	// do friend threads share a lane (Fig. 17's two regions).
+	for t := 0; t < cfg.ThreadsPerLane; t++ {
+		for l := 0; l < cfg.Lanes; l++ {
+			c.freeSlot = append(c.freeSlot, l*cfg.ThreadsPerLane+t)
+		}
+	}
+	c.dma.core = c
+	return c
+}
+
+// WorkPort returns the port the scheduler uses to assign tasks.
+func (c *Core) WorkPort() *sim.Port[Work] { return c.workPort }
+
+// Ports returns the ports owned by the core for engine registration.
+func (c *Core) Ports() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{c.workPort}
+}
+
+// ThreadSlots returns the number of hardware thread contexts.
+func (c *Core) ThreadSlots() int { return c.cfg.Lanes * c.cfg.ThreadsPerLane }
+
+// FreeSlots returns how many thread contexts are unassigned.
+func (c *Core) FreeSlots() int { return len(c.freeSlot) }
+
+// Idle reports whether every thread slot is idle and no traffic is pending.
+func (c *Core) Idle() bool {
+	for _, th := range c.threads {
+		if th.state != TIdle {
+			return false
+		}
+	}
+	return len(c.outQ) == 0 && len(c.pendLoad) == 0 && len(c.pendStore) == 0 && c.dma.idle()
+}
+
+// Commit implements sim.Ticker.
+func (c *Core) Commit(uint64) {}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	c.Stats.Cycles.Inc()
+	c.drainOutQ()
+	c.acceptWork(now)
+	c.handlePackets(now)
+	c.dma.tick(now)
+	for l := range c.lanes {
+		c.tickLane(now, &c.lanes[l])
+	}
+	c.reapHalted(now)
+}
+
+// send stages a packet toward the sub-ring, buffering under backpressure.
+func (c *Core) send(p *noc.Packet) {
+	c.outQ = append(c.outQ, p)
+	c.drainOutQ()
+}
+
+func (c *Core) drainOutQ() {
+	for len(c.outQ) > 0 && c.inject.CanAccept(1) {
+		c.sendSeq++
+		c.inject.Send(c.key, c.sendSeq, c.outQ[0])
+		c.outQ = c.outQ[1:]
+	}
+}
+
+func (c *Core) nextReqID() uint64 {
+	c.reqSeq++
+	return c.reqSeq
+}
+
+// acceptWork installs newly assigned tasks into free thread slots.
+func (c *Core) acceptWork(now uint64) {
+	for {
+		if len(c.freeSlot) == 0 {
+			break
+		}
+		w, ok := c.workPort.Pop()
+		if !ok {
+			break
+		}
+		slot := c.freeSlot[0]
+		c.freeSlot = c.freeSlot[1:]
+		th := c.threads[slot]
+		*th = thread{slot: slot, state: TReady, work: w, assigned: now}
+		for i, v := range w.Args {
+			th.regs.Set(uint8(10+i), v)
+		}
+		c.stageIn(now, th)
+		c.prepareISeg(now, w)
+	}
+}
+
+// slotSPMBytes is each thread slot's share of the SPM data space for
+// staged datasets.
+func (c *Core) slotSPMBytes() int {
+	return spm.DataBytes / c.ThreadSlots() &^ 63
+}
+
+// stageIn starts the dataset DMA for a task with stage regions. Regions
+// that do not fit the slot's SPM share leave the task streaming from DRAM.
+func (c *Core) stageIn(now uint64, th *thread) {
+	if len(th.work.Stage) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range th.work.Stage {
+		total += (r.Bytes + 63) &^ 63
+	}
+	if total > c.slotSPMBytes() {
+		return // dataset exceeds the SPM share: stream (§3.6 fallback)
+	}
+	c.Stats.StagedTasks.Inc()
+	base := uint64(th.slot * c.slotSPMBytes())
+	off := base
+	th.state = TStaging
+	for _, r := range th.work.Stage {
+		dramAddr := uint64(th.work.Args[r.Arg])
+		spmAddr := spm.AddrOf(c.ID, off)
+		th.stageOrig[r.Arg] = th.work.Args[r.Arg]
+		th.regs.Set(uint8(10+r.Arg), int64(spmAddr))
+		th.stagePend++
+		c.Stats.StageBytes.Add(uint64(r.Bytes))
+		c.dma.enqueue(spm.DMARequest{Src: dramAddr, Dst: spmAddr, Len: uint64(r.Bytes)},
+			func(uint64) {
+				th.stagePend--
+				if th.stagePend == 0 && th.state == TStaging {
+					th.state = TReady
+				}
+			})
+		off += uint64((r.Bytes + 63) &^ 63)
+	}
+}
+
+// stageOut writes staged Out regions back to DRAM after HALT. It returns
+// whether any writeback was started (thread drains before completing).
+func (c *Core) stageOut(now uint64, th *thread) bool {
+	started := false
+	for _, r := range th.work.Stage {
+		if !r.Out || th.stageOrig[r.Arg] == 0 {
+			continue
+		}
+		spmAddr := uint64(th.regs.Get(uint8(10 + r.Arg)))
+		th.stagePend++
+		started = true
+		c.Stats.StageBytes.Add(uint64(r.Bytes))
+		c.dma.enqueue(spm.DMARequest{Src: spmAddr, Dst: uint64(th.stageOrig[r.Arg]), Len: uint64(r.Bytes)},
+			func(uint64) {
+				th.stagePend--
+				if th.stagePend == 0 && th.state == TDraining {
+					th.state = THalted
+				}
+			})
+	}
+	return started
+}
+
+// prepareISeg starts the shared-instruction-segment prefetch for a task's
+// program if it is not already resident or in flight.
+func (c *Core) prepareISeg(now uint64, w Work) {
+	if !c.cfg.SharedISeg {
+		return
+	}
+	if _, ok := c.isegs[w.CodeBase]; ok {
+		return
+	}
+	st := &isegState{totalBytes: w.Prog.Len() * 4}
+	if st.totalBytes == 0 {
+		st.resident = true
+	}
+	c.isegs[w.CodeBase] = st
+	c.pumpISeg(now, w.CodeBase, st)
+}
+
+// pumpISeg issues up to a few outstanding prefetch line reads.
+func (c *Core) pumpISeg(now uint64, base uint64, st *isegState) {
+	const maxOutstanding = 4
+	for !st.resident && st.inFlight < maxOutstanding && st.nextOffset < st.totalBytes {
+		id := c.nextReqID()
+		addr := base + uint64(st.nextOffset)
+		st.nextOffset += 64
+		st.inFlight++
+		c.pendIFetch[id] = base
+		req := noc.MemReq{ID: id, Addr: addr, Size: 64, IFetch: true}
+		c.send(noc.NewMemReqPacket(id, c.Node, c.mcFor(addr), req, false, false, now))
+	}
+}
+
+// reapHalted reports completed tasks and frees their slots.
+func (c *Core) reapHalted(now uint64) {
+	for _, th := range c.threads {
+		if th.state != THalted {
+			continue
+		}
+		if len(th.stores) > 0 {
+			continue // wait for posted writes to retire before reporting
+		}
+		comp := Completion{Core: c.ID, Slot: th.slot, TaskID: th.work.TaskID, Cycle: now}
+		c.sendSeq++
+		c.donePort.Send(c.key, c.sendSeq, comp)
+		c.Stats.TaskLat.Observe(now - th.assigned)
+		th.state = TIdle
+		c.freeSlot = append(c.freeSlot, th.slot)
+	}
+}
+
+func (c *Core) String() string { return fmt.Sprintf("core%d", c.ID) }

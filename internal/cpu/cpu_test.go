@@ -1,0 +1,491 @@
+package cpu
+
+import (
+	"testing"
+
+	"smarco/internal/dram"
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+	"smarco/internal/spm"
+)
+
+// rig wires N cores and one memory controller on a small ring.
+type rig struct {
+	eng   *sim.Engine
+	cores []*Core
+	ctl   *dram.Controller
+	store *mem.Sparse
+	done  *sim.Port[Completion]
+}
+
+func newRig(t *testing.T, nCores int, cfg Config) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(), store: mem.NewSparse()}
+	r.done = sim.NewPort[Completion](0)
+	ring := noc.NewRing("t", nCores+1, noc.DefaultSubRing(), 10_000)
+	mcFor := func(addr uint64) noc.NodeID { return noc.MCNode(0) }
+	cfg.MemCores = nCores
+	for i := 0; i < nCores; i++ {
+		inj, ej := ring.Attach(i, noc.CoreNode(i))
+		core := New(i, cfg, r.store, inj, ej, r.done, mcFor, uint64(100+i))
+		r.cores = append(r.cores, core)
+		r.eng.Add(core)
+		for _, p := range core.Ports() {
+			r.eng.AddPort(p)
+		}
+	}
+	mcInj, mcEj := ring.Attach(nCores, noc.MCNode(0))
+	r.ctl = dram.New(noc.MCNode(0), dram.DDR4(), r.store, mcInj, mcEj, 99)
+	r.eng.Add(r.ctl)
+	for _, rt := range ring.Routers() {
+		r.eng.Add(rt)
+	}
+	for _, p := range ring.Ports() {
+		r.eng.AddPort(p)
+	}
+	r.eng.AddPort(r.done)
+	return r
+}
+
+// runUntilDone steps until n completions arrive or the budget expires.
+func (r *rig) runUntilDone(t *testing.T, n int, budget int) []Completion {
+	t.Helper()
+	var comps []Completion
+	for i := 0; i < budget; i++ {
+		r.eng.Step()
+		comps = r.done.DrainInto(comps, 0)
+		if len(comps) >= n {
+			return comps
+		}
+	}
+	t.Fatalf("only %d of %d tasks completed within %d cycles", len(comps), n, budget)
+	return nil
+}
+
+func assign(r *rig, core int, w Work) {
+	r.cores[core].WorkPort().Send(0, uint64(w.TaskID), w)
+}
+
+const codeBase = 0x4000_0000
+
+func testCfg() Config {
+	c := DefaultConfig()
+	c.SharedISeg = true
+	return c
+}
+
+func TestCoreRunsProgramToCompletion(t *testing.T) {
+	prog := isa.MustAssemble("sum", `
+		li   t0, 0
+		li   t1, 0
+	loop:
+		add  t1, t1, t0
+		addi t0, t0, 1
+		li   t2, 11
+		blt  t0, t2, loop
+		sd   t1, 0(a0)
+		halt
+	`)
+	r := newRig(t, 1, testCfg())
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{0x9000}, CodeBase: codeBase})
+	comps := r.runUntilDone(t, 1, 20_000)
+	if comps[0].TaskID != 1 {
+		t.Fatalf("completion = %+v", comps[0])
+	}
+	if got := r.store.ReadUint64(0x9000); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestCoreLoadFromDRAM(t *testing.T) {
+	prog := isa.MustAssemble("ldst", `
+		ld  t0, 0(a0)
+		addi t0, t0, 5
+		sd  t0, 8(a0)
+		halt
+	`)
+	r := newRig(t, 1, testCfg())
+	r.store.WriteUint64(0x8000, 37)
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{0x8000}, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 20_000)
+	if got := r.store.ReadUint64(0x8008); got != 42 {
+		t.Fatalf("result = %d, want 42", got)
+	}
+}
+
+func TestStoreBufferForwarding(t *testing.T) {
+	// Store then immediately load the same address: must forward from the
+	// store buffer, not read stale memory.
+	prog := isa.MustAssemble("fwd", `
+		li  t0, 123
+		sd  t0, 0(a0)
+		ld  t1, 0(a0)
+		sd  t1, 8(a0)
+		halt
+	`)
+	r := newRig(t, 1, testCfg())
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{0x8000}, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 20_000)
+	if got := r.store.ReadUint64(0x8008); got != 123 {
+		t.Fatalf("forwarded value = %d, want 123", got)
+	}
+	if r.cores[0].Stats.StoreFwd.Value() == 0 {
+		t.Fatal("no store-buffer forward recorded")
+	}
+}
+
+func TestPartialOverlapStallsUntilDrain(t *testing.T) {
+	// 8-byte store, 1-byte load inside it is covered (forward); but a
+	// 8-byte load overlapping a 1-byte store must stall and then read the
+	// merged memory value.
+	prog := isa.MustAssemble("overlap", `
+		li  t0, -1
+		sd  t0, 0(a0)       # covers [0,8)
+		li  t1, 0
+		sb  t1, 3(a0)       # 1-byte store inside
+		ld  t2, 0(a0)       # overlaps both: must drain
+		sd  t2, 8(a0)
+		halt
+	`)
+	r := newRig(t, 1, testCfg())
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{0x8000}, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 40_000)
+	want := uint64(0xFFFFFFFF00FFFFFF)
+	if got := r.store.ReadUint64(0x8008); got != want {
+		t.Fatalf("drained value = %#x, want %#x", got, want)
+	}
+	if r.cores[0].Stats.StoreStall.Value() == 0 {
+		t.Fatal("no store stall recorded")
+	}
+}
+
+func TestLocalSPMAccess(t *testing.T) {
+	prog := isa.MustAssemble("spmrw", `
+		li  t0, 99
+		sd  t0, 0(a0)       # a0 points into local SPM
+		ld  t1, 0(a0)
+		sd  t1, 0(a1)       # copy to DRAM for checking
+		halt
+	`)
+	r := newRig(t, 1, testCfg())
+	spmAddr := spm.AddrOf(0, 128)
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{int64(spmAddr), 0x8000}, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 20_000)
+	if got := r.store.ReadUint64(0x8000); got != 99 {
+		t.Fatalf("SPM round trip = %d, want 99", got)
+	}
+	if r.cores[0].Stats.SPMAccesses.Value() < 2 {
+		t.Fatal("SPM accesses not recorded")
+	}
+	if got := r.cores[0].SPM.Read(128, 8); got != 99 {
+		t.Fatalf("SPM content = %d", got)
+	}
+}
+
+func TestRemoteSPMAccess(t *testing.T) {
+	prog := isa.MustAssemble("remote", `
+		li  t0, 314
+		sd  t0, 0(a0)       # a0 points into core 1's SPM
+		ld  t1, 0(a0)
+		sd  t1, 0(a1)
+		halt
+	`)
+	r := newRig(t, 2, testCfg())
+	remote := spm.AddrOf(1, 64)
+	assign(r, 0, Work{TaskID: 1, Prog: prog, Args: [8]int64{int64(remote), 0x8000}, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 40_000)
+	if got := r.store.ReadUint64(0x8000); got != 314 {
+		t.Fatalf("remote SPM round trip = %d, want 314", got)
+	}
+	if got := r.cores[1].SPM.Read(64, 8); got != 314 {
+		t.Fatalf("remote SPM content = %d", got)
+	}
+	if r.cores[0].Stats.RemoteSPM.Value() == 0 {
+		t.Fatal("remote SPM accesses not recorded")
+	}
+}
+
+// dmaProgram programs the SPM DMA registers and spins on completion.
+func dmaProgram() *isa.Program {
+	return isa.MustAssemble("dma", `
+		# a0 = ctrl base, a1 = src, a2 = dst, a3 = len
+		sd  a1, 0(a0)
+		sd  a2, 8(a0)
+		sd  a3, 16(a0)
+		li  t0, 1
+		sd  t0, 24(a0)
+	poll:
+		ld  t1, 24(a0)
+		bnez t1, poll
+		halt
+	`)
+}
+
+func TestDMADramToSPM(t *testing.T) {
+	r := newRig(t, 1, testCfg())
+	for i := 0; i < 32; i++ {
+		r.store.WriteUint64(0x8000+uint64(i)*8, uint64(i)*3)
+	}
+	ctrl := spm.CtrlBase(0)
+	assign(r, 0, Work{TaskID: 1, Prog: dmaProgram(), CodeBase: codeBase,
+		Args: [8]int64{int64(ctrl), 0x8000, int64(spm.AddrOf(0, 0)), 256}})
+	r.runUntilDone(t, 1, 50_000)
+	for i := 0; i < 32; i++ {
+		if got := r.cores[0].SPM.Read(uint64(i)*8, 8); got != uint64(i)*3 {
+			t.Fatalf("SPM[%d] = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestDMASPMToDram(t *testing.T) {
+	r := newRig(t, 1, testCfg())
+	for i := 0; i < 16; i++ {
+		r.cores[0].SPM.Write(uint64(i)*8, 8, uint64(i)+100)
+	}
+	ctrl := spm.CtrlBase(0)
+	assign(r, 0, Work{TaskID: 1, Prog: dmaProgram(), CodeBase: codeBase,
+		Args: [8]int64{int64(ctrl), int64(spm.AddrOf(0, 0)), 0xA000, 128}})
+	r.runUntilDone(t, 1, 50_000)
+	for i := 0; i < 16; i++ {
+		if got := r.store.ReadUint64(0xA000 + uint64(i)*8); got != uint64(i)+100 {
+			t.Fatalf("DRAM[%d] = %d, want %d", i, got, i+100)
+		}
+	}
+}
+
+func TestDMASPMToRemoteSPM(t *testing.T) {
+	r := newRig(t, 2, testCfg())
+	for i := 0; i < 8; i++ {
+		r.cores[0].SPM.Write(uint64(i)*8, 8, uint64(i)+7)
+	}
+	ctrl := spm.CtrlBase(0)
+	assign(r, 0, Work{TaskID: 1, Prog: dmaProgram(), CodeBase: codeBase,
+		Args: [8]int64{int64(ctrl), int64(spm.AddrOf(0, 0)), int64(spm.AddrOf(1, 512)), 64}})
+	r.runUntilDone(t, 1, 50_000)
+	for i := 0; i < 8; i++ {
+		if got := r.cores[1].SPM.Read(512+uint64(i)*8, 8); got != uint64(i)+7 {
+			t.Fatalf("remote SPM[%d] = %d, want %d", i, got, i+7)
+		}
+	}
+}
+
+// memHeavy builds a pointer-chase-free but memory-heavy loop: each
+// iteration loads from DRAM (always a miss in direct mode).
+func memHeavy() *isa.Program {
+	return isa.MustAssemble("memheavy", `
+		li  t0, 0
+		li  t2, 0
+	loop:
+		slli t1, t0, 3
+		add  t1, t1, a0
+		ld   t3, 0(t1)
+		add  t2, t2, t3
+		addi t0, t0, 1
+		blt  t0, a1, loop
+		sd   t2, 0(a2)
+		halt
+	`)
+}
+
+// TestInPairThreadsHideLatency is Fig. 17's mechanism: two threads on one
+// lane finish two memory-bound tasks in much less than twice the time of
+// one, because the friend thread runs during the other's misses.
+func TestInPairThreadsHideLatency(t *testing.T) {
+	mk := func() (*rig, Work, Work) {
+		r := newRig(t, 1, testCfg())
+		// The arrays are offset by an odd number of 64-byte lines so the
+		// two threads' sequential accesses never collide on a DRAM bank.
+		for i := 0; i < 64; i++ {
+			r.store.WriteUint64(0x8000+uint64(i)*8, 1)
+			r.store.WriteUint64(0xA040+uint64(i)*8, 1)
+		}
+		w1 := Work{TaskID: 1, Prog: memHeavy(), CodeBase: codeBase,
+			Args: [8]int64{0x8000, 64, 0x9000}}
+		w2 := Work{TaskID: 2, Prog: memHeavy(), CodeBase: codeBase,
+			Args: [8]int64{0xA040, 64, 0x9008}}
+		return r, w1, w2
+	}
+
+	// One thread alone.
+	r1, w1, _ := mk()
+	assign(r1, 0, w1)
+	r1.runUntilDone(t, 1, 100_000)
+	solo := r1.eng.Now()
+
+	// Two in-pair threads (same lane: slots 0 and 1).
+	r2, w3, w4 := mk()
+	assign(r2, 0, w3)
+	assign(r2, 0, w4)
+	r2.runUntilDone(t, 2, 200_000)
+	pair := r2.eng.Now()
+
+	if float64(pair) > 1.5*float64(solo) {
+		t.Fatalf("in-pair threads did not overlap: solo=%d, pair=%d", solo, pair)
+	}
+}
+
+func TestIPCScalesWithThreads(t *testing.T) {
+	// Compute-bound kernel: IPC should scale with threads up to the lane
+	// count (4), the Fig. 17 left region.
+	compute := isa.MustAssemble("alu", `
+		li  t0, 0
+		li  t1, 800
+	loop:
+		addi t0, t0, 1
+		xor  t2, t0, t1
+		and  t3, t2, t0
+		blt  t0, t1, loop
+		halt
+	`)
+	ipcFor := func(nThreads int) float64 {
+		r := newRig(t, 1, testCfg())
+		for i := 0; i < nThreads; i++ {
+			assign(r, 0, Work{TaskID: i + 1, Prog: compute, CodeBase: codeBase})
+		}
+		r.runUntilDone(t, nThreads, 200_000)
+		return r.cores[0].Stats.IPC()
+	}
+	one := ipcFor(1)
+	four := ipcFor(4)
+	if four < 2.5*one {
+		t.Fatalf("IPC did not scale: 1 thread %.2f, 4 threads %.2f", one, four)
+	}
+}
+
+func TestHaltFreesSlotForNextTask(t *testing.T) {
+	tiny := isa.MustAssemble("tiny", "sd a0, 0(a1)\nhalt")
+	r := newRig(t, 1, testCfg())
+	// 10 tasks on a core with 8 slots: reuse must happen.
+	for i := 0; i < 10; i++ {
+		assign(r, 0, Work{TaskID: i + 1, Prog: tiny, CodeBase: codeBase,
+			Args: [8]int64{int64(i), int64(0x8000 + i*8)}})
+	}
+	r.runUntilDone(t, 10, 100_000)
+	for i := 0; i < 10; i++ {
+		if got := r.store.ReadUint64(uint64(0x8000 + i*8)); got != uint64(i) {
+			t.Fatalf("task %d output = %d", i, got)
+		}
+	}
+	if r.cores[0].FreeSlots() != r.cores[0].ThreadSlots() {
+		t.Fatal("slots not all freed")
+	}
+}
+
+func TestICacheModeFetchMisses(t *testing.T) {
+	cfg := testCfg()
+	cfg.SharedISeg = false
+	prog := isa.MustAssemble("loop", `
+		li t0, 0
+		li t1, 50
+	l:
+		addi t0, t0, 1
+		blt  t0, t1, l
+		halt
+	`)
+	r := newRig(t, 1, cfg)
+	assign(r, 0, Work{TaskID: 1, Prog: prog, CodeBase: codeBase})
+	r.runUntilDone(t, 1, 50_000)
+	if r.cores[0].Stats.IFMisses.Value() == 0 {
+		t.Fatal("expected cold I-cache misses")
+	}
+	// The 6-instruction loop fits one line: exactly one miss expected.
+	if got := r.cores[0].Stats.IFMisses.Value(); got > 2 {
+		t.Fatalf("too many I-misses: %d", got)
+	}
+}
+
+func TestCachedModeReusesLines(t *testing.T) {
+	cfg := testCfg()
+	cfg.Cached = true
+	r := newRig(t, 1, cfg)
+	for i := 0; i < 64; i++ {
+		r.store.WriteUint64(0x8000+uint64(i)*8, 2)
+	}
+	assign(r, 0, Work{TaskID: 1, Prog: memHeavy(), CodeBase: codeBase,
+		Args: [8]int64{0x8000, 64, 0x9000}})
+	r.runUntilDone(t, 1, 100_000)
+	if got := r.store.ReadUint64(0x9000); got != 128 {
+		t.Fatalf("sum = %d, want 128", got)
+	}
+	c := r.cores[0]
+	// 64 sequential 8-byte loads over 8 lines: ~8 misses.
+	if c.Stats.DMisses.Value() > 16 {
+		t.Fatalf("cached mode missed %d times for 8 lines", c.Stats.DMisses.Value())
+	}
+}
+
+func TestIdleReflectsState(t *testing.T) {
+	r := newRig(t, 1, testCfg())
+	if !r.cores[0].Idle() {
+		t.Fatal("fresh core should be idle")
+	}
+	assign(r, 0, Work{TaskID: 1, Prog: isa.MustAssemble("h", "halt"), CodeBase: codeBase})
+	r.runUntilDone(t, 1, 10_000)
+	if !r.cores[0].Idle() {
+		t.Fatal("core should be idle after completion")
+	}
+}
+
+// TestSequentialPrefetcher (§7 future work): streaming loads should hit the
+// prefetch line buffer, cutting runtime versus the same run without it,
+// with identical results.
+func TestSequentialPrefetcher(t *testing.T) {
+	run := func(enable bool) (uint64, uint64, uint64) {
+		cfg := testCfg()
+		cfg.Prefetch = enable
+		r := newRig(t, 1, cfg)
+		for i := 0; i < 256; i++ {
+			r.store.WriteUint64(0x8000+uint64(i)*8, 2)
+		}
+		assign(r, 0, Work{TaskID: 1, Prog: memHeavy(), CodeBase: codeBase,
+			Args: [8]int64{0x8000, 256, 0x9000}})
+		r.runUntilDone(t, 1, 400_000)
+		return r.eng.Now(), r.store.ReadUint64(0x9000), r.cores[0].Stats.PrefetchHits.Value()
+	}
+	offCycles, offSum, _ := run(false)
+	onCycles, onSum, hits := run(true)
+	if offSum != 512 || onSum != 512 {
+		t.Fatalf("sums: off=%d on=%d, want 512", offSum, onSum)
+	}
+	if hits == 0 {
+		t.Fatal("prefetcher never hit")
+	}
+	if onCycles >= offCycles {
+		t.Fatalf("prefetch did not help: %d vs %d cycles", onCycles, offCycles)
+	}
+}
+
+// TestPrefetcherInvalidatedByOwnStore: a store into the prefetched line
+// must not let a later load read stale buffered data.
+func TestPrefetcherInvalidatedByOwnStore(t *testing.T) {
+	prog := isa.MustAssemble("pfinv", `
+		# Stream enough loads to arm the prefetcher and pull in the next
+		# line, then store to that next line and re-load it.
+		li   t0, 0
+	warm:
+		slli t1, t0, 3
+		add  t1, t1, a0
+		ld   t2, 0(t1)
+		addi t0, t0, 1
+		li   t3, 8
+		blt  t0, t3, warm
+		# The prefetcher should now hold the line at a0+64.
+		li   t4, 777
+		sd   t4, 64(a0)      # write into the prefetched line
+	drainwait:
+		ld   t5, 64(a0)      # must see 777, not the stale prefetch
+		sd   t5, 0(a1)
+		halt
+	`)
+	cfg := testCfg()
+	cfg.Prefetch = true
+	r := newRig(t, 1, cfg)
+	assign(r, 0, Work{TaskID: 1, Prog: prog, CodeBase: codeBase,
+		Args: [8]int64{0x8000, 0x9000}})
+	r.runUntilDone(t, 1, 100_000)
+	if got := r.store.ReadUint64(0x9000); got != 777 {
+		t.Fatalf("read stale prefetched data: %d, want 777", got)
+	}
+}

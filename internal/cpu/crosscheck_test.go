@@ -1,0 +1,109 @@
+package cpu
+
+import (
+	"testing"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// genProgram builds a random but always-terminating program: ALU ops over
+// scratch registers, loads/stores within a private window, and forward-only
+// branches, ending with stores of sampled registers for comparison and a
+// HALT. a0 = data window, a1 = output window.
+func genProgram(rng *sim.RNG, length int) *isa.Program {
+	aluOps := []isa.Opcode{
+		isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU,
+	}
+	immOps := []isa.Opcode{isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI}
+	loads := []isa.Opcode{isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW, isa.LWU, isa.LD}
+	stores := []isa.Opcode{isa.SB, isa.SH, isa.SW, isa.SD}
+	branches := []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+	// Scratch registers: t0-t6, s2-s11 (never a0/a1).
+	scratch := []uint8{5, 6, 7, 28, 29, 30, 31, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27}
+	reg := func() uint8 { return scratch[rng.Intn(len(scratch))] }
+
+	var insts []isa.Inst
+	for len(insts) < length {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			insts = append(insts, isa.Inst{Op: aluOps[rng.Intn(len(aluOps))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		case 4, 5:
+			insts = append(insts, isa.Inst{Op: immOps[rng.Intn(len(immOps))], Rd: reg(), Rs1: reg(), Imm: int64(rng.Intn(2048)) - 1024})
+		case 6:
+			// Aligned load within the 256-byte data window (off a0 = r10).
+			op := loads[rng.Intn(len(loads))]
+			sz := op.AccessSize()
+			off := int64(rng.Intn(256/sz)) * int64(sz)
+			insts = append(insts, isa.Inst{Op: op, Rd: reg(), Rs1: 10, Imm: off})
+		case 7:
+			op := stores[rng.Intn(len(stores))]
+			sz := op.AccessSize()
+			off := int64(rng.Intn(256/sz)) * int64(sz)
+			insts = append(insts, isa.Inst{Op: op, Rs1: 10, Rs2: reg(), Imm: off})
+		case 8:
+			// Forward branch skipping 1-3 instructions (always terminates).
+			target := len(insts) + 2 + rng.Intn(3)
+			insts = append(insts, isa.Inst{Op: branches[rng.Intn(len(branches))], Rs1: reg(), Rs2: reg(), Imm: int64(target)})
+		case 9:
+			insts = append(insts, isa.Inst{Op: isa.LI, Rd: reg(), Imm: int64(rng.Uint64())})
+		}
+	}
+	// Patch branches whose target ran past the end.
+	for i := range insts {
+		if insts[i].Op.IsBranch() && insts[i].Imm > int64(length) {
+			insts[i].Imm = int64(length)
+		}
+	}
+	// Epilogue: dump scratch registers to the output window.
+	for i, r := range scratch {
+		insts = append(insts, isa.Inst{Op: isa.SD, Rs1: 11, Rs2: r, Imm: int64(i * 8)})
+	}
+	insts = append(insts, isa.Inst{Op: isa.HALT})
+	return &isa.Program{Name: "fuzz", Insts: insts, Labels: map[string]int{}}
+}
+
+// TestCoreMatchesGoldenInterpreter runs random programs on both the
+// functional machine and the cycle-level core (through the full NoC/DRAM
+// stack) and requires identical memory outcomes.
+func TestCoreMatchesGoldenInterpreter(t *testing.T) {
+	const dataBase, outBase = 0x8000, 0x9000
+	for seed := uint64(1); seed <= 25; seed++ {
+		rng := sim.NewRNG(seed * 77)
+		prog := genProgram(rng, 60+rng.Intn(120))
+		initial := make([]byte, 256)
+		for i := range initial {
+			initial[i] = byte(rng.Uint64())
+		}
+
+		// Golden run.
+		gold := mem.NewSparse()
+		gold.WriteBytes(dataBase, initial)
+		gm := isa.NewMachine(gold)
+		gm.Regs.Set(10, dataBase)
+		gm.Regs.Set(11, outBase)
+		if err := gm.Run(prog, 1_000_000); err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+
+		// Cycle-level run with the same initial image.
+		r := newRig(t, 1, testCfg())
+		r.store.WriteBytes(dataBase, initial)
+		assign(r, 0, Work{TaskID: 1, Prog: prog, CodeBase: codeBase,
+			Args: [8]int64{dataBase, outBase}})
+		r.runUntilDone(t, 1, 400_000)
+
+		for i := 0; i < 17*8; i++ {
+			if got, want := r.store.ByteAt(outBase+uint64(i)), gold.ByteAt(outBase+uint64(i)); got != want {
+				t.Fatalf("seed %d: output byte %d differs: %#x vs %#x", seed, i, got, want)
+			}
+		}
+		for i := 0; i < 256; i++ {
+			if got, want := r.store.ByteAt(dataBase+uint64(i)), gold.ByteAt(dataBase+uint64(i)); got != want {
+				t.Fatalf("seed %d: data byte %d differs: %#x vs %#x", seed, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package cpu
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/noc"
+	"smarco/internal/spm"
+)
+
+// tickLane advances one hardware lane: it picks the lane's running thread
+// (switching to the friend thread when the current one blocked — the
+// in-pair mechanism) and issues at most one instruction.
+func (c *Core) tickLane(now uint64, l *lane) {
+	th := l.threads[l.current]
+	if !runnable(th) {
+		// In-pair switch: the friend thread starts immediately when the
+		// running thread waits on memory (§3.1.1).
+		if next := l.pickRunnable(); next >= 0 {
+			l.current = next
+			th = l.threads[l.current]
+		} else {
+			c.Stats.LaneIdle.Inc()
+			return
+		}
+	}
+	if th.busy > 0 {
+		th.busy--
+		c.Stats.LaneBusy.Inc()
+		return
+	}
+	c.issue(now, th)
+}
+
+func runnable(th *thread) bool { return th.state == TReady }
+
+// pickRunnable returns the index of a Ready thread on the lane, preferring
+// the thread after the current one (fair pairing), or -1.
+func (l *lane) pickRunnable() int {
+	n := len(l.threads)
+	for i := 1; i <= n; i++ {
+		idx := (l.current + i) % n
+		if runnable(l.threads[idx]) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// issue executes one instruction for th, charging timing to the lane.
+func (c *Core) issue(now uint64, th *thread) {
+	prog := th.work.Prog
+	if th.pc < 0 || th.pc >= prog.Len() {
+		panic(fmt.Sprintf("cpu: core%d slot%d pc %d out of range for %q", c.ID, th.slot, th.pc, prog.Name))
+	}
+	// Instruction fetch.
+	if !c.fetch(now, th) {
+		return
+	}
+	in := prog.Insts[th.pc]
+	c.Stats.Issued.Inc()
+	switch {
+	case in.Op == isa.HALT:
+		th.state = THalted
+		if c.stageOut(now, th) {
+			th.state = TDraining
+		}
+	case in.Op.IsBranch():
+		// Static BTFN prediction (backward taken, forward not taken), as
+		// on the ARM11-class pipeline the TCG extends: only mispredicts
+		// pay the pipeline-refill penalty.
+		next, taken := isa.ExecBranch(in, th.pc, &th.regs)
+		predictTaken := in.Op == isa.JAL || in.Op == isa.JALR || int(in.Imm) <= th.pc
+		th.pc = next
+		if taken != predictTaken {
+			th.busy = c.cfg.BranchPenalty
+		}
+	case in.Op.IsLoad():
+		c.Stats.MemOps.Inc()
+		c.Stats.Loads.Inc()
+		c.execLoad(now, th, in)
+	case in.Op.IsStore():
+		c.Stats.MemOps.Inc()
+		c.Stats.Stores.Inc()
+		c.execStore(now, th, in)
+	default:
+		isa.ExecALU(in, &th.regs)
+		th.busy = in.Op.Latency() - 1
+		th.pc++
+	}
+}
+
+// fetch models instruction supply: SPM-resident shared segments always hit;
+// otherwise the I-cache is consulted and misses go to memory.
+func (c *Core) fetch(now uint64, th *thread) bool {
+	base := th.work.CodeBase
+	if c.cfg.SharedISeg {
+		st := c.isegs[base]
+		if st != nil && st.resident {
+			return true
+		}
+		// Segment still streaming into SPM: wait.
+		th.state = TWaitIF
+		if st != nil {
+			c.pumpISeg(now, base, st)
+		}
+		return false
+	}
+	addr := base + uint64(th.pc)*4
+	if c.icache.Access(addr, false) {
+		return true
+	}
+	c.Stats.IFMisses.Inc()
+	id := c.nextReqID()
+	c.pendIFetch[id] = addr // value unused for plain fetches; key presence matters
+	th.state = TWaitIF
+	th.waitID = id
+	lineAddr := c.icache.LineAddr(addr)
+	req := noc.MemReq{ID: id, Addr: lineAddr, Size: 64, IFetch: true, Thread: th.slot}
+	c.send(noc.NewMemReqPacket(id, c.Node, c.mcFor(lineAddr), req, false, th.work.Priority, now))
+	return false
+}
+
+// execLoad routes a load by address: local SPM, remote SPM, or DRAM
+// (cached or direct). Loads first consult the thread's store buffer.
+func (c *Core) execLoad(now uint64, th *thread, in isa.Inst) {
+	addr := isa.EffAddr(in, &th.regs)
+	size := in.Op.AccessSize()
+
+	// Store-buffer disambiguation: forward a fully covering posted store,
+	// stall on partial overlap until the stores drain.
+	if hit, data, conflict := th.searchStores(addr, size); hit {
+		c.Stats.StoreFwd.Inc()
+		th.regs.Set(in.Rd, isa.LoadResult(in.Op, data))
+		th.busy = 0
+		th.pc++
+		return
+	} else if conflict {
+		c.Stats.StoreStall.Inc()
+		th.state = TWaitStore
+		// Re-execute this load once stores drain: pc unchanged.
+		return
+	}
+
+	if spm.IsSPMAddr(addr, c.cfg.MemCores) {
+		c.Stats.SPMAccesses.Inc()
+		owner := spm.CoreOf(addr)
+		if owner == c.ID {
+			raw := c.SPM.Read(spm.OffsetOf(addr), size)
+			th.regs.Set(in.Rd, isa.LoadResult(in.Op, raw))
+			th.busy = c.cfg.SPMLatency - 1
+			th.pc++
+			return
+		}
+		// Remote SPM access travels the NoC (§3.5.1).
+		c.Stats.RemoteSPM.Inc()
+		c.sendLoad(now, th, in, addr, size, noc.CoreNode(owner))
+		return
+	}
+
+	if c.cfg.Cached {
+		c.cachedLoad(now, th, in, addr, size)
+		return
+	}
+	if c.cfg.Prefetch {
+		if c.prefetchLookup(th, in, addr, size) {
+			c.prefetchObserve(now, th, addr, size)
+			return
+		}
+		defer c.prefetchObserve(now, th, addr, size)
+	}
+	// Direct path: the access granularity itself goes on the wire, to be
+	// collected by the sub-ring MACT.
+	c.sendLoad(now, th, in, addr, size, c.mcFor(addr))
+}
+
+// sendLoad issues a blocking load request and parks the thread.
+func (c *Core) sendLoad(now uint64, th *thread, in isa.Inst, addr uint64, size int, dst noc.NodeID) {
+	id := c.nextReqID()
+	c.pendLoad[id] = th
+	c.loadStart[id] = now
+	th.state = TWaitMem
+	th.waitID = id
+	th.loadInst = in
+	req := noc.MemReq{ID: id, Addr: addr, Size: size, Thread: th.slot}
+	c.send(noc.NewMemReqPacket(id, c.Node, dst, req, false, th.work.Priority, now))
+}
+
+// cachedLoad is the D-cache ablation path: functional data comes from the
+// shared store immediately; timing follows hit/miss.
+func (c *Core) cachedLoad(now uint64, th *thread, in isa.Inst, addr uint64, size int) {
+	raw := c.store.Read(addr, size)
+	th.regs.Set(in.Rd, isa.LoadResult(in.Op, raw))
+	if c.dcache.Access(addr, false) {
+		th.busy = c.dcache.HitLatency() - 1
+		th.pc++
+		return
+	}
+	c.Stats.DMisses.Inc()
+	id := c.nextReqID()
+	c.pendDFill[id] = th
+	c.loadStart[id] = now
+	th.state = TWaitMem
+	th.waitID = id
+	th.pc++ // result already written; the fill only charges time
+	lineAddr := c.dcache.LineAddr(addr)
+	req := noc.MemReq{ID: id, Addr: lineAddr, Size: 64, Thread: th.slot}
+	c.send(noc.NewMemReqPacket(id, c.Node, c.mcFor(lineAddr), req, false, th.work.Priority, now))
+}
+
+// execStore routes a store by address, posting DRAM/remote writes.
+func (c *Core) execStore(now uint64, th *thread, in isa.Inst) {
+	addr := isa.EffAddr(in, &th.regs)
+	size := in.Op.AccessSize()
+	data := isa.StoreValue(in, &th.regs)
+
+	if spm.IsSPMAddr(addr, c.cfg.MemCores) {
+		c.Stats.SPMAccesses.Inc()
+		owner := spm.CoreOf(addr)
+		if owner == c.ID {
+			off := spm.OffsetOf(addr)
+			c.SPM.Write(off, size, data)
+			th.busy = c.cfg.SPMLatency - 1
+			th.pc++
+			c.dma.maybeKick(now)
+			return
+		}
+		c.Stats.RemoteSPM.Inc()
+		c.postStore(now, th, addr, size, data, noc.CoreNode(owner))
+		return
+	}
+
+	if c.cfg.Cached {
+		c.store.Write(addr, size, data)
+		if c.dcache.Access(addr, true) {
+			th.busy = c.dcache.HitLatency() - 1
+			th.pc++
+			return
+		}
+		c.Stats.DMisses.Inc()
+		id := c.nextReqID()
+		c.pendDFill[id] = th
+		th.state = TWaitMem
+		th.waitID = id
+		th.pc++
+		lineAddr := c.dcache.LineAddr(addr)
+		req := noc.MemReq{ID: id, Addr: lineAddr, Size: 64, Thread: th.slot}
+		c.send(noc.NewMemReqPacket(id, c.Node, c.mcFor(lineAddr), req, false, th.work.Priority, now))
+		return
+	}
+	c.postStore(now, th, addr, size, data, c.mcFor(addr))
+}
+
+// postStore sends a posted write, tracked in the store buffer until acked.
+func (c *Core) postStore(now uint64, th *thread, addr uint64, size int, data uint64, dst noc.NodeID) {
+	th.prefetchInvalidate(addr, size)
+	if len(th.stores) >= c.cfg.StoreCredits {
+		c.Stats.StoreStall.Inc()
+		th.state = TWaitStore
+		return // re-execute once credits free
+	}
+	id := c.nextReqID()
+	th.stores = append(th.stores, storeEntry{id: id, addr: addr, size: size, data: data})
+	c.pendStore[id] = th
+	req := noc.MemReq{ID: id, Addr: addr, Size: size, Data: data, Thread: th.slot}
+	c.send(noc.NewMemReqPacket(id, c.Node, dst, req, true, th.work.Priority, now))
+	th.pc++
+}
+
+// searchStores checks the thread's posted-store buffer for addr/size.
+// Returns (hit, data) when one entry fully covers the access, or
+// conflict=true when there is partial overlap requiring a drain.
+func (th *thread) searchStores(addr uint64, size int) (hit bool, data uint64, conflict bool) {
+	// Scan newest-first so the latest store wins.
+	for i := len(th.stores) - 1; i >= 0; i-- {
+		s := th.stores[i]
+		if addr >= s.addr && addr+uint64(size) <= s.addr+uint64(s.size) {
+			shift := 8 * (addr - s.addr)
+			return true, s.data >> shift, false
+		}
+		if addr < s.addr+uint64(s.size) && s.addr < addr+uint64(size) {
+			return false, 0, true
+		}
+	}
+	return false, 0, false
+}
+
+// retireStore removes an acked store from its thread's buffer and wakes a
+// thread blocked on credits or a fence.
+func (c *Core) retireStore(th *thread, id uint64) {
+	for i, s := range th.stores {
+		if s.id == id {
+			th.stores = append(th.stores[:i], th.stores[i+1:]...)
+			break
+		}
+	}
+	if th.state == TWaitStore {
+		th.state = TReady
+	}
+}

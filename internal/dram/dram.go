@@ -1,0 +1,332 @@
+// Package dram models SmarCo's main memory: four DDR4-2133-class memory
+// controllers attached to the main ring (§3.5.3). Each controller has a
+// request queue, a banked timing model with open-row tracking, and a data
+// bus bandwidth budget. Functional reads and writes are applied to the
+// shared backing store in service order, which defines the chip's memory
+// order.
+package dram
+
+import (
+	"container/heap"
+	"fmt"
+
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+	"smarco/internal/stats"
+)
+
+// Config sizes a controller's timing model.
+type Config struct {
+	Banks            int
+	RowBytes         int
+	RowHitCycles     int
+	RowMissCycles    int
+	BusBytesPerCycle int
+	// ScanWindow bounds the FR-FCFS-style search for a ready request.
+	ScanWindow int
+}
+
+// DDR4 is the paper's configuration scaled to controller granularity:
+// 128-bit DDR4-2133 gives ~34 GB/s per controller, ≈ 23 bytes per 1.5 GHz
+// core cycle.
+func DDR4() Config {
+	return Config{
+		Banks:            8,
+		RowBytes:         2048,
+		RowHitCycles:     20,
+		RowMissCycles:    40,
+		BusBytesPerCycle: 23,
+		ScanWindow:       8,
+	}
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Served    stats.Counter // requests completed
+	Reads     stats.Counter
+	Writes    stats.Counter
+	Batches   stats.Counter // MACT batch requests completed
+	Matches   stats.Counter // near-memory match commands completed
+	BytesBus  stats.Counter // data bytes moved
+	RowHits   stats.Counter
+	RowMisses stats.Counter
+	QueueLat  stats.Histogram // cycles from arrival to service start
+}
+
+type bank struct {
+	busyUntil uint64
+	openRow   uint64
+	hasRow    bool
+}
+
+type queued struct {
+	pkt     *noc.Packet
+	arrived uint64
+	direct  int // direct-link index it arrived on, or -1 for the ring
+}
+
+type completion struct {
+	due uint64
+	seq uint64
+	q   queued
+}
+
+type completionQueue []completion
+
+func (c completionQueue) Len() int { return len(c) }
+func (c completionQueue) Less(i, j int) bool {
+	if c[i].due != c[j].due {
+		return c[i].due < c[j].due
+	}
+	return c[i].seq < c[j].seq
+}
+func (c completionQueue) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *completionQueue) Push(x any)   { *c = append(*c, x.(completion)) }
+func (c *completionQueue) Pop() any {
+	old := *c
+	n := len(old)
+	v := old[n-1]
+	*c = old[:n-1]
+	return v
+}
+
+// Controller is one memory controller.
+type Controller struct {
+	Node  noc.NodeID
+	cfg   Config
+	store *mem.Sparse
+	key   uint64
+
+	inject *sim.Port[*noc.Packet] // responses toward the ring
+	eject  *sim.Port[*noc.Packet] // requests from the ring
+
+	directIn  []*sim.Port[*noc.Packet] // requests from the direct datapaths
+	directOut []*sim.Port[*noc.Packet] // responses onto the direct datapaths
+
+	queue   []queued
+	banks   []bank
+	done    completionQueue
+	seq     uint64
+	scratch []*noc.Packet
+	match   matchUnit
+
+	Stats Stats
+}
+
+// New builds a controller bound to the shared backing store. inject/eject
+// are the ports returned by attaching the controller to the main ring.
+func New(node noc.NodeID, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Packet], key uint64) *Controller {
+	return &Controller{
+		Node:   node,
+		cfg:    cfg,
+		store:  store,
+		key:    key,
+		inject: inject,
+		eject:  eject,
+		banks:  make([]bank, cfg.Banks),
+	}
+}
+
+// AttachDirect connects the controller to the memory-side ports of one
+// direct datapath link (send, recv as returned by DirectLink.EndB). A
+// controller can terminate several links; responses return on the link the
+// request arrived on.
+func (c *Controller) AttachDirect(send, recv *sim.Port[*noc.Packet]) {
+	c.directOut = append(c.directOut, send)
+	c.directIn = append(c.directIn, recv)
+}
+
+func (c *Controller) bankOf(addr uint64) int {
+	return int((addr / 64) % uint64(c.cfg.Banks))
+}
+
+func (c *Controller) rowOf(addr uint64) uint64 {
+	return addr / uint64(c.cfg.RowBytes)
+}
+
+// Tick advances the controller one cycle.
+func (c *Controller) Tick(now uint64) {
+	// Admit new requests.
+	c.scratch = c.eject.DrainInto(c.scratch[:0], 0)
+	for _, p := range c.scratch {
+		if p.Kind == noc.KMatchReq {
+			c.offerMatch(p, now, -1)
+			continue
+		}
+		c.queue = append(c.queue, queued{pkt: p, arrived: now, direct: -1})
+	}
+	for i, in := range c.directIn {
+		c.scratch = in.DrainInto(c.scratch[:0], 0)
+		for _, p := range c.scratch {
+			if p.Kind == noc.KMatchReq {
+				c.offerMatch(p, now, i)
+				continue
+			}
+			c.queue = append(c.queue, queued{pkt: p, arrived: now, direct: i})
+		}
+	}
+	c.tickMatch(now)
+
+	// Issue: FR-FCFS-lite within a bounded window, subject to the data-bus
+	// byte budget.
+	budget := c.cfg.BusBytesPerCycle
+	for budget > 0 && len(c.queue) > 0 {
+		idx := -1
+		// Prefer priority requests (searched queue-wide, modelling a
+		// dedicated real-time queue), then row hits, then oldest — the
+		// latter two within the FR-FCFS scan window.
+		for pass := 0; pass < 3 && idx < 0; pass++ {
+			window := c.cfg.ScanWindow
+			if pass == 0 || window > len(c.queue) {
+				window = len(c.queue)
+			}
+			for i := 0; i < window; i++ {
+				q := c.queue[i]
+				b := c.bankOf(c.addrOf(q.pkt))
+				if c.banks[b].busyUntil > now {
+					continue
+				}
+				switch pass {
+				case 0:
+					if !q.pkt.Priority {
+						continue
+					}
+				case 1:
+					if !c.banks[b].hasRow || c.banks[b].openRow != c.rowOf(c.addrOf(q.pkt)) {
+						continue
+					}
+				}
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		q := c.queue[idx]
+		dataBytes := c.dataBytes(q.pkt)
+		if dataBytes > budget && budget < c.cfg.BusBytesPerCycle {
+			break // wait for a fresh budget next cycle
+		}
+		if dataBytes > budget {
+			// Oversized transfer (e.g. 64B line on a 23B bus): charge the
+			// full budget and extend the service latency instead.
+			budget = 0
+		} else {
+			budget -= dataBytes
+		}
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		c.service(now, q)
+	}
+
+	// Deliver completed requests.
+	for c.done.Len() > 0 && c.done[0].due <= now {
+		comp := heap.Pop(&c.done).(completion)
+		c.complete(now, comp.q)
+	}
+}
+
+// Commit implements sim.Ticker.
+func (c *Controller) Commit(uint64) {}
+
+func (c *Controller) addrOf(p *noc.Packet) uint64 {
+	switch pl := p.Payload.(type) {
+	case noc.MemReq:
+		return pl.Addr
+	case noc.BatchReq:
+		return pl.LineAddr
+	}
+	panic(fmt.Sprintf("dram: unroutable payload %T", p.Payload))
+}
+
+func (c *Controller) dataBytes(p *noc.Packet) int {
+	switch pl := p.Payload.(type) {
+	case noc.MemReq:
+		return pl.Size
+	case noc.BatchReq:
+		return 64
+	}
+	return 8
+}
+
+// service starts a request on its bank and schedules its completion.
+func (c *Controller) service(now uint64, q queued) {
+	addr := c.addrOf(q.pkt)
+	b := c.bankOf(addr)
+	row := c.rowOf(addr)
+	lat := c.cfg.RowMissCycles
+	if c.banks[b].hasRow && c.banks[b].openRow == row {
+		lat = c.cfg.RowHitCycles
+		c.Stats.RowHits.Inc()
+	} else {
+		c.Stats.RowMisses.Inc()
+	}
+	// Oversized transfers extend occupancy by the extra bus cycles.
+	extra := (c.dataBytes(q.pkt) - 1) / c.cfg.BusBytesPerCycle
+	lat += extra
+	c.banks[b] = bank{busyUntil: now + uint64(lat), openRow: row, hasRow: true}
+	c.Stats.QueueLat.Observe(now - q.arrived)
+	c.Stats.BytesBus.Add(uint64(c.dataBytes(q.pkt)))
+	c.seq++
+	heap.Push(&c.done, completion{due: now + uint64(lat), seq: c.seq, q: q})
+}
+
+// complete applies the functional access and sends the response.
+func (c *Controller) complete(now uint64, q queued) {
+	p := q.pkt
+	c.Stats.Served.Inc()
+	var resp *noc.Packet
+	switch pl := p.Payload.(type) {
+	case noc.MemReq:
+		switch p.Kind {
+		case noc.KReqRead:
+			c.Stats.Reads.Inc()
+			r := noc.MemResp{ID: pl.ID, Addr: pl.Addr, Size: pl.Size, Thread: pl.Thread}
+			if pl.Size <= 8 {
+				r.Data = c.store.Read(pl.Addr, pl.Size)
+			} else {
+				r.Blob = c.store.ReadBytes(pl.Addr, pl.Size)
+			}
+			resp = noc.NewMemRespPacket(pl.ID, c.Node, p.Src, r, p.Priority, now)
+		case noc.KReqWrite:
+			c.Stats.Writes.Inc()
+			if pl.Blob != nil {
+				c.store.WriteBytes(pl.Addr, pl.Blob[:pl.Size])
+			} else {
+				c.store.Write(pl.Addr, pl.Size, pl.Data)
+			}
+			r := noc.MemResp{ID: pl.ID, Addr: pl.Addr, Size: pl.Size, Thread: pl.Thread, Write: true}
+			resp = noc.NewMemRespPacket(pl.ID, c.Node, p.Src, r, p.Priority, now)
+		default:
+			panic(fmt.Sprintf("dram: unexpected packet kind %v", p.Kind))
+		}
+	case noc.BatchReq:
+		c.Stats.Batches.Inc()
+		r := noc.BatchResp{ID: pl.ID, LineAddr: pl.LineAddr, Bitmap: pl.Bitmap, Write: pl.Write}
+		if pl.Write {
+			c.Stats.Writes.Inc()
+			for i := 0; i < 64; i++ {
+				if pl.Bitmap&(1<<uint(i)) != 0 {
+					c.store.SetByte(pl.LineAddr+uint64(i), pl.Data[i])
+				}
+			}
+		} else {
+			c.Stats.Reads.Inc()
+			line := c.store.ReadBytes(pl.LineAddr, 64)
+			copy(r.Data[:], line)
+		}
+		resp = noc.NewBatchRespPacket(pl.ID, c.Node, p.Src, r, now)
+	default:
+		panic(fmt.Sprintf("dram: unexpected payload %T", p.Payload))
+	}
+	c.seq++
+	if q.direct >= 0 {
+		c.directOut[q.direct].Send(c.key, c.seq, resp)
+		return
+	}
+	c.inject.Send(c.key, c.seq, resp)
+}
+
+// QueueLen returns the number of waiting requests (for congestion metrics).
+func (c *Controller) QueueLen() int { return len(c.queue) }

@@ -1,0 +1,294 @@
+package dram
+
+import (
+	"testing"
+
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+)
+
+type harness struct {
+	eng    *sim.Engine
+	ctl    *Controller
+	toMC   *sim.Port[*noc.Packet]
+	fromMC *sim.Port[*noc.Packet]
+	store  *mem.Sparse
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{eng: sim.NewEngine(), store: mem.NewSparse()}
+	h.toMC = sim.NewPort[*noc.Packet](0)
+	h.fromMC = sim.NewPort[*noc.Packet](0)
+	// inject = responses out (fromMC), eject = requests in (toMC).
+	h.ctl = New(noc.MCNode(0), cfg, h.store, h.fromMC, h.toMC, 1)
+	h.eng.Add(h.ctl)
+	h.eng.AddPort(h.toMC)
+	h.eng.AddPort(h.fromMC)
+	return h
+}
+
+func (h *harness) run(n int) {
+	for i := 0; i < n; i++ {
+		h.eng.Step()
+	}
+}
+
+func (h *harness) send(p *noc.Packet) { h.toMC.Send(0, p.ID, p) }
+
+func TestReadReturnsStoreData(t *testing.T) {
+	h := newHarness(DDR4())
+	h.store.Write(0x100, 4, 0xCAFEBABE)
+	h.send(noc.NewMemReqPacket(1, noc.CoreNode(0), noc.MCNode(0),
+		noc.MemReq{ID: 1, Addr: 0x100, Size: 4}, false, false, 0))
+	h.run(100)
+	resp, ok := h.fromMC.Pop()
+	if !ok {
+		t.Fatal("no response")
+	}
+	r := resp.Payload.(noc.MemResp)
+	if r.Data != 0xCAFEBABE || r.Size != 4 {
+		t.Fatalf("resp = %+v", r)
+	}
+	if resp.Dst != noc.CoreNode(0) {
+		t.Fatal("response misrouted")
+	}
+}
+
+func TestWriteAppliedAndAcked(t *testing.T) {
+	h := newHarness(DDR4())
+	h.send(noc.NewMemReqPacket(2, noc.CoreNode(3), noc.MCNode(0),
+		noc.MemReq{ID: 2, Addr: 0x40, Size: 8, Data: 777}, true, false, 0))
+	h.run(100)
+	if h.store.ReadUint64(0x40) != 777 {
+		t.Fatal("write not applied")
+	}
+	ack, ok := h.fromMC.Pop()
+	if !ok || ack.Kind != noc.KRespWrite {
+		t.Fatalf("ack = %v", ack)
+	}
+}
+
+func TestWideBlobReadWrite(t *testing.T) {
+	h := newHarness(DDR4())
+	blob := make([]byte, 64)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	h.send(noc.NewMemReqPacket(1, noc.CoreNode(0), noc.MCNode(0),
+		noc.MemReq{ID: 1, Addr: 0x1000, Size: 64, Blob: blob}, true, false, 0))
+	h.run(100)
+	h.send(noc.NewMemReqPacket(2, noc.CoreNode(0), noc.MCNode(0),
+		noc.MemReq{ID: 2, Addr: 0x1000, Size: 64}, false, false, 0))
+	h.run(100)
+	var read *noc.Packet
+	for {
+		p, ok := h.fromMC.Pop()
+		if !ok {
+			break
+		}
+		if p.Kind == noc.KRespRead {
+			read = p
+		}
+	}
+	if read == nil {
+		t.Fatal("no read response")
+	}
+	r := read.Payload.(noc.MemResp)
+	for i, b := range r.Blob {
+		if b != byte(i) {
+			t.Fatalf("blob[%d] = %d", i, b)
+		}
+	}
+}
+
+func TestBatchReadAndWrite(t *testing.T) {
+	h := newHarness(DDR4())
+	h.store.WriteBytes(0, []byte{1, 2, 3, 4})
+	h.send(noc.NewBatchPacket(9, noc.HubNode(0), noc.MCNode(0),
+		noc.BatchReq{ID: 9, LineAddr: 0, Bitmap: 0xF}, 0))
+	h.run(100)
+	resp, ok := h.fromMC.Pop()
+	if !ok || resp.Kind != noc.KBatchRespRead {
+		t.Fatalf("resp = %v", resp)
+	}
+	br := resp.Payload.(noc.BatchResp)
+	if br.Data[0] != 1 || br.Data[3] != 4 {
+		t.Fatalf("line data = %v", br.Data[:4])
+	}
+	// Batched write: only bitmap bytes applied.
+	var data [64]byte
+	data[0], data[1] = 0xAA, 0xBB
+	h.send(noc.NewBatchPacket(10, noc.HubNode(0), noc.MCNode(0),
+		noc.BatchReq{ID: 10, LineAddr: 0, Bitmap: 0x1, Data: data, Write: true}, 0))
+	h.run(100)
+	if h.store.ByteAt(0) != 0xAA {
+		t.Fatal("bitmap byte not written")
+	}
+	if h.store.ByteAt(1) != 2 {
+		t.Fatal("unmasked byte was overwritten")
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := DDR4()
+	h := newHarness(cfg)
+	latency := func(addr uint64, id uint64) int {
+		h.send(noc.NewMemReqPacket(id, noc.CoreNode(0), noc.MCNode(0),
+			noc.MemReq{ID: id, Addr: addr, Size: 8}, false, false, 0))
+		start := int(h.eng.Now())
+		for i := 0; i < 200; i++ {
+			h.eng.Step()
+			if h.fromMC.Len() > 0 {
+				h.fromMC.Pop()
+				return int(h.eng.Now()) - start
+			}
+		}
+		t.Fatal("no response")
+		return 0
+	}
+	first := latency(0, 1)       // row miss (cold)
+	second := latency(8, 2)      // same row: hit
+	third := latency(1<<20+0, 3) // same bank (addr/64 % 8 == 0), new row: miss
+	if second >= first {
+		t.Fatalf("row hit (%d) not faster than cold miss (%d)", second, first)
+	}
+	if third <= second {
+		t.Fatalf("row miss (%d) not slower than hit (%d)", third, second)
+	}
+	if h.ctl.Stats.RowHits.Value() == 0 || h.ctl.Stats.RowMisses.Value() == 0 {
+		t.Fatal("row stats not recorded")
+	}
+}
+
+func TestServiceOrderDefinesMemoryOrder(t *testing.T) {
+	h := newHarness(DDR4())
+	// Two writes to the same address arriving in order: the later one wins.
+	h.send(noc.NewMemReqPacket(1, noc.CoreNode(0), noc.MCNode(0),
+		noc.MemReq{ID: 1, Addr: 0x80, Size: 8, Data: 1}, true, false, 0))
+	h.send(noc.NewMemReqPacket(2, noc.CoreNode(1), noc.MCNode(0),
+		noc.MemReq{ID: 2, Addr: 0x80, Size: 8, Data: 2}, true, false, 0))
+	h.run(200)
+	if got := h.store.ReadUint64(0x80); got != 2 {
+		t.Fatalf("final value = %d, want 2 (arrival order)", got)
+	}
+	if h.ctl.Stats.Served.Value() != 2 {
+		t.Fatalf("served = %d", h.ctl.Stats.Served.Value())
+	}
+}
+
+func TestBandwidthBounded(t *testing.T) {
+	cfg := DDR4()
+	h := newHarness(cfg)
+	// Saturate with 8-byte reads to distinct banks; the bus budget bounds
+	// throughput to BusBytesPerCycle per cycle.
+	n := 200
+	for i := 0; i < n; i++ {
+		h.send(noc.NewMemReqPacket(uint64(i+1), noc.CoreNode(0), noc.MCNode(0),
+			noc.MemReq{ID: uint64(i + 1), Addr: uint64(i) * 64, Size: 8}, false, false, 0))
+	}
+	cycles := 100
+	h.run(cycles)
+	maxBytes := uint64(cycles * cfg.BusBytesPerCycle)
+	if got := h.ctl.Stats.BytesBus.Value(); got > maxBytes {
+		t.Fatalf("moved %d bytes in %d cycles, budget %d", got, cycles, maxBytes)
+	}
+	if h.ctl.QueueLen() == 0 && h.ctl.Stats.Served.Value() < 10 {
+		t.Fatal("controller barely progressed")
+	}
+}
+
+func TestPriorityServedSooner(t *testing.T) {
+	h := newHarness(DDR4())
+	// Fill the queue with normal requests to one bank, then one priority
+	// request to the same bank: priority should complete before most.
+	for i := 0; i < 30; i++ {
+		h.send(noc.NewMemReqPacket(uint64(i+1), noc.CoreNode(0), noc.MCNode(0),
+			noc.MemReq{ID: uint64(i + 1), Addr: uint64(i) * 4096 * 8, Size: 8}, false, false, 0))
+	}
+	pri := noc.NewMemReqPacket(99, noc.CoreNode(1), noc.MCNode(0),
+		noc.MemReq{ID: 99, Addr: 512, Size: 8}, false, true, 0)
+	h.send(pri)
+	h.run(1600)
+	order := []uint64{}
+	for {
+		p, ok := h.fromMC.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, p.Payload.(noc.MemResp).ID)
+	}
+	pos := -1
+	for i, id := range order {
+		if id == 99 {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		t.Fatal("priority request never completed")
+	}
+	if pos > len(order)/2 {
+		t.Fatalf("priority request finished at position %d/%d", pos, len(order))
+	}
+}
+
+func TestNearMemoryMatchUnit(t *testing.T) {
+	h := newHarness(DDR4())
+	h.store.WriteBytes(0x2000, []byte("abab zz abab ab ababab"))
+	req := noc.MatchReq{ID: 7, TextAddr: 0x2000, TextLen: 22, PatLen: 4}
+	copy(req.Pattern[:], "abab")
+	h.send(noc.NewMatchReqPacket(7, noc.HostNode(), noc.MCNode(0), req, 0))
+	h.run(200)
+	resp, ok := h.fromMC.Pop()
+	if !ok || resp.Kind != noc.KMatchResp {
+		t.Fatalf("resp = %v", resp)
+	}
+	r := resp.Payload.(noc.MatchResp)
+	// "abab zz abab ab ababab": matches at 0, 8, 16, 18 = 4 (overlapping).
+	if r.Count != 4 {
+		t.Fatalf("count = %d, want 4", r.Count)
+	}
+	if h.ctl.Stats.Matches.Value() != 1 {
+		t.Fatal("match not counted")
+	}
+	if h.ctl.MatchBusy() {
+		t.Fatal("unit should be idle")
+	}
+}
+
+func TestMatchUnitTakesTimeProportionalToText(t *testing.T) {
+	latency := func(n uint64) uint64 {
+		h := newHarness(DDR4())
+		req := noc.MatchReq{ID: 1, TextAddr: 0, TextLen: n, PatLen: 2}
+		copy(req.Pattern[:], "xy")
+		h.send(noc.NewMatchReqPacket(1, noc.HostNode(), noc.MCNode(0), req, 0))
+		for i := uint64(0); i < 100_000; i++ {
+			h.eng.Step()
+			if h.fromMC.Len() > 0 {
+				return h.eng.Now()
+			}
+		}
+		t.Fatal("no response")
+		return 0
+	}
+	small := latency(1024)
+	big := latency(64 * 1024)
+	if big < 10*small {
+		t.Fatalf("scan time should grow with text: %d vs %d", small, big)
+	}
+}
+
+func TestMatchUnitEdgeCases(t *testing.T) {
+	h := newHarness(DDR4())
+	// Pattern longer than text: zero matches.
+	req := noc.MatchReq{ID: 1, TextAddr: 0, TextLen: 2, PatLen: 4}
+	h.send(noc.NewMatchReqPacket(1, noc.HostNode(), noc.MCNode(0), req, 0))
+	h.run(200)
+	resp, ok := h.fromMC.Pop()
+	if !ok {
+		t.Fatal("no response")
+	}
+	if resp.Payload.(noc.MatchResp).Count != 0 {
+		t.Fatal("expected zero matches")
+	}
+}

@@ -1,0 +1,97 @@
+package dram
+
+import (
+	"smarco/internal/noc"
+)
+
+// matchUnit is the near-memory string matcher of the paper's future-work
+// section (§7): "apply in-memory computing techniques to handle those
+// simple and fixed computing patterns, such as string matching, to further
+// reduce data volume that needs to be transferred between memory and
+// cores". One unit lives in each controller; it streams a text region out
+// of the row buffers at MatchBytesPerCycle without occupying the external
+// data bus, and returns only the match count.
+type matchUnit struct {
+	queue     []queued
+	busyUntil uint64
+	current   *queued
+}
+
+// MatchBytesPerCycle is the internal scan rate of the near-memory unit. It
+// exceeds the external bus rate because the scan never leaves the DRAM die
+// (row-buffer streaming).
+const MatchBytesPerCycle = 32
+
+// rowSwitchPenalty models reopening a row every RowBytes of scanned text.
+const rowSwitchPenalty = 14
+
+// offerMatch enqueues a match command.
+func (c *Controller) offerMatch(p *noc.Packet, now uint64, direct int) {
+	c.match.queue = append(c.match.queue, queued{pkt: p, arrived: now, direct: direct})
+}
+
+// tickMatch progresses the unit: starts the next command when idle and
+// completes the current one when its scan time elapses.
+func (c *Controller) tickMatch(now uint64) {
+	mu := &c.match
+	if mu.current == nil {
+		if len(mu.queue) == 0 {
+			return
+		}
+		q := mu.queue[0]
+		mu.queue = mu.queue[1:]
+		req := q.pkt.Payload.(noc.MatchReq)
+		scan := req.TextLen / MatchBytesPerCycle
+		rows := req.TextLen / uint64(c.cfg.RowBytes)
+		mu.busyUntil = now + scan + rows*rowSwitchPenalty + uint64(c.cfg.RowMissCycles)
+		mu.current = &q
+		c.Stats.QueueLat.Observe(now - q.arrived)
+		return
+	}
+	if now < mu.busyUntil {
+		return
+	}
+	q := *mu.current
+	mu.current = nil
+	req := q.pkt.Payload.(noc.MatchReq)
+	count := c.scanMatch(req)
+	c.Stats.Served.Inc()
+	c.Stats.Matches.Inc()
+	resp := noc.NewMatchRespPacket(req.ID, c.Node, q.pkt.Src, noc.MatchResp{ID: req.ID, Count: count}, now)
+	c.seq++
+	if q.direct >= 0 {
+		c.directOut[q.direct].Send(c.key, c.seq, resp)
+		return
+	}
+	c.inject.Send(c.key, c.seq, resp)
+}
+
+// scanMatch performs the functional scan (overlapping occurrences, same
+// semantics as the KMP kernel).
+func (c *Controller) scanMatch(req noc.MatchReq) uint64 {
+	if req.PatLen <= 0 || uint64(req.PatLen) > req.TextLen {
+		return 0
+	}
+	pat := req.Pattern[:req.PatLen]
+	var count uint64
+	// Naive scan is fine functionally; timing is charged by the unit.
+	text := c.store.ReadBytes(req.TextAddr, int(req.TextLen))
+	for i := 0; i+req.PatLen <= len(text); i++ {
+		match := true
+		for j := range pat {
+			if text[i+j] != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return count
+}
+
+// MatchBusy reports whether the unit is processing or has queued work.
+func (c *Controller) MatchBusy() bool {
+	return c.match.current != nil || len(c.match.queue) > 0
+}

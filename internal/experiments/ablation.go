@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/stats"
+)
+
+// AblationResult reports the slowdown from disabling one SmarCo feature:
+// cycles(without) / cycles(with), per benchmark. Values above 1 mean the
+// feature helps.
+type AblationResult struct {
+	Feature string
+	Gain    map[string]float64 // benchmark -> speedup provided by the feature
+}
+
+// ablation describes one feature toggle. enable (optional) adjusts the
+// "with" configuration for features that are off by default; disable
+// produces the "without" configuration.
+type ablation struct {
+	name    string
+	staged  bool // run with SPM-staged datasets
+	enable  func(*chip.Config)
+	disable func(*chip.Config)
+}
+
+var ablations = []ablation{
+	{
+		name: "in-pair threads",
+		disable: func(c *chip.Config) {
+			// Halve thread depth: 4 threads/core, no friend interleaving.
+			c.Core.ThreadsPerLane = 1
+		},
+	},
+	{
+		name: "MACT",
+		disable: func(c *chip.Config) {
+			c.MACT.Enabled = false
+		},
+	},
+	{
+		name: "high-density slicing",
+		disable: func(c *chip.Config) {
+			c.SubLink.Conventional = true
+			c.MainLink.Conventional = true
+		},
+	},
+	{
+		name: "bidirectional flex lanes",
+		disable: func(c *chip.Config) {
+			// Fold the flex lanes into fixed ones: same peak bandwidth,
+			// no per-cycle reallocation (note each direction keeps the
+			// paper's fixed share).
+			c.SubLink.FlexLanes = 0
+			c.MainLink.FlexLanes = 0
+		},
+	},
+	{
+		name:   "direct datapath",
+		staged: true, // priority traffic dominates in the staged RT mode
+		disable: func(c *chip.Config) {
+			c.DirectPath = false
+		},
+	},
+	{
+		name: "shared instruction segment",
+		disable: func(c *chip.Config) {
+			c.Core.SharedISeg = false
+		},
+	},
+	{
+		name:   "SPM staging",
+		staged: true,
+		disable: func(c *chip.Config) {
+			// Handled by the harness: the "without" run streams instead.
+		},
+	},
+	{
+		name: "sequential prefetcher",
+		enable: func(c *chip.Config) {
+			c.Core.Prefetch = true
+		},
+		disable: func(c *chip.Config) {},
+	},
+}
+
+// Ablations measures each feature's contribution on a subset of the
+// benchmarks (one small-granularity, one bulk, one real-time).
+func Ablations(scale Scale, seed uint64) ([]AblationResult, error) {
+	benchmarks := []string{"kmp", "terasort", "rnc"}
+	var out []AblationResult
+	for _, ab := range ablations {
+		res := AblationResult{Feature: ab.name, Gain: map[string]float64{}}
+		for _, name := range benchmarks {
+			build := func(staged bool) (*kernels.Workload, chip.Config) {
+				cfg := chipConfig(scale)
+				// Enough tasks to oversubscribe every hardware context, so
+				// features like in-pair threading actually engage.
+				w := kernels.MustNew(name, kernels.Config{
+					Seed:     seed,
+					Tasks:    cfg.Threads() + cfg.Threads()/2,
+					Scale:    workloadScale(scale, name),
+					StageSPM: staged,
+				})
+				return w, cfg
+			}
+			// With the feature.
+			w, cfg := build(ab.staged)
+			if ab.enable != nil {
+				ab.enable(&cfg)
+			}
+			c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s/%s with: %w", ab.name, name, err)
+			}
+			with := c.Now()
+			// Without it.
+			stagedOff := ab.staged
+			if ab.name == "SPM staging" {
+				stagedOff = false
+			}
+			w2, cfg2 := build(stagedOff)
+			ab.disable(&cfg2)
+			c2, err := runOnChip(cfg2, w2, 4*cycleBudget(scale))
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s/%s without: %w", ab.name, name, err)
+			}
+			res.Gain[name] = float64(c2.Now()) / float64(with)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationTable renders the study.
+func AblationTable(results []AblationResult) *stats.Table {
+	t := stats.NewTable("Ablations — speedup each feature provides (cycles without / cycles with)",
+		"feature", "kmp", "terasort", "rnc")
+	for _, r := range results {
+		t.AddRow(r.Feature, r.Gain["kmp"], r.Gain["terasort"], r.Gain["rnc"])
+	}
+	return t
+}

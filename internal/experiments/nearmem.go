@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/noc"
+	"smarco/internal/stats"
+)
+
+// NearMemResult compares running string matching on the TCG cores (the KMP
+// kernel) against offloading it to the near-memory match units — the
+// paper's §7 future-work direction ("apply in-memory computing techniques
+// to handle those simple and fixed computing patterns, such as string
+// matching").
+type NearMemResult struct {
+	Shards       int
+	ShardBytes   int
+	CoreCycles   uint64
+	NearCycles   uint64
+	Speedup      float64
+	CoreBusBytes uint64 // DRAM bus traffic when cores do the work
+	NearBusBytes uint64 // ... when the match units do it
+}
+
+// NearMemoryMatch measures both paths on identical inputs and verifies the
+// near-memory counts against the KMP reference.
+func NearMemoryMatch(scale Scale, seed uint64) (NearMemResult, error) {
+	cfg := chipConfig(scale)
+	shards := 2 * cfg.Cores()
+	shardBytes := 2048
+	if scale == ScalePaper {
+		shardBytes = 8192
+	}
+	res := NearMemResult{Shards: shards, ShardBytes: shardBytes}
+
+	// Path 1: the KMP kernel on the cores (streaming, as usual).
+	w := kernels.MustNew("kmp", kernels.Config{Seed: seed, Tasks: shards, Scale: shardBytes})
+	c, err := runOnChip(cfg, w, 8*cycleBudget(scale))
+	if err != nil {
+		return res, fmt.Errorf("nearmem core path: %w", err)
+	}
+	res.CoreCycles = c.Now()
+	res.CoreBusBytes = c.Metrics().MemBusBytes
+
+	// Path 2: the host offloads one match command per shard to the
+	// controllers owning the text; only counts cross the chip.
+	w2 := kernels.MustNew("kmp", kernels.Config{Seed: seed, Tasks: shards, Scale: shardBytes})
+	c2 := chip.New(cfg, w2.Mem)
+	pattern := [8]byte{'a', 'b', 'a', 'b'}
+	want := map[uint64]uint64{}
+	for i, task := range w2.Tasks {
+		textAddr := uint64(task.Args[0])
+		textLen := uint64(task.Args[1])
+		id := uint64(i + 1)
+		req := noc.MatchReq{ID: id, TextAddr: textAddr, TextLen: textLen, Pattern: pattern, PatLen: 4}
+		// Page-interleaving may split a shard across controllers; these
+		// shards are page-aligned enough in practice that we send to the
+		// owner of the first byte and let its unit scan the region (the
+		// unit reads through the shared backing store).
+		c2.HostSend(noc.NewMatchReqPacket(id, noc.HostNode(), mcOf(c2, textAddr), req, 0))
+		text := w2.Mem.ReadBytes(textAddr, int(textLen))
+		want[id] = refCount(text, pattern[:4])
+	}
+	got := map[uint64]uint64{}
+	if _, err := c2.RunUntil(8*cycleBudget(scale), func() bool {
+		for _, p := range c2.HostReceive() {
+			resp := p.Payload.(noc.MatchResp)
+			got[resp.ID] = resp.Count
+		}
+		return len(got) == shards
+	}); err != nil {
+		return res, fmt.Errorf("nearmem offload path: %w", err)
+	}
+	for id, w := range want {
+		if got[id] != w {
+			return res, fmt.Errorf("nearmem: shard %d count %d, want %d", id, got[id], w)
+		}
+	}
+	res.NearCycles = c2.Now()
+	res.NearBusBytes = c2.Metrics().MemBusBytes
+	res.Speedup = float64(res.CoreCycles) / float64(res.NearCycles)
+	return res, nil
+}
+
+func mcOf(c *chip.Chip, addr uint64) noc.NodeID {
+	return noc.MCNode(int((addr >> 12) % uint64(c.Config.MCs)))
+}
+
+// refCount counts overlapping occurrences (KMP semantics).
+func refCount(text, pat []byte) uint64 {
+	var n uint64
+	for i := 0; i+len(pat) <= len(text); i++ {
+		match := true
+		for j := range pat {
+			if text[i+j] != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			n++
+		}
+	}
+	return n
+}
+
+// NearMemTable renders the study.
+func NearMemTable(r NearMemResult) *stats.Table {
+	t := stats.NewTable("Near-memory string matching (§7 future work)",
+		"path", "cycles", "DRAM bus bytes")
+	t.AddRow("KMP on TCG cores", r.CoreCycles, r.CoreBusBytes)
+	t.AddRow("near-memory match units", r.NearCycles, r.NearBusBytes)
+	t.AddRow("offload speedup", r.Speedup, "")
+	return t
+}

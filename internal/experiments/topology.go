@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smarco/internal/kernels"
+	"smarco/internal/stats"
+)
+
+// TopologyResult compares core arrangements at a fixed core count — the
+// study the paper's 256-core FPGA platform existed to run (§4.3: "verify
+// different topologies by changing interconnection among chips").
+type TopologyResult struct {
+	Name       string
+	SubRings   int
+	PerRing    int
+	Cycles     map[string]uint64  // benchmark -> completion cycles
+	LoadLat    map[string]float64 // benchmark -> mean load latency
+	MeanSpeed  float64            // geometric-ish mean speedup vs flat ring
+	normalized bool
+}
+
+// TopologyStudy runs the benchmarks on several arrangements of the same
+// core count: one flat ring (every core on the main ring), a shallow
+// hierarchy, and the paper's 16-per-sub-ring shape.
+func TopologyStudy(scale Scale, seed uint64) ([]TopologyResult, error) {
+	type shape struct {
+		name     string
+		subRings int
+		perRing  int
+		mesh     bool
+	}
+	var shapes []shape
+	var benchmarks []string
+	if scale == ScalePaper {
+		shapes = []shape{
+			{"flat ring (1x256)", 1, 256, false},
+			{"shallow (4x64)", 4, 64, false},
+			{"paper (16x16)", 16, 16, false},
+			{"deep (32x8)", 32, 8, false},
+			{"2D mesh (XY)", 16, 16, true},
+		}
+		benchmarks = Benchmarks
+	} else {
+		shapes = []shape{
+			{"flat ring (1x16)", 1, 16, false},
+			{"paper-like (4x4)", 4, 4, false},
+			{"deep (8x2)", 8, 2, false},
+			{"2D mesh (XY)", 4, 4, true},
+		}
+		benchmarks = []string{"kmp", "terasort", "rnc"}
+	}
+
+	var out []TopologyResult
+	for _, sh := range shapes {
+		cfg := chipConfig(scale)
+		cfg.SubRings = sh.subRings
+		cfg.CoresPerSub = sh.perRing
+		if sh.mesh {
+			cfg.Topology = "mesh"
+		}
+		// The mesh baseline has no MACT; disable it everywhere in this
+		// study so only the interconnect differs.
+		cfg.MACT.Enabled = false
+		res := TopologyResult{
+			Name: sh.name, SubRings: sh.subRings, PerRing: sh.perRing,
+			Cycles: map[string]uint64{}, LoadLat: map[string]float64{},
+		}
+		for _, name := range benchmarks {
+			w := kernels.MustNew(name, kernels.Config{
+				Seed:  seed,
+				Tasks: workloadTasks(scale, cfg),
+				Scale: workloadScale(scale, name),
+			})
+			c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
+			if err != nil {
+				return nil, fmt.Errorf("topology %s/%s: %w", sh.name, name, err)
+			}
+			res.Cycles[name] = c.Now()
+			res.LoadLat[name] = c.Metrics().LoadLatMean
+		}
+		out = append(out, res)
+	}
+	// Normalize: mean speedup vs the flat ring.
+	base := out[0]
+	for i := range out {
+		var sum float64
+		n := 0
+		for name, cy := range out[i].Cycles {
+			sum += float64(base.Cycles[name]) / float64(cy)
+			n++
+		}
+		out[i].MeanSpeed = sum / float64(n)
+		out[i].normalized = true
+	}
+	return out, nil
+}
+
+// TopologyTable renders the study.
+func TopologyTable(results []TopologyResult) *stats.Table {
+	t := stats.NewTable("Topology study — core arrangements at equal core count (speedup vs flat ring)",
+		"arrangement", "mean speedup", "mean load latency (cycles)")
+	for _, r := range results {
+		var lat float64
+		for _, v := range r.LoadLat {
+			lat += v
+		}
+		lat /= float64(len(r.LoadLat))
+		t.AddRow(r.Name, r.MeanSpeed, lat)
+	}
+	return t
+}

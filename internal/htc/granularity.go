@@ -1,0 +1,77 @@
+package htc
+
+import (
+	"sort"
+
+	"smarco/internal/kernels"
+)
+
+// Distribution maps access granularity in bytes (1, 2, 4, 8) to its
+// fraction of all memory accesses.
+type Distribution map[int]float64
+
+// SplashProfiles returns synthetic memory-access-granularity distributions
+// for eleven SPLASH2-class conventional applications (the right half of
+// Fig. 8). The paper profiled the real suite; lacking those traces, these
+// distributions encode the well-known property the figure shows — dense
+// numeric kernels access memory almost exclusively at word (4 B) and
+// double (8 B) granularity — which is all downstream consumers rely on.
+func SplashProfiles() map[string]Distribution {
+	return map[string]Distribution{
+		"barnes":    {1: 0.01, 2: 0.01, 4: 0.20, 8: 0.78},
+		"fmm":       {1: 0.01, 2: 0.01, 4: 0.16, 8: 0.82},
+		"ocean":     {1: 0.00, 2: 0.01, 4: 0.12, 8: 0.87},
+		"radiosity": {1: 0.02, 2: 0.02, 4: 0.30, 8: 0.66},
+		"raytrace":  {1: 0.02, 2: 0.02, 4: 0.26, 8: 0.70},
+		"water-nsq": {1: 0.00, 2: 0.01, 4: 0.09, 8: 0.90},
+		"water-sp":  {1: 0.00, 2: 0.01, 4: 0.08, 8: 0.91},
+		"cholesky":  {1: 0.01, 2: 0.01, 4: 0.18, 8: 0.80},
+		"fft":       {1: 0.00, 2: 0.00, 4: 0.10, 8: 0.90},
+		"lu":        {1: 0.00, 2: 0.00, 4: 0.08, 8: 0.92},
+		"radix":     {1: 0.02, 2: 0.02, 4: 0.36, 8: 0.60},
+	}
+}
+
+// HTCProfiles measures the left half of Fig. 8 by executing each benchmark
+// kernel and counting access granularities.
+func HTCProfiles(seed uint64) (map[string]Distribution, error) {
+	out := make(map[string]Distribution, len(kernels.Names))
+	for _, name := range kernels.Names {
+		w := kernels.MustNew(name, kernels.Config{Seed: seed, Tasks: 4})
+		counts, err := kernels.GranularityProfile(w)
+		if err != nil {
+			return nil, err
+		}
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		d := Distribution{}
+		for size, c := range counts {
+			d[size] = float64(c) / float64(total)
+		}
+		out[name] = d
+	}
+	return out, nil
+}
+
+// SmallFraction returns the fraction of accesses at or below maxBytes.
+func (d Distribution) SmallFraction(maxBytes int) float64 {
+	f := 0.0
+	for size, frac := range d {
+		if size <= maxBytes {
+			f += frac
+		}
+	}
+	return f
+}
+
+// SortedSizes returns the distribution's granularities in ascending order.
+func (d Distribution) SortedSizes() []int {
+	sizes := make([]int, 0, len(d))
+	for s := range d {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

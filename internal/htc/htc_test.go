@@ -1,0 +1,116 @@
+package htc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDNMaxClients(t *testing.T) {
+	if got := DefaultCDN().MaxClients(); got != 400 {
+		t.Fatalf("10 Gbps / 25 Mbps = %d, want 400", got)
+	}
+}
+
+// TestCDNShapeMatchesFig2 checks the three headline observations of Fig. 2:
+// goodput saturates at the NIC limit, CPU stays under 10% there, branch
+// misses exceed 10% near the limit, and L1 misses sit near 40%.
+func TestCDNShapeMatchesFig2(t *testing.T) {
+	cfg := DefaultCDN()
+	atLimit := RunCDN(cfg, cfg.MaxClients(), 1)
+	if atLimit.GoodputGbs != cfg.NICGbps {
+		t.Fatalf("goodput at limit = %v", atLimit.GoodputGbs)
+	}
+	if atLimit.CPUUtil >= 0.10 {
+		t.Fatalf("CPU util at NIC limit = %.3f, paper reports < 0.10", atLimit.CPUUtil)
+	}
+	if atLimit.CPUUtil <= 0.005 {
+		t.Fatalf("CPU util %.4f implausibly low", atLimit.CPUUtil)
+	}
+	if atLimit.BranchMiss <= 0.10 {
+		t.Fatalf("branch miss at limit = %.3f, paper reports > 0.10", atLimit.BranchMiss)
+	}
+	if atLimit.L1Miss < 0.25 || atLimit.L1Miss > 0.60 {
+		t.Fatalf("L1 miss = %.3f, paper reports ≈ 0.40", atLimit.L1Miss)
+	}
+}
+
+func TestCDNGoodputCapped(t *testing.T) {
+	cfg := DefaultCDN()
+	over := RunCDN(cfg, cfg.MaxClients()+100, 1)
+	if over.GoodputGbs > cfg.NICGbps {
+		t.Fatal("goodput exceeded the NIC rate")
+	}
+}
+
+func TestCDNBranchMissGrowsWithClients(t *testing.T) {
+	cfg := DefaultCDN()
+	few := RunCDN(cfg, 10, 1)
+	many := RunCDN(cfg, cfg.MaxClients(), 1)
+	if many.BranchMiss <= few.BranchMiss {
+		t.Fatalf("branch miss did not grow: %.3f -> %.3f", few.BranchMiss, many.BranchMiss)
+	}
+}
+
+func TestCDNSweepMonotoneGoodput(t *testing.T) {
+	pts := CDNSweep(DefaultCDN(), 2)
+	if len(pts) < 5 {
+		t.Fatal("sweep too short")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].GoodputGbs+1e-9 < pts[i-1].GoodputGbs {
+			t.Fatalf("goodput decreased at point %d", i)
+		}
+	}
+}
+
+func TestSplashProfilesNormalized(t *testing.T) {
+	profiles := SplashProfiles()
+	if len(profiles) != 11 {
+		t.Fatalf("SPLASH2 set has %d apps, want 11 (per Fig. 8)", len(profiles))
+	}
+	for name, d := range profiles {
+		sum := 0.0
+		for _, f := range d {
+			sum += f
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Fatalf("%s distribution sums to %v", name, sum)
+		}
+		if d.SmallFraction(2) > 0.10 {
+			t.Fatalf("%s: conventional app with %.2f small accesses", name, d.SmallFraction(2))
+		}
+	}
+}
+
+// TestFig8Contrast is the figure's message: HTC apps issue far more small
+// accesses than conventional apps.
+func TestFig8Contrast(t *testing.T) {
+	htcP, err := HTCProfiles(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splash := SplashProfiles()
+	var htcSmall, convSmall float64
+	for _, d := range htcP {
+		htcSmall += d.SmallFraction(2)
+	}
+	htcSmall /= float64(len(htcP))
+	for _, d := range splash {
+		convSmall += d.SmallFraction(2)
+	}
+	convSmall /= float64(len(splash))
+	if htcSmall <= 3*convSmall {
+		t.Fatalf("HTC small-access fraction %.3f not clearly above conventional %.3f", htcSmall, convSmall)
+	}
+}
+
+func TestDistributionHelpers(t *testing.T) {
+	d := Distribution{1: 0.5, 8: 0.5}
+	sizes := d.SortedSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 8 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if d.SmallFraction(2) != 0.5 {
+		t.Fatalf("small fraction = %v", d.SmallFraction(2))
+	}
+}

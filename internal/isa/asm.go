@@ -1,0 +1,520 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regNames maps every accepted register spelling to its index. Both raw
+// (r0..r31) and RISC-V-style ABI names are accepted.
+var regNames = buildRegNames()
+
+func buildRegNames() map[string]uint8 {
+	m := make(map[string]uint8, 96)
+	for i := 0; i < NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = uint8(i)
+		m[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+	m["zero"] = 0
+	m["ra"] = 1
+	m["sp"] = 2
+	m["gp"] = 3
+	m["tp"] = 4
+	for i, r := range []uint8{5, 6, 7, 28, 29, 30, 31} {
+		m[fmt.Sprintf("t%d", i)] = r
+	}
+	m["s0"], m["fp"] = 8, 8
+	m["s1"] = 9
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint8(16 + i)
+	}
+	for i := 0; i <= 7; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint8(10 + i)
+	}
+	return m
+}
+
+var opByName = buildOpByName()
+
+func buildOpByName() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.Name()] = op
+	}
+	return m
+}
+
+// AsmError describes an assembly failure with its source line.
+type AsmError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+// Assemble parses assembler text into a Program.
+//
+// Syntax: one instruction or "label:" per line; "#" and "//" start comments.
+// Operands are registers (r4, a0, t1, ...), immediates (decimal, 0x hex,
+// 'c' character), imm(reg) memory operands, or label references for branch
+// and jump targets. Supported pseudo-instructions: nop, mv, neg, not, j,
+// jr, call, ret, beqz, bnez, blez, bgez, bltz, bgtz, ble, bgt, bleu, bgtu,
+// seqz, snez, li (canonical).
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		inst  Inst
+		label string // unresolved branch/jump target, "" if resolved
+		line  int
+		text  string
+	}
+	var insts []pending
+	labels := make(map[string]int)
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, &AsmError{Line: ln + 1, Text: raw, Msg: fmt.Sprintf("invalid label %q", label)}
+			}
+			if _, dup := labels[label]; dup {
+				return nil, &AsmError{Line: ln + 1, Text: raw, Msg: fmt.Sprintf("duplicate label %q", label)}
+			}
+			labels[label] = len(insts)
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		expanded, target, err := parseLine(line)
+		if err != nil {
+			return nil, &AsmError{Line: ln + 1, Text: raw, Msg: err.Error()}
+		}
+		for i, inst := range expanded {
+			p := pending{inst: inst, line: ln + 1, text: raw}
+			// Only the final instruction of a pseudo expansion carries the
+			// label reference.
+			if target != "" && i == len(expanded)-1 {
+				p.label = target
+			}
+			insts = append(insts, p)
+		}
+	}
+
+	prog := &Program{Name: name, Labels: labels, Insts: make([]Inst, len(insts))}
+	for i, p := range insts {
+		if p.label != "" {
+			tgt, ok := labels[p.label]
+			if !ok {
+				return nil, &AsmError{Line: p.line, Text: p.text, Msg: fmt.Sprintf("undefined label %q", p.label)}
+			}
+			p.inst.Imm = int64(tgt)
+		}
+		prog.Insts[i] = p.inst
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; used for the built-in
+// kernels, whose sources are compile-time constants.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseLine parses one instruction line, expanding pseudo-instructions.
+// It returns the instructions and, if the line references a label, the label
+// name (the final returned instruction's Imm must be patched to it).
+func parseLine(line string) ([]Inst, string, error) {
+	mnemonic, rest := splitMnemonic(line)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "mv":
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: ADDI, Rd: rd, Rs1: rs}}, "", nil
+	case "neg":
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: SUB, Rd: rd, Rs1: 0, Rs2: rs}}, "", nil
+	case "not":
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: XORI, Rd: rd, Rs1: rs, Imm: -1}}, "", nil
+	case "seqz":
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		// rd = (rs != 0), then invert the low bit.
+		return []Inst{
+			{Op: SLTU, Rd: rd, Rs1: 0, Rs2: rs},
+			{Op: XORI, Rd: rd, Rs1: rd, Imm: 1},
+		}, "", nil
+	case "snez":
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: SLTU, Rd: rd, Rs1: 0, Rs2: rs}}, "", nil
+	case "j":
+		if err := expectOps(ops, 1); err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: JAL, Rd: 0}}, ops[0], nil
+	case "call":
+		if err := expectOps(ops, 1); err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: JAL, Rd: 1}}, ops[0], nil
+	case "jr":
+		if err := expectOps(ops, 1); err != nil {
+			return nil, "", err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: JALR, Rd: 0, Rs1: rs}}, "", nil
+	case "ret":
+		return []Inst{{Op: JALR, Rd: 0, Rs1: 1}}, "", nil
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		var inst Inst
+		switch mnemonic {
+		case "beqz":
+			inst = Inst{Op: BEQ, Rs1: rs, Rs2: 0}
+		case "bnez":
+			inst = Inst{Op: BNE, Rs1: rs, Rs2: 0}
+		case "blez":
+			inst = Inst{Op: BGE, Rs1: 0, Rs2: rs}
+		case "bgez":
+			inst = Inst{Op: BGE, Rs1: rs, Rs2: 0}
+		case "bltz":
+			inst = Inst{Op: BLT, Rs1: rs, Rs2: 0}
+		case "bgtz":
+			inst = Inst{Op: BLT, Rs1: 0, Rs2: rs}
+		}
+		return []Inst{inst}, ops[1], nil
+	case "ble", "bgt", "bleu", "bgtu":
+		if err := expectOps(ops, 3); err != nil {
+			return nil, "", err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		rs2, err := parseReg(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		var inst Inst
+		switch mnemonic {
+		case "ble":
+			inst = Inst{Op: BGE, Rs1: rs2, Rs2: rs1}
+		case "bgt":
+			inst = Inst{Op: BLT, Rs1: rs2, Rs2: rs1}
+		case "bleu":
+			inst = Inst{Op: BGEU, Rs1: rs2, Rs2: rs1}
+		case "bgtu":
+			inst = Inst{Op: BLTU, Rs1: rs2, Rs2: rs1}
+		}
+		return []Inst{inst}, ops[2], nil
+	}
+
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	switch op.Fmt() {
+	case FmtN:
+		if err := expectOps(ops, 0); err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op}}, "", nil
+
+	case FmtR:
+		if err := expectOps(ops, 3); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		rs2, err := parseReg(ops[2])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, "", nil
+
+	case FmtI:
+		if err := expectOps(ops, 3); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, "", nil
+
+	case FmtLI:
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rd: rd, Imm: imm}}, "", nil
+
+	case FmtLoad, FmtJR:
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, "", nil
+
+	case FmtStore:
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		imm, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}}, "", nil
+
+	case FmtBranch:
+		if err := expectOps(ops, 3); err != nil {
+			return nil, "", err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		rs2, err := parseReg(ops[1])
+		if err != nil {
+			return nil, "", err
+		}
+		inst := Inst{Op: op, Rs1: rs1, Rs2: rs2}
+		if imm, err := parseImm(ops[2]); err == nil {
+			inst.Imm = imm
+			return []Inst{inst}, "", nil
+		}
+		return []Inst{inst}, ops[2], nil
+
+	case FmtJ:
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, "", err
+		}
+		inst := Inst{Op: op, Rd: rd}
+		if imm, err := parseImm(ops[1]); err == nil {
+			inst.Imm = imm
+			return []Inst{inst}, "", nil
+		}
+		return []Inst{inst}, ops[1], nil
+
+	case FmtU:
+		if err := expectOps(ops, 2); err != nil {
+			return nil, "", err
+		}
+		rd, rs, err := reg2(ops)
+		if err != nil {
+			return nil, "", err
+		}
+		return []Inst{{Op: op, Rd: rd, Rs1: rs}}, "", nil
+	}
+	return nil, "", fmt.Errorf("unhandled format for %q", mnemonic)
+}
+
+func splitMnemonic(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return strings.ToLower(line), ""
+	}
+	return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+func splitOperands(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func expectOps(ops []string, n int) error {
+	if len(ops) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(ops))
+	}
+	return nil
+}
+
+func reg2(ops []string) (uint8, uint8, error) {
+	if err := expectOps(ops, 2); err != nil {
+		return 0, 0, err
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	rs, err := parseReg(ops[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return rd, rs, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if r, ok := regNames[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("invalid register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		switch body {
+		case `\n`:
+			return '\n', nil
+		case `\t`:
+			return '\t', nil
+		case `\0`:
+			return 0, nil
+		case `\\`:
+			return '\\', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("invalid character literal %q", s)
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex (e.g. addresses >= 2^63).
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("invalid immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "imm(reg)" or "(reg)".
+func parseMem(s string) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("invalid memory operand %q", s)
+	}
+	var imm int64
+	if open > 0 {
+		v, err := parseImm(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	reg, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", `
+		# compute 6*7 into a0
+		li   t0, 6
+		li   t1, 7
+		mul  a0, t0, t1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	if p.Insts[2].Op != MUL || p.Insts[2].Rd != 10 {
+		t.Fatalf("inst 2 = %v", p.Insts[2])
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p, err := Assemble("t", `
+	start:
+		addi t0, t0, 1
+		blt  t0, a0, start
+		beqz t1, done
+		j    start
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Insts[1].Imm; got != 0 {
+		t.Fatalf("blt target = %d, want 0", got)
+	}
+	if got := p.Insts[2].Imm; got != 4 {
+		t.Fatalf("beqz target = %d, want 4", got)
+	}
+	if p.Insts[3].Op != JAL || p.Insts[3].Rd != 0 || p.Insts[3].Imm != 0 {
+		t.Fatalf("j = %v", p.Insts[3])
+	}
+	if p.Entry("done") != 4 {
+		t.Fatalf("Entry(done) = %d", p.Entry("done"))
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p, err := Assemble("t", `
+		ld  a0, 16(sp)
+		sb  a1, (a0)
+		sw  a2, -8(s0)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.Insts[0]; in.Op != LD || in.Imm != 16 || in.Rs1 != 2 || in.Rd != 10 {
+		t.Fatalf("ld = %v", in)
+	}
+	if in := p.Insts[1]; in.Op != SB || in.Imm != 0 || in.Rs1 != 10 || in.Rs2 != 11 {
+		t.Fatalf("sb = %v", in)
+	}
+	if in := p.Insts[2]; in.Imm != -8 || in.Rs1 != 8 {
+		t.Fatalf("sw = %v", in)
+	}
+}
+
+func TestAssembleImmediateForms(t *testing.T) {
+	p, err := Assemble("t", `
+		li a0, 0x10
+		li a1, -42
+		li a2, 'A'
+		li a3, '\n'
+		li a4, 0xF000000000000000
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{16, -42, 65, 10, -1152921504606846976}
+	for i, w := range want {
+		if p.Insts[i].Imm != w {
+			t.Fatalf("imm %d = %d, want %d", i, p.Insts[i].Imm, w)
+		}
+	}
+}
+
+func TestAssemblePseudoExpansion(t *testing.T) {
+	p, err := Assemble("t", `
+		mv   a0, a1
+		neg  a2, a3
+		not  a4, a5
+		snez a6, a7
+		seqz t0, t1
+		ble  t2, t3, out
+		bgt  t2, t3, out
+		ret
+	out: halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != ADDI || p.Insts[0].Rs1 != 11 {
+		t.Fatalf("mv = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != SUB || p.Insts[1].Rs1 != 0 {
+		t.Fatalf("neg = %v", p.Insts[1])
+	}
+	// seqz expands to two instructions.
+	if p.Insts[4].Op != SLTU || p.Insts[5].Op != XORI {
+		t.Fatalf("seqz = %v %v", p.Insts[4], p.Insts[5])
+	}
+	// ble a,b -> bge b,a with the label on the expansion's last inst.
+	ble := p.Insts[6]
+	if ble.Op != BGE || ble.Rs1 != 28 || ble.Rs2 != 7 || ble.Imm != int64(p.Entry("out")) {
+		t.Fatalf("ble = %v", ble)
+	}
+	ret := p.Insts[8]
+	if ret.Op != JALR || ret.Rs1 != 1 || ret.Rd != 0 {
+		t.Fatalf("ret = %v", ret)
+	}
+}
+
+func TestAssembleLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("t", "loop: addi t0, t0, 1\n j loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry("loop") != 0 || p.Insts[1].Imm != 0 {
+		t.Fatalf("labels = %v insts = %v", p.Labels, p.Insts)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"frobnicate a0, a1", "unknown mnemonic"},
+		{"add a0, a1", "expected 3 operands"},
+		{"li a0, zzz", "invalid immediate"},
+		{"add a0, a1, q9", "invalid register"},
+		{"beq a0, a1, missing", `undefined label "missing"`},
+		{"x: halt\nx: halt", "duplicate label"},
+		{"9bad: halt", "invalid label"},
+		{"ld a0, 8[sp]", "invalid memory operand"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Fatalf("src %q: expected error", c.src)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("src %q: error %q missing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("t", "nop\nnop\nbadop\n")
+	ae, ok := err.(*AsmError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Fatalf("line = %d, want 3", ae.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustAssemble("t", "nonsense")
+}
+
+func TestRegisterAliases(t *testing.T) {
+	pairs := map[string]uint8{
+		"zero": 0, "ra": 1, "sp": 2, "fp": 8, "s0": 8, "s1": 9,
+		"s2": 18, "s11": 27, "a0": 10, "a7": 17,
+		"t0": 5, "t2": 7, "t3": 28, "t6": 31, "r17": 17, "x31": 31,
+	}
+	for name, want := range pairs {
+		got, err := parseReg(name)
+		if err != nil {
+			t.Fatalf("parseReg(%s): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("parseReg(%s) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestNumericBranchTarget(t *testing.T) {
+	p, err := Assemble("t", "beq a0, a1, 7\njal ra, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 7 || p.Insts[1].Imm != 3 {
+		t.Fatalf("targets = %d %d", p.Insts[0].Imm, p.Insts[1].Imm)
+	}
+}

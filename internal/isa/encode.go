@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstBytes is the size of one encoded instruction: a fixed 16-byte record
+// (opcode, three register fields, and a full 64-bit immediate). The encoding
+// is intentionally simple — it exists for storing assembled kernels and for
+// round-trip testing, not for modelling fetch bandwidth (the timing model
+// charges 4 bytes per instruction, like the ARM11-class cores the paper's
+// TCG extends).
+const InstBytes = 16
+
+// Encode appends the binary encoding of in to dst and returns the result.
+func Encode(dst []byte, in Inst) []byte {
+	var buf [InstBytes]byte
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(in.Op))
+	buf[2] = in.Rd
+	buf[3] = in.Rs1
+	buf[4] = in.Rs2
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(in.Imm))
+	return append(dst, buf[:]...)
+}
+
+// Decode parses one instruction from b.
+func Decode(b []byte) (Inst, error) {
+	if len(b) < InstBytes {
+		return Inst{}, fmt.Errorf("isa: short instruction record: %d bytes", len(b))
+	}
+	in := Inst{
+		Op:  Opcode(binary.LittleEndian.Uint16(b[0:2])),
+		Rd:  b[2],
+		Rs1: b[3],
+		Rs2: b[4],
+		Imm: int64(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", uint16(in.Op))
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes all instructions of p.
+func EncodeProgram(p *Program) []byte {
+	out := make([]byte, 0, len(p.Insts)*InstBytes)
+	for _, in := range p.Insts {
+		out = Encode(out, in)
+	}
+	return out
+}
+
+// DecodeProgram parses a byte stream produced by EncodeProgram.
+func DecodeProgram(name string, b []byte) (*Program, error) {
+	if len(b)%InstBytes != 0 {
+		return nil, fmt.Errorf("isa: program size %d not a multiple of %d", len(b), InstBytes)
+	}
+	p := &Program{Name: name, Labels: map[string]int{}}
+	for off := 0; off < len(b); off += InstBytes {
+		in, err := Decode(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	return p, nil
+}
+
+// Disassemble renders the whole program as assembler text, annotating
+// instruction indices so branch targets can be followed.
+func Disassemble(p *Program) string {
+	// Invert labels for annotation.
+	byIndex := make(map[int][]string)
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	var out []byte
+	for i, in := range p.Insts {
+		for _, l := range byIndex[i] {
+			out = append(out, l...)
+			out = append(out, ':', '\n')
+		}
+		out = append(out, fmt.Sprintf("%5d:  %s\n", i, in.String())...)
+	}
+	for _, l := range byIndex[len(p.Insts)] {
+		out = append(out, l...)
+		out = append(out, ':', '\n')
+	}
+	return string(out)
+}

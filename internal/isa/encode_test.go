@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(op uint16, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{
+			Op:  Opcode(op % uint16(numOpcodes)),
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs,
+			Imm: imm,
+		}
+		buf := Encode(nil, in)
+		if len(buf) != InstBytes {
+			return false
+		}
+		out, err := Decode(buf)
+		return err == nil && out == in
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	buf := Encode(nil, Inst{Op: ADD})
+	buf[0] = 0xFF
+	buf[1] = 0xFF
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("expected invalid opcode error")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	buf := Encode(nil, Inst{Op: ADD})
+	buf[2] = 40
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("expected register range error")
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, 3)); err == nil {
+		t.Fatal("expected short buffer error")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := MustAssemble("demo", `
+	loop:
+		addi t0, t0, 1
+		blt  t0, a0, loop
+		sd   t0, 0(a1)
+		halt
+	`)
+	enc := EncodeProgram(p)
+	if len(enc) != p.Len()*InstBytes {
+		t.Fatalf("encoded size %d", len(enc))
+	}
+	back, err := DecodeProgram("demo", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != p.Len() {
+		t.Fatalf("len %d != %d", back.Len(), p.Len())
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != back.Insts[i] {
+			t.Fatalf("inst %d: %v != %v", i, p.Insts[i], back.Insts[i])
+		}
+	}
+}
+
+func TestDecodeProgramBadSize(t *testing.T) {
+	if _, err := DecodeProgram("x", make([]byte, InstBytes+1)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestAssembleDisassembleReassemble(t *testing.T) {
+	src := `
+	entry:
+		li   a2, 100
+		add  a3, a0, a1
+		lw   t0, 4(a3)
+		sw   t0, 8(a3)
+		bne  t0, zero, entry
+		fadd a4, a4, a3
+		fcvt.d.l a5, a2
+		jal  ra, entry
+		halt
+	`
+	p := MustAssemble("d", src)
+	dis := Disassemble(p)
+	// Strip index annotations and reassemble.
+	var lines []string
+	for _, l := range strings.Split(dis, "\n") {
+		if i := strings.Index(l, ":  "); i >= 0 && !strings.HasSuffix(l, ":") {
+			lines = append(lines, l[i+3:])
+		} else {
+			lines = append(lines, l)
+		}
+	}
+	p2, err := Assemble("d2", strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassemble: %v\ndisasm:\n%s", err, dis)
+	}
+	if p2.Len() != p.Len() {
+		t.Fatalf("len %d != %d", p2.Len(), p.Len())
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != p2.Insts[i] {
+			t.Fatalf("inst %d: %v != %v", i, p.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestOpcodeMetadata(t *testing.T) {
+	if !LB.IsLoad() || LB.AccessSize() != 1 || !LB.IsMem() {
+		t.Fatal("LB metadata wrong")
+	}
+	if !SD.IsStore() || SD.AccessSize() != 8 {
+		t.Fatal("SD metadata wrong")
+	}
+	if !BEQ.IsBranch() || BEQ.IsMem() {
+		t.Fatal("BEQ metadata wrong")
+	}
+	if !FMUL.IsFP() || FMUL.Latency() < 2 {
+		t.Fatal("FMUL metadata wrong")
+	}
+	if ADD.AccessSize() != 0 || ADD.Latency() != 1 {
+		t.Fatal("ADD metadata wrong")
+	}
+	if Opcode(9999).Valid() {
+		t.Fatal("bogus opcode reported valid")
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.Name() == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestDisassemblyGoldenForms(t *testing.T) {
+	cases := map[string]Inst{
+		"add r3, r1, r2":   {Op: ADD, Rd: 3, Rs1: 1, Rs2: 2},
+		"addi r3, r1, -5":  {Op: ADDI, Rd: 3, Rs1: 1, Imm: -5},
+		"li r4, 99":        {Op: LI, Rd: 4, Imm: 99},
+		"lbu r5, 16(r6)":   {Op: LBU, Rd: 5, Rs1: 6, Imm: 16},
+		"sd r7, -8(r8)":    {Op: SD, Rs1: 8, Rs2: 7, Imm: -8},
+		"beq r1, r2, 12":   {Op: BEQ, Rs1: 1, Rs2: 2, Imm: 12},
+		"jal r1, 4":        {Op: JAL, Rd: 1, Imm: 4},
+		"jalr r0, 0(r1)":   {Op: JALR, Rd: 0, Rs1: 1},
+		"fcvt.d.l r9, r10": {Op: FCVTDL, Rd: 9, Rs1: 10},
+		"halt":             {Op: HALT},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

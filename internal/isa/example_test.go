@@ -1,0 +1,43 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+)
+
+// Example assembles a small program and runs it on the golden interpreter.
+func Example() {
+	prog, err := isa.Assemble("triangle", `
+		# a0 = n; returns 1+2+...+n in memory at a1.
+		li   t0, 0          # i
+		li   t1, 0          # sum
+	loop:
+		addi t0, t0, 1
+		add  t1, t1, t0
+		blt  t0, a0, loop
+		sd   t1, 0(a1)
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m := isa.NewMachine(mem.NewSparse())
+	m.Regs.Set(10, 10)     // a0 = n
+	m.Regs.Set(11, 0x1000) // a1 = result address
+	if err := m.Run(prog, 1000); err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Mem.Read(0x1000, 8))
+	// Output: 55
+}
+
+// ExampleDisassemble shows the round-trippable listing format.
+func ExampleDisassemble() {
+	prog := isa.MustAssemble("demo", "li a0, 7\nhalt")
+	fmt.Print(isa.Disassemble(prog))
+	// Output:
+	//     0:  li r10, 7
+	//     1:  halt
+}

@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Memory is the functional view of a byte-addressed little-endian memory.
+// Read returns the zero-extended raw bytes; Write stores the low size bytes
+// of val.
+type Memory interface {
+	Read(addr uint64, size int) uint64
+	Write(addr uint64, size int, val uint64)
+}
+
+// Regs is a general register file. Index 0 always reads as zero; writes to
+// it are discarded.
+type Regs [NumRegs]int64
+
+// Get reads register r.
+func (r *Regs) Get(i uint8) int64 {
+	if i == 0 {
+		return 0
+	}
+	return r[i]
+}
+
+// Set writes register r (writes to r0 are ignored).
+func (r *Regs) Set(i uint8, v int64) {
+	if i != 0 {
+		r[i] = v
+	}
+}
+
+func f(v int64) float64  { return math.Float64frombits(uint64(v)) }
+func fi(v float64) int64 { return int64(math.Float64bits(v)) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExecALU executes a non-memory, non-branch instruction against regs.
+// It panics on memory/branch opcodes; callers route those separately.
+func ExecALU(in Inst, regs *Regs) {
+	a := regs.Get(in.Rs1)
+	b := regs.Get(in.Rs2)
+	var v int64
+	switch in.Op {
+	case NOP, HALT:
+		return
+	case ADD:
+		v = a + b
+	case SUB:
+		v = a - b
+	case MUL:
+		v = a * b
+	case DIV:
+		if b == 0 {
+			v = -1
+		} else {
+			v = a / b
+		}
+	case REM:
+		if b == 0 {
+			v = a
+		} else {
+			v = a % b
+		}
+	case AND:
+		v = a & b
+	case OR:
+		v = a | b
+	case XOR:
+		v = a ^ b
+	case SLL:
+		v = a << (uint64(b) & 63)
+	case SRL:
+		v = int64(uint64(a) >> (uint64(b) & 63))
+	case SRA:
+		v = a >> (uint64(b) & 63)
+	case SLT:
+		v = b2i(a < b)
+	case SLTU:
+		v = b2i(uint64(a) < uint64(b))
+	case ADDI:
+		v = a + in.Imm
+	case ANDI:
+		v = a & in.Imm
+	case ORI:
+		v = a | in.Imm
+	case XORI:
+		v = a ^ in.Imm
+	case SLLI:
+		v = a << (uint64(in.Imm) & 63)
+	case SRLI:
+		v = int64(uint64(a) >> (uint64(in.Imm) & 63))
+	case SRAI:
+		v = a >> (uint64(in.Imm) & 63)
+	case SLTI:
+		v = b2i(a < in.Imm)
+	case LI:
+		v = in.Imm
+	case FADD:
+		v = fi(f(a) + f(b))
+	case FSUB:
+		v = fi(f(a) - f(b))
+	case FMUL:
+		v = fi(f(a) * f(b))
+	case FDIV:
+		v = fi(f(a) / f(b))
+	case FMIN:
+		v = fi(math.Min(f(a), f(b)))
+	case FMAX:
+		v = fi(math.Max(f(a), f(b)))
+	case FLT:
+		v = b2i(f(a) < f(b))
+	case FLE:
+		v = b2i(f(a) <= f(b))
+	case FEQ:
+		v = b2i(f(a) == f(b))
+	case FCVTDL:
+		v = fi(float64(a))
+	case FCVTLD:
+		v = int64(f(a))
+	default:
+		panic(fmt.Sprintf("isa: ExecALU on %s", in.Op.Name()))
+	}
+	regs.Set(in.Rd, v)
+}
+
+// ExecBranch evaluates a branch/jump at pc and returns the next pc and
+// whether control transferred.
+func ExecBranch(in Inst, pc int, regs *Regs) (next int, taken bool) {
+	a := regs.Get(in.Rs1)
+	b := regs.Get(in.Rs2)
+	switch in.Op {
+	case BEQ:
+		taken = a == b
+	case BNE:
+		taken = a != b
+	case BLT:
+		taken = a < b
+	case BGE:
+		taken = a >= b
+	case BLTU:
+		taken = uint64(a) < uint64(b)
+	case BGEU:
+		taken = uint64(a) >= uint64(b)
+	case JAL:
+		regs.Set(in.Rd, int64(pc+1))
+		return int(in.Imm), true
+	case JALR:
+		target := int(regs.Get(in.Rs1) + in.Imm)
+		regs.Set(in.Rd, int64(pc+1))
+		return target, true
+	default:
+		panic(fmt.Sprintf("isa: ExecBranch on %s", in.Op.Name()))
+	}
+	if taken {
+		return int(in.Imm), true
+	}
+	return pc + 1, false
+}
+
+// EffAddr computes the effective address of a memory instruction.
+func EffAddr(in Inst, regs *Regs) uint64 {
+	return uint64(regs.Get(in.Rs1) + in.Imm)
+}
+
+// StoreValue returns the raw bytes a store writes.
+func StoreValue(in Inst, regs *Regs) uint64 {
+	return uint64(regs.Get(in.Rs2))
+}
+
+// LoadResult converts raw zero-extended load data to the register value,
+// applying sign extension for the signed variants.
+func LoadResult(op Opcode, raw uint64) int64 {
+	switch op {
+	case LB:
+		return int64(int8(raw))
+	case LH:
+		return int64(int16(raw))
+	case LW:
+		return int64(int32(raw))
+	case LBU, LHU, LWU, LD:
+		return int64(raw)
+	}
+	panic(fmt.Sprintf("isa: LoadResult on %s", op.Name()))
+}
+
+// Machine is a purely functional interpreter for assembled programs. It is
+// the golden model the cycle-level cores are tested against, and the fast
+// path used to validate kernel outputs against Go reference implementations.
+type Machine struct {
+	Regs   Regs
+	PC     int
+	Halted bool
+	Mem    Memory
+
+	// Executed counts dynamically executed instructions.
+	Executed uint64
+	// MemOps counts executed loads+stores.
+	MemOps uint64
+}
+
+// NewMachine returns a machine bound to mem with all registers zero.
+func NewMachine(mem Memory) *Machine { return &Machine{Mem: mem} }
+
+// Step executes one instruction of p. It reports an error when the PC leaves
+// the program.
+func (m *Machine) Step(p *Program) error {
+	if m.Halted {
+		return nil
+	}
+	if m.PC < 0 || m.PC >= len(p.Insts) {
+		return fmt.Errorf("isa: pc %d out of range [0,%d)", m.PC, len(p.Insts))
+	}
+	in := p.Insts[m.PC]
+	m.Executed++
+	switch {
+	case in.Op == HALT:
+		m.Halted = true
+	case in.Op.IsBranch():
+		m.PC, _ = ExecBranch(in, m.PC, &m.Regs)
+		return nil
+	case in.Op.IsLoad():
+		m.MemOps++
+		raw := m.Mem.Read(EffAddr(in, &m.Regs), in.Op.AccessSize())
+		m.Regs.Set(in.Rd, LoadResult(in.Op, raw))
+	case in.Op.IsStore():
+		m.MemOps++
+		m.Mem.Write(EffAddr(in, &m.Regs), in.Op.AccessSize(), StoreValue(in, &m.Regs))
+	default:
+		ExecALU(in, &m.Regs)
+	}
+	m.PC++
+	return nil
+}
+
+// Run executes p until HALT or maxSteps instructions.
+func (m *Machine) Run(p *Program, maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if m.Halted {
+			return nil
+		}
+		if err := m.Step(p); err != nil {
+			return err
+		}
+	}
+	if !m.Halted {
+		return fmt.Errorf("isa: program %q did not halt within %d steps", p.Name, maxSteps)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smarco/internal/mem"
+)
+
+func runProg(t *testing.T, src string, setup func(*Machine)) *Machine {
+	t.Helper()
+	p := MustAssemble("t", src)
+	m := NewMachine(mem.NewSparse())
+	if setup != nil {
+		setup(m)
+	}
+	if err := m.Run(p, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineArithmetic(t *testing.T) {
+	m := runProg(t, `
+		li  t0, 10
+		li  t1, 3
+		add a0, t0, t1
+		sub a1, t0, t1
+		mul a2, t0, t1
+		div a3, t0, t1
+		rem a4, t0, t1
+		halt
+	`, nil)
+	want := map[uint8]int64{10: 13, 11: 7, 12: 30, 13: 3, 14: 1}
+	for r, w := range want {
+		if m.Regs.Get(r) != w {
+			t.Fatalf("r%d = %d, want %d", r, m.Regs.Get(r), w)
+		}
+	}
+}
+
+func TestMachineDivByZero(t *testing.T) {
+	m := runProg(t, `
+		li  t0, 10
+		div a0, t0, zero
+		rem a1, t0, zero
+		halt
+	`, nil)
+	if m.Regs.Get(10) != -1 || m.Regs.Get(11) != 10 {
+		t.Fatalf("div0 = %d rem0 = %d", m.Regs.Get(10), m.Regs.Get(11))
+	}
+}
+
+func TestMachineShiftAndLogic(t *testing.T) {
+	m := runProg(t, `
+		li   t0, 0xF0
+		li   t1, 0x0F
+		and  a0, t0, t1
+		or   a1, t0, t1
+		xor  a2, t0, t1
+		slli a3, t1, 4
+		li   t2, -16
+		srai a4, t2, 2
+		srli a5, t2, 60
+		halt
+	`, nil)
+	checks := map[uint8]int64{10: 0, 11: 0xFF, 12: 0xFF, 13: 0xF0, 14: -4, 15: 15}
+	for r, w := range checks {
+		if m.Regs.Get(r) != w {
+			t.Fatalf("r%d = %d, want %d", r, m.Regs.Get(r), w)
+		}
+	}
+}
+
+func TestMachineComparisons(t *testing.T) {
+	m := runProg(t, `
+		li   t0, -1
+		li   t1, 1
+		slt  a0, t0, t1
+		sltu a1, t0, t1
+		slti a2, t1, 100
+		halt
+	`, nil)
+	if m.Regs.Get(10) != 1 {
+		t.Fatal("slt signed failed")
+	}
+	if m.Regs.Get(11) != 0 {
+		t.Fatal("sltu: -1 should be max unsigned")
+	}
+	if m.Regs.Get(12) != 1 {
+		t.Fatal("slti failed")
+	}
+}
+
+func TestMachineLoadStoreGranularities(t *testing.T) {
+	m := runProg(t, `
+		li t0, 0x1000
+		li t1, -2
+		sb t1, 0(t0)
+		sh t1, 8(t0)
+		sw t1, 16(t0)
+		sd t1, 24(t0)
+		lb  a0, 0(t0)
+		lbu a1, 0(t0)
+		lh  a2, 8(t0)
+		lhu a3, 8(t0)
+		lw  a4, 16(t0)
+		lwu a5, 16(t0)
+		ld  a6, 24(t0)
+		halt
+	`, nil)
+	checks := map[uint8]int64{
+		10: -2, 11: 0xFE,
+		12: -2, 13: 0xFFFE,
+		14: -2, 15: 0xFFFFFFFE,
+		16: -2,
+	}
+	for r, w := range checks {
+		if m.Regs.Get(r) != w {
+			t.Fatalf("r%d = %#x, want %#x", r, m.Regs.Get(r), w)
+		}
+	}
+	if m.MemOps != 11 {
+		t.Fatalf("MemOps = %d, want 11", m.MemOps)
+	}
+}
+
+func TestMachineControlFlowLoop(t *testing.T) {
+	m := runProg(t, `
+		li  t0, 0
+		li  t1, 0
+	loop:
+		add t1, t1, t0
+		addi t0, t0, 1
+		li  t2, 101
+		blt t0, t2, loop
+		mv  a0, t1
+		halt
+	`, nil)
+	if m.Regs.Get(10) != 5050 {
+		t.Fatalf("sum = %d, want 5050", m.Regs.Get(10))
+	}
+}
+
+func TestMachineCallReturn(t *testing.T) {
+	m := runProg(t, `
+		li   a0, 5
+		call double
+		call double
+		halt
+	double:
+		add  a0, a0, a0
+		ret
+	`, nil)
+	if m.Regs.Get(10) != 20 {
+		t.Fatalf("a0 = %d, want 20", m.Regs.Get(10))
+	}
+}
+
+func TestMachineFloatOps(t *testing.T) {
+	m := runProg(t, `
+		li t0, 3
+		li t1, 4
+		fcvt.d.l s2, t0
+		fcvt.d.l s3, t1
+		fmul s4, s2, s2
+		fmul s5, s3, s3
+		fadd s6, s4, s5   # 9 + 16 = 25
+		fcvt.l.d a0, s6
+		flt  a1, s2, s3
+		fle  a2, s3, s3
+		feq  a3, s2, s3
+		fmin a4, s2, s3
+		fmax a5, s2, s3
+		fdiv s7, s3, s2
+		fsub s8, s3, s2
+		halt
+	`, nil)
+	if m.Regs.Get(10) != 25 {
+		t.Fatalf("3^2+4^2 = %d, want 25", m.Regs.Get(10))
+	}
+	if m.Regs.Get(11) != 1 || m.Regs.Get(12) != 1 || m.Regs.Get(13) != 0 {
+		t.Fatal("float comparisons wrong")
+	}
+	if math.Float64frombits(uint64(m.Regs.Get(14))) != 3 {
+		t.Fatal("fmin wrong")
+	}
+	if math.Float64frombits(uint64(m.Regs.Get(15))) != 4 {
+		t.Fatal("fmax wrong")
+	}
+	if got := math.Float64frombits(uint64(m.Regs.Get(23))); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("fdiv = %v", got)
+	}
+	if got := math.Float64frombits(uint64(m.Regs.Get(24))); got != 1 {
+		t.Fatalf("fsub = %v", got)
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	m := runProg(t, `
+		li   zero, 55
+		addi zero, zero, 7
+		mv   a0, zero
+		halt
+	`, nil)
+	if m.Regs.Get(10) != 0 {
+		t.Fatalf("r0 = %d, want 0", m.Regs.Get(10))
+	}
+}
+
+func TestMachinePCOutOfRange(t *testing.T) {
+	p := MustAssemble("t", "jal zero, 99")
+	m := NewMachine(mem.NewSparse())
+	if err := m.Step(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(p); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestMachineRunTimeout(t *testing.T) {
+	p := MustAssemble("t", "x: j x")
+	m := NewMachine(mem.NewSparse())
+	if err := m.Run(p, 100); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestLoadResultProperty(t *testing.T) {
+	if err := quick.Check(func(raw uint64) bool {
+		if LoadResult(LB, raw&0xFF) != int64(int8(raw)) {
+			return false
+		}
+		if LoadResult(LBU, raw&0xFF) != int64(raw&0xFF) {
+			return false
+		}
+		if LoadResult(LH, raw&0xFFFF) != int64(int16(raw)) {
+			return false
+		}
+		if LoadResult(LW, raw&0xFFFFFFFF) != int64(int32(raw)) {
+			return false
+		}
+		return LoadResult(LD, raw) == int64(raw)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestALUMatchesGo cross-checks ExecALU against direct Go arithmetic on
+// random operands for every binary integer op.
+func TestALUMatchesGo(t *testing.T) {
+	type ref func(a, b int64) int64
+	cases := map[Opcode]ref{
+		ADD: func(a, b int64) int64 { return a + b },
+		SUB: func(a, b int64) int64 { return a - b },
+		MUL: func(a, b int64) int64 { return a * b },
+		AND: func(a, b int64) int64 { return a & b },
+		OR:  func(a, b int64) int64 { return a | b },
+		XOR: func(a, b int64) int64 { return a ^ b },
+		SLL: func(a, b int64) int64 { return a << (uint64(b) & 63) },
+		SRL: func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) },
+		SRA: func(a, b int64) int64 { return a >> (uint64(b) & 63) },
+	}
+	for op, f := range cases {
+		op, f := op, f
+		if err := quick.Check(func(a, b int64) bool {
+			var regs Regs
+			regs.Set(1, a)
+			regs.Set(2, b)
+			ExecALU(Inst{Op: op, Rd: 3, Rs1: 1, Rs2: 2}, &regs)
+			return regs.Get(3) == f(a, b)
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", op.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package isa defines the 64-bit RISC instruction set executed by SmarCo TCG
+// cores and by the conventional-processor baseline, together with a text
+// assembler, a disassembler, and a binary encoding.
+//
+// The ISA is deliberately small — a load/store architecture with 32 general
+// registers used for both integer and floating-point values — because the
+// paper's evaluation depends only on the dynamic instruction mix (memory-op
+// ratio and access granularity), not on any particular encoding. Loads and
+// stores exist at 1-, 2-, 4- and 8-byte granularity so that kernels reproduce
+// the packet-size distribution of Fig. 8.
+package isa
+
+import "fmt"
+
+// NumRegs is the size of the general register file. Register 0 always reads
+// as zero, matching the usual RISC convention.
+const NumRegs = 32
+
+// Opcode identifies an instruction's operation.
+type Opcode uint16
+
+// The instruction set. Grouped by format; see Fmt.
+const (
+	NOP Opcode = iota
+	HALT
+
+	// Register-register integer ops: op rd, rs1, rs2.
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+
+	// Register-immediate integer ops: op rd, rs1, imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+
+	// LI loads a full 64-bit immediate: li rd, imm.
+	LI
+
+	// Loads: op rd, imm(rs1). Suffix gives granularity; U = zero-extend.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	LWU
+	LD
+
+	// Stores: op rs2, imm(rs1).
+	SB
+	SH
+	SW
+	SD
+
+	// Branches: op rs1, rs2, target (absolute instruction index).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// JAL rd, target stores the return index in rd. JALR rd, imm(rs1)
+	// jumps to rs1+imm.
+	JAL
+	JALR
+
+	// Floating point (float64 carried in the shared register file).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMIN
+	FMAX
+	FLT
+	FLE
+	FEQ
+
+	// Conversions: op rd, rs1.
+	FCVTDL // int64 -> float64
+	FCVTLD // float64 -> int64 (truncating)
+
+	numOpcodes
+)
+
+// Fmt describes an instruction's operand format.
+type Fmt uint8
+
+// Operand formats.
+const (
+	FmtN      Fmt = iota // no operands
+	FmtR                 // rd, rs1, rs2
+	FmtI                 // rd, rs1, imm
+	FmtLI                // rd, imm
+	FmtLoad              // rd, imm(rs1)
+	FmtStore             // rs2, imm(rs1)
+	FmtBranch            // rs1, rs2, target
+	FmtJ                 // rd, target
+	FmtJR                // rd, imm(rs1)
+	FmtU                 // rd, rs1
+)
+
+type opInfo struct {
+	name    string
+	fmt     Fmt
+	latency int // execution cycles in a TCG lane (memory ops: issue cost only)
+	size    int // access bytes for loads/stores, else 0
+	load    bool
+	store   bool
+	branch  bool
+	fp      bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	NOP:    {name: "nop", fmt: FmtN, latency: 1},
+	HALT:   {name: "halt", fmt: FmtN, latency: 1},
+	ADD:    {name: "add", fmt: FmtR, latency: 1},
+	SUB:    {name: "sub", fmt: FmtR, latency: 1},
+	MUL:    {name: "mul", fmt: FmtR, latency: 3},
+	DIV:    {name: "div", fmt: FmtR, latency: 12},
+	REM:    {name: "rem", fmt: FmtR, latency: 12},
+	AND:    {name: "and", fmt: FmtR, latency: 1},
+	OR:     {name: "or", fmt: FmtR, latency: 1},
+	XOR:    {name: "xor", fmt: FmtR, latency: 1},
+	SLL:    {name: "sll", fmt: FmtR, latency: 1},
+	SRL:    {name: "srl", fmt: FmtR, latency: 1},
+	SRA:    {name: "sra", fmt: FmtR, latency: 1},
+	SLT:    {name: "slt", fmt: FmtR, latency: 1},
+	SLTU:   {name: "sltu", fmt: FmtR, latency: 1},
+	ADDI:   {name: "addi", fmt: FmtI, latency: 1},
+	ANDI:   {name: "andi", fmt: FmtI, latency: 1},
+	ORI:    {name: "ori", fmt: FmtI, latency: 1},
+	XORI:   {name: "xori", fmt: FmtI, latency: 1},
+	SLLI:   {name: "slli", fmt: FmtI, latency: 1},
+	SRLI:   {name: "srli", fmt: FmtI, latency: 1},
+	SRAI:   {name: "srai", fmt: FmtI, latency: 1},
+	SLTI:   {name: "slti", fmt: FmtI, latency: 1},
+	LI:     {name: "li", fmt: FmtLI, latency: 1},
+	LB:     {name: "lb", fmt: FmtLoad, latency: 1, size: 1, load: true},
+	LBU:    {name: "lbu", fmt: FmtLoad, latency: 1, size: 1, load: true},
+	LH:     {name: "lh", fmt: FmtLoad, latency: 1, size: 2, load: true},
+	LHU:    {name: "lhu", fmt: FmtLoad, latency: 1, size: 2, load: true},
+	LW:     {name: "lw", fmt: FmtLoad, latency: 1, size: 4, load: true},
+	LWU:    {name: "lwu", fmt: FmtLoad, latency: 1, size: 4, load: true},
+	LD:     {name: "ld", fmt: FmtLoad, latency: 1, size: 8, load: true},
+	SB:     {name: "sb", fmt: FmtStore, latency: 1, size: 1, store: true},
+	SH:     {name: "sh", fmt: FmtStore, latency: 1, size: 2, store: true},
+	SW:     {name: "sw", fmt: FmtStore, latency: 1, size: 4, store: true},
+	SD:     {name: "sd", fmt: FmtStore, latency: 1, size: 8, store: true},
+	BEQ:    {name: "beq", fmt: FmtBranch, latency: 1, branch: true},
+	BNE:    {name: "bne", fmt: FmtBranch, latency: 1, branch: true},
+	BLT:    {name: "blt", fmt: FmtBranch, latency: 1, branch: true},
+	BGE:    {name: "bge", fmt: FmtBranch, latency: 1, branch: true},
+	BLTU:   {name: "bltu", fmt: FmtBranch, latency: 1, branch: true},
+	BGEU:   {name: "bgeu", fmt: FmtBranch, latency: 1, branch: true},
+	JAL:    {name: "jal", fmt: FmtJ, latency: 1, branch: true},
+	JALR:   {name: "jalr", fmt: FmtJR, latency: 1, branch: true},
+	FADD:   {name: "fadd", fmt: FmtR, latency: 3, fp: true},
+	FSUB:   {name: "fsub", fmt: FmtR, latency: 3, fp: true},
+	FMUL:   {name: "fmul", fmt: FmtR, latency: 4, fp: true},
+	FDIV:   {name: "fdiv", fmt: FmtR, latency: 12, fp: true},
+	FMIN:   {name: "fmin", fmt: FmtR, latency: 2, fp: true},
+	FMAX:   {name: "fmax", fmt: FmtR, latency: 2, fp: true},
+	FLT:    {name: "flt", fmt: FmtR, latency: 2, fp: true},
+	FLE:    {name: "fle", fmt: FmtR, latency: 2, fp: true},
+	FEQ:    {name: "feq", fmt: FmtR, latency: 2, fp: true},
+	FCVTDL: {name: "fcvt.d.l", fmt: FmtU, latency: 2, fp: true},
+	FCVTLD: {name: "fcvt.l.d", fmt: FmtU, latency: 2, fp: true},
+}
+
+// Name returns the assembler mnemonic.
+func (op Opcode) Name() string {
+	if op >= numOpcodes {
+		return fmt.Sprintf("op(%d)", uint16(op))
+	}
+	return opTable[op].name
+}
+
+// Fmt returns the operand format.
+func (op Opcode) Fmt() Fmt { return opTable[op].fmt }
+
+// Latency returns the execution latency in cycles (for memory ops, the
+// issue cost; the memory subsystem adds access latency).
+func (op Opcode) Latency() int { return opTable[op].latency }
+
+// AccessSize returns the memory access granularity in bytes, or 0 for
+// non-memory instructions.
+func (op Opcode) AccessSize() int { return opTable[op].size }
+
+// IsLoad reports whether the opcode reads memory.
+func (op Opcode) IsLoad() bool { return opTable[op].load }
+
+// IsStore reports whether the opcode writes memory.
+func (op Opcode) IsStore() bool { return opTable[op].store }
+
+// IsMem reports whether the opcode accesses memory.
+func (op Opcode) IsMem() bool { return opTable[op].load || opTable[op].store }
+
+// IsBranch reports whether the opcode can redirect control flow.
+func (op Opcode) IsBranch() bool { return opTable[op].branch }
+
+// IsFP reports whether the opcode is a floating-point operation.
+func (op Opcode) IsFP() bool { return opTable[op].fp }
+
+// Valid reports whether the opcode is defined.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Inst is one decoded instruction. Branch/jump targets are absolute
+// instruction indices stored in Imm.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op.Fmt() {
+	case FmtN:
+		return in.Op.Name()
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op.Name(), in.Rd, in.Rs1, in.Rs2)
+	case FmtI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op.Name(), in.Rd, in.Rs1, in.Imm)
+	case FmtLI:
+		return fmt.Sprintf("%s r%d, %d", in.Op.Name(), in.Rd, in.Imm)
+	case FmtLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op.Name(), in.Rd, in.Imm, in.Rs1)
+	case FmtStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op.Name(), in.Rs2, in.Imm, in.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op.Name(), in.Rs1, in.Rs2, in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s r%d, %d", in.Op.Name(), in.Rd, in.Imm)
+	case FmtJR:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op.Name(), in.Rd, in.Imm, in.Rs1)
+	case FmtU:
+		return fmt.Sprintf("%s r%d, r%d", in.Op.Name(), in.Rd, in.Rs1)
+	}
+	return fmt.Sprintf("%s ?", in.Op.Name())
+}
+
+// Program is an assembled instruction sequence with its resolved labels.
+type Program struct {
+	Name   string
+	Insts  []Inst
+	Labels map[string]int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Entry returns the instruction index of label, or 0 if absent.
+func (p *Program) Entry(label string) int {
+	if i, ok := p.Labels[label]; ok {
+		return i
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+// Package kernels contains the six high-throughput-computing benchmarks the
+// SmarCo paper evaluates (§4.1) — WordCount, TeraSort, Search, K-means, KMP
+// and RNC — each hand-written in the simulator's ISA, together with input
+// generators and Go reference implementations used to verify the simulated
+// output bit-for-bit.
+//
+// A workload is a shared memory image plus a set of independent tasks, which
+// is exactly the HTC execution model the paper targets: large numbers of
+// small, mutually independent requests.
+package kernels
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// Priority classifies a task for the laxity-aware scheduler and for MACT
+// bypass decisions.
+type Priority uint8
+
+// Task priorities. PriorityRealTime marks hard-real-time tasks: the
+// scheduler keeps them on the high-priority chain table and their memory
+// reads bypass MACT and may use the direct datapath.
+const (
+	PriorityNormal Priority = iota
+	PriorityRealTime
+)
+
+// StageRegion marks one task argument as a memory region the runtime
+// should stage into the core's SPM before the task starts (§3.6: "If the
+// capacity of TCG SPM is sufficient, the dataset is stored in the SPM").
+// The argument register is remapped to the region's SPM address; every
+// region is DMA-copied in (which also clears stale scratchpad contents),
+// and Out regions are written back to DRAM after the task halts.
+type StageRegion struct {
+	Arg   int // argument index (0..7) holding the region's base address
+	Bytes int
+	Out   bool // DMA SPM -> DRAM after halt
+}
+
+// Task is one schedulable unit of work: a program plus its eight argument
+// registers (loaded into a0..a7) and an optional deadline.
+type Task struct {
+	ID       int
+	Prog     *isa.Program
+	Args     [8]int64
+	Priority Priority
+	// Stage lists regions to place in SPM (empty = stream from DRAM).
+	Stage []StageRegion
+	// Deadline is the absolute cycle by which the task must finish
+	// (0 = none). Used by the schedulers and the Fig. 21 experiment.
+	Deadline uint64
+	// ReleaseCycle is when the task becomes available (0 = immediately).
+	ReleaseCycle uint64
+	// EstCycles is an execution-time estimate used for laxity scheduling.
+	EstCycles uint64
+}
+
+// Workload is a benchmark instance: a memory image, independent tasks over
+// it, and a verifier that checks every task's output against the Go
+// reference implementation.
+type Workload struct {
+	Name  string
+	Mem   *mem.Sparse
+	Tasks []Task
+	// Check verifies all task outputs after execution.
+	Check func() error
+}
+
+// Names lists the six benchmarks in the paper's order.
+var Names = []string{"wordcount", "terasort", "search", "kmeans", "kmp", "rnc"}
+
+// Config sizes a generated workload.
+type Config struct {
+	Seed  uint64
+	Tasks int
+	// Scale is a per-benchmark size knob (bytes of text per task, keys per
+	// task, ...). Zero selects a small default suitable for unit tests.
+	Scale int
+	// StageSPM marks each task's private regions for SPM staging: the
+	// runtime DMAs inputs into the scratchpad before the task runs and
+	// writes outputs back after it halts. Shared regions (dictionaries,
+	// centroids, context tables) always stay in DRAM.
+	StageSPM bool
+}
+
+// New builds the named workload. It is the single entry point used by the
+// experiment harnesses.
+func New(name string, cfg Config) (*Workload, error) {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 1
+	}
+	switch name {
+	case "wordcount":
+		return NewWordCount(cfg), nil
+	case "terasort":
+		return NewTeraSort(cfg), nil
+	case "search":
+		return NewSearch(cfg), nil
+	case "kmeans":
+		return NewKMeans(cfg), nil
+	case "kmp":
+		return NewKMP(cfg), nil
+	case "rnc":
+		return NewRNC(cfg), nil
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, cfg Config) *Workload {
+	w, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// arena hands out non-overlapping memory regions for workload data. Regions
+// are aligned to 64 bytes so they never share a cache line or MACT line.
+type arena struct {
+	next uint64
+}
+
+func newArena() *arena { return &arena{next: 0x0001_0000} }
+
+func (a *arena) alloc(n int) uint64 {
+	base := a.next
+	a.next += (uint64(n) + 63) &^ 63
+	return base
+}
+
+// RunFunctional executes every task of w on the functional machine (the
+// golden model) and returns total executed instructions. It is used by the
+// verification tests and the Fig. 8 granularity profiler.
+func RunFunctional(w *Workload, maxSteps uint64) (uint64, error) {
+	var total uint64
+	for _, t := range w.Tasks {
+		m := isa.NewMachine(w.Mem)
+		for i, v := range t.Args {
+			m.Regs.Set(uint8(10+i), v)
+		}
+		if err := m.Run(t.Prog, maxSteps); err != nil {
+			return total, fmt.Errorf("task %d (%s): %w", t.ID, w.Name, err)
+		}
+		total += m.Executed
+	}
+	return total, nil
+}
+
+// GranularityProfile runs the workload functionally and returns the number
+// of memory accesses per granularity (1, 2, 4, 8 bytes). This regenerates
+// the HTC half of Fig. 8.
+func GranularityProfile(w *Workload) (map[int]uint64, error) {
+	counter := &countingMem{inner: w.Mem, bySize: map[int]uint64{}}
+	for _, t := range w.Tasks {
+		m := isa.NewMachine(counter)
+		for i, v := range t.Args {
+			m.Regs.Set(uint8(10+i), v)
+		}
+		if err := m.Run(t.Prog, 200_000_000); err != nil {
+			return nil, err
+		}
+	}
+	return counter.bySize, nil
+}
+
+type countingMem struct {
+	inner  *mem.Sparse
+	bySize map[int]uint64
+}
+
+func (c *countingMem) Read(addr uint64, size int) uint64 {
+	c.bySize[size]++
+	return c.inner.Read(addr, size)
+}
+
+func (c *countingMem) Write(addr uint64, size int, val uint64) {
+	c.bySize[size]++
+	c.inner.Write(addr, size, val)
+}
+
+// fill8 writes n random uint64 values at base and returns them.
+func fill8(m *mem.Sparse, rng *sim.RNG, base uint64, n int) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+		m.WriteUint64(base+uint64(i)*8, vals[i])
+	}
+	return vals
+}

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// kmpSrc counts occurrences of a pattern in a text with Knuth-Morris-Pratt:
+// it first builds the failure table, then scans the text. Both phases are
+// dominated by 1-byte loads — the small-granularity access pattern Fig. 8
+// attributes to string matching. Arguments:
+//
+//	a0 text base     a1 text length
+//	a2 pattern base  a3 pattern length (>= 1)
+//	a4 failure table base (a3 × 8 bytes, written by the kernel)
+//	a5 address receiving the match count (8 bytes)
+const kmpSrc = `
+	# --- build failure table ---
+	sd   zero, 0(a4)         # fail[0] = 0
+	li   t0, 1               # i
+	li   t1, 0               # k
+build:
+	bge  t0, a3, search_init
+	add  t2, a2, t0
+	lbu  t2, 0(t2)           # pat[i]
+bwhile:
+	beqz t1, bif
+	add  t3, a2, t1
+	lbu  t3, 0(t3)           # pat[k]
+	beq  t2, t3, bif
+	addi t4, t1, -1
+	slli t4, t4, 3
+	add  t4, t4, a4
+	ld   t1, 0(t4)           # k = fail[k-1]
+	j    bwhile
+bif:
+	add  t3, a2, t1
+	lbu  t3, 0(t3)
+	bne  t2, t3, bstore
+	addi t1, t1, 1
+bstore:
+	slli t4, t0, 3
+	add  t4, t4, a4
+	sd   t1, 0(t4)           # fail[i] = k
+	addi t0, t0, 1
+	j    build
+
+	# --- search ---
+search_init:
+	li   t0, 0               # i
+	li   t1, 0               # k
+	li   s4, 0               # matches
+search:
+	bge  t0, a1, done
+	add  t2, a0, t0
+	lbu  t2, 0(t2)           # text[i]
+swhile:
+	beqz t1, sif
+	add  t3, a2, t1
+	lbu  t3, 0(t3)
+	beq  t2, t3, sif
+	addi t4, t1, -1
+	slli t4, t4, 3
+	add  t4, t4, a4
+	ld   t1, 0(t4)
+	j    swhile
+sif:
+	add  t3, a2, t1
+	lbu  t3, 0(t3)
+	bne  t2, t3, snext
+	addi t1, t1, 1
+	bne  t1, a3, snext
+	addi s4, s4, 1           # full match
+	addi t4, t1, -1
+	slli t4, t4, 3
+	add  t4, t4, a4
+	ld   t1, 0(t4)           # k = fail[m-1]
+snext:
+	addi t0, t0, 1
+	j    search
+done:
+	sd   s4, 0(a5)
+	halt
+`
+
+// KMPProg is the assembled KMP kernel.
+var KMPProg = isa.MustAssemble("kmp", kmpSrc)
+
+// NewKMP builds a KMP workload: each task scans its own text shard for a
+// shared pattern.
+func NewKMP(cfg Config) *Workload {
+	textLen := cfg.Scale
+	if textLen <= 0 {
+		textLen = 2048
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xA006)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "kmp", Mem: m}
+
+	pattern := []byte("abab")
+	patBase := a.alloc(len(pattern))
+	m.WriteBytes(patBase, pattern)
+
+	type shard struct {
+		text []byte
+		outA uint64
+	}
+	shards := make([]shard, cfg.Tasks)
+	alphabet := []byte("ab")
+	for t := 0; t < cfg.Tasks; t++ {
+		text := make([]byte, textLen)
+		for i := range text {
+			text[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		textBase := a.alloc(textLen)
+		failBase := a.alloc(len(pattern) * 8)
+		outAddr := a.alloc(8)
+		m.WriteBytes(textBase, text)
+		shards[t] = shard{text: text, outA: outAddr}
+		task := Task{
+			ID:   t,
+			Prog: KMPProg,
+			Args: [8]int64{
+				int64(textBase), int64(textLen),
+				int64(patBase), int64(len(pattern)),
+				int64(failBase), int64(outAddr),
+			},
+		}
+		if cfg.StageSPM {
+			// The pattern is shared read-only: each task stages its own
+			// copy (as the MapReduce framework distributes it with the
+			// task data). The failure table is per-task scratch.
+			task.Stage = []StageRegion{
+				{Arg: 0, Bytes: textLen},
+				{Arg: 2, Bytes: len(pattern)},
+				{Arg: 4, Bytes: len(pattern) * 8},
+				{Arg: 5, Bytes: 8, Out: true},
+			}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for t, s := range shards {
+			want := refKMP(s.text, pattern)
+			if got := m.ReadUint64(s.outA); got != want {
+				return fmt.Errorf("kmp task %d: %d matches, want %d", t, got, want)
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// refKMP counts (possibly overlapping) pattern occurrences.
+func refKMP(text, pat []byte) uint64 {
+	fail := make([]int, len(pat))
+	k := 0
+	for i := 1; i < len(pat); i++ {
+		for k > 0 && pat[i] != pat[k] {
+			k = fail[k-1]
+		}
+		if pat[i] == pat[k] {
+			k++
+		}
+		fail[i] = k
+	}
+	var count uint64
+	k = 0
+	for i := 0; i < len(text); i++ {
+		for k > 0 && text[i] != pat[k] {
+			k = fail[k-1]
+		}
+		if text[i] == pat[k] {
+			k++
+			if k == len(pat) {
+				count++
+				k = fail[k-1]
+			}
+		}
+	}
+	return count
+}

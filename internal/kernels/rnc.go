@@ -1,0 +1,257 @@
+package kernels
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// rncSrc models the per-UE signalling work of a Radio Network Controller,
+// the paper's hard-real-time benchmark. Each task drains the packet queue of
+// one UE (user equipment): for every packet it parses the small header,
+// verifies the payload checksum, updates the UE context in a shared table,
+// and emits a small response. Real RNCs serialize signalling per UE, which
+// is what makes each task the exclusive writer of its context slot. The work
+// is dominated by 1- and 2-byte accesses. Arguments:
+//
+//	a0 packet array base  a1 packet length (fixed, >= 8)
+//	a2 context table base (32-byte slots)  a3 table slots (power of two)
+//	a4 response array base (8 bytes per packet)  a5 packet count
+//
+// Packet layout: [0] type, [1] flags, [2:4] ueid u16, [4:6] seq u16,
+// [6:8] checksum u16 (sum of payload bytes mod 2^16), [8:] payload.
+// Context slot: [0:8] ueid+1 (0 = empty), [8:16] packet count,
+// [16:24] last seq, [24:32] payload bytes total.
+// Response: [0] status (0 ok, 1 bad checksum), [1] type echo,
+// [2:4] ueid, [4:6] seq, [6:8] payload length u16.
+const rncSrc = `
+	li   s10, 0              # packet index
+	mv   s11, a0             # packet cursor
+	mv   s9, a4              # response cursor
+pkt:
+	bge  s10, a5, finish
+	lhu  t0, 2(s11)          # ueid
+	lhu  t1, 4(s11)          # seq
+	lhu  t2, 6(s11)          # expected checksum
+	# checksum payload
+	addi t3, s11, 8          # p
+	add  t4, s11, a1         # end
+	li   t5, 0               # sum
+csum:
+	bgeu t3, t4, cdone
+	lbu  t6, 0(t3)
+	add  t5, t5, t6
+	addi t3, t3, 1
+	j    csum
+cdone:
+	li   s2, 0xFFFF
+	and  t5, t5, s2
+	bne  t5, t2, bad
+	# --- lookup UE context: hash = ueid & (slots-1), linear probe ---
+	addi s3, a3, -1
+	and  s4, t0, s3          # slot
+	addi s5, t0, 1           # stored key = ueid+1
+probe:
+	slli s6, s4, 5           # slot * 32
+	add  s6, s6, a2
+	ld   s7, 0(s6)
+	beqz s7, claim
+	beq  s7, s5, found
+	addi s4, s4, 1
+	and  s4, s4, s3
+	j    probe
+claim:
+	sd   s5, 0(s6)           # create context
+found:
+	ld   s8, 8(s6)
+	addi s8, s8, 1
+	sd   s8, 8(s6)           # packet count++
+	sd   t1, 16(s6)          # last seq
+	ld   s8, 24(s6)
+	addi t6, a1, -8
+	add  s8, s8, t6
+	sd   s8, 24(s6)          # payload bytes total
+	# --- response ---
+	sb   zero, 0(s9)         # status ok
+	lbu  s8, 0(s11)
+	sb   s8, 1(s9)           # echo type
+	sh   t0, 2(s9)
+	sh   t1, 4(s9)
+	sh   t6, 6(s9)           # payload length
+	j    next
+bad:
+	li   s8, 1
+	sb   s8, 0(s9)
+	lbu  s8, 0(s11)
+	sb   s8, 1(s9)
+	sh   t0, 2(s9)
+	sh   t1, 4(s9)
+	sh   zero, 6(s9)
+next:
+	addi s10, s10, 1
+	add  s11, s11, a1
+	addi s9, s9, 8
+	j    pkt
+finish:
+	halt
+`
+
+// RNCProg is the assembled RNC packet-processing kernel.
+var RNCProg = isa.MustAssemble("rnc", rncSrc)
+
+// rncPacket is the generator-side view of one packet.
+type rncPacket struct {
+	typ, flags byte
+	ueid, seq  uint16
+	payload    []byte
+	corrupt    bool // checksum deliberately wrong
+}
+
+func (p *rncPacket) encode() []byte {
+	sum := uint16(0)
+	for _, b := range p.payload {
+		sum += uint16(b)
+	}
+	if p.corrupt {
+		sum ^= 0x5555
+	}
+	out := make([]byte, 8+len(p.payload))
+	out[0], out[1] = p.typ, p.flags
+	out[2], out[3] = byte(p.ueid), byte(p.ueid>>8)
+	out[4], out[5] = byte(p.seq), byte(p.seq>>8)
+	out[6], out[7] = byte(sum), byte(sum>>8)
+	copy(out[8:], p.payload)
+	return out
+}
+
+// rncPacketsPerUE is how many queued packets each task drains.
+const rncPacketsPerUE = 4
+
+// NewRNC builds an RNC workload: each task drains the packet queue of one
+// UE against a context table shared by all tasks. UE ids map to distinct
+// table slots, so the table layout is deterministic under any execution
+// order. Tasks are marked real-time; the Fig. 21 harness attaches deadlines.
+func NewRNC(cfg Config) *Workload {
+	payloadLen := cfg.Scale
+	if payloadLen <= 0 {
+		payloadLen = 56
+	}
+	pktLen := 8 + payloadLen
+	// One UE per task; ueid = taskID+1. Sizing the table so ueid & mask is
+	// unique keeps slot assignment independent of execution order.
+	slots := 16
+	for slots < 2*(cfg.Tasks+2) {
+		slots *= 2
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xA007)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "rnc", Mem: m}
+
+	tableBase := a.alloc(slots * 32)
+
+	type job struct {
+		pkts  []rncPacket
+		respA uint64
+	}
+	jobs := make([]job, cfg.Tasks)
+	for t := 0; t < cfg.Tasks; t++ {
+		ueid := uint16(t + 1)
+		pkts := make([]rncPacket, rncPacketsPerUE)
+		enc := make([]byte, 0, rncPacketsPerUE*pktLen)
+		for i := range pkts {
+			pkts[i] = rncPacket{
+				typ:     byte(rng.Intn(4)),
+				flags:   byte(rng.Intn(256)),
+				ueid:    ueid,
+				seq:     uint16(rng.Intn(65536)),
+				payload: make([]byte, payloadLen),
+				corrupt: rng.Intn(20) == 0, // 5% corrupted packets
+			}
+			for j := range pkts[i].payload {
+				pkts[i].payload[j] = byte(rng.Intn(256))
+			}
+			enc = append(enc, pkts[i].encode()...)
+		}
+		pktBase := a.alloc(len(enc))
+		respBase := a.alloc(rncPacketsPerUE * 8)
+		m.WriteBytes(pktBase, enc)
+		jobs[t] = job{pkts: pkts, respA: respBase}
+		task := Task{
+			ID:   t,
+			Prog: RNCProg,
+			Args: [8]int64{
+				int64(pktBase), int64(pktLen), int64(tableBase),
+				int64(slots), int64(respBase), rncPacketsPerUE,
+			},
+			Priority: PriorityRealTime,
+		}
+		if cfg.StageSPM {
+			// The shared UE context table stays in DRAM.
+			task.Stage = []StageRegion{
+				{Arg: 0, Bytes: len(enc)},
+				{Arg: 4, Bytes: rncPacketsPerUE * 8, Out: true},
+			}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for t, j := range jobs {
+			var count, bytes uint64
+			var lastSeq uint64
+			sawValid := false
+			for i, p := range j.pkts {
+				respA := j.respA + uint64(i)*8
+				wantStatus, wantPlen := byte(0), uint16(payloadLen)
+				if p.corrupt {
+					wantStatus, wantPlen = 1, 0
+				} else {
+					count++
+					bytes += uint64(payloadLen)
+					lastSeq = uint64(p.seq)
+					sawValid = true
+				}
+				if got := byte(m.Read(respA, 1)); got != wantStatus {
+					return fmt.Errorf("rnc task %d pkt %d: status %d, want %d", t, i, got, wantStatus)
+				}
+				if got := byte(m.Read(respA+1, 1)); got != p.typ {
+					return fmt.Errorf("rnc task %d pkt %d: type echo %d, want %d", t, i, got, p.typ)
+				}
+				if got := uint16(m.Read(respA+2, 2)); got != p.ueid {
+					return fmt.Errorf("rnc task %d pkt %d: ueid %d, want %d", t, i, got, p.ueid)
+				}
+				if got := uint16(m.Read(respA+4, 2)); got != p.seq {
+					return fmt.Errorf("rnc task %d pkt %d: seq %d, want %d", t, i, got, p.seq)
+				}
+				if got := uint16(m.Read(respA+6, 2)); got != wantPlen {
+					return fmt.Errorf("rnc task %d pkt %d: plen %d, want %d", t, i, got, wantPlen)
+				}
+			}
+			ueid := uint64(t + 1)
+			base := tableBase + ueid*32 // slot == ueid: collision-free by sizing
+			if !sawValid {
+				if got := m.ReadUint64(base); got != 0 {
+					return fmt.Errorf("rnc task %d: context created for all-corrupt UE", t)
+				}
+				continue
+			}
+			if got := m.ReadUint64(base); got != ueid+1 {
+				return fmt.Errorf("rnc task %d: slot key %d, want %d", t, got, ueid+1)
+			}
+			if got := m.ReadUint64(base + 8); got != count {
+				return fmt.Errorf("rnc task %d: packet count %d, want %d", t, got, count)
+			}
+			if got := m.ReadUint64(base + 16); got != lastSeq {
+				return fmt.Errorf("rnc task %d: last seq %d, want %d", t, got, lastSeq)
+			}
+			if got := m.ReadUint64(base + 24); got != bytes {
+				return fmt.Errorf("rnc task %d: payload bytes %d, want %d", t, got, bytes)
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// searchSrc answers point queries against a sorted 8-byte-key dictionary by
+// binary search — the index-lookup core of the Xapian-derived Search
+// benchmark. For each query it writes the matching dictionary index, or -1.
+// Arguments:
+//
+//	a0 dictionary base (sorted u64 keys)  a1 dictionary count
+//	a2 query base (u64 keys)              a3 query count
+//	a4 output base (one i64 per query)
+const searchSrc = `
+	li   t0, 0               # query index
+qloop:
+	bge  t0, a3, done
+	slli t1, t0, 3
+	add  t1, t1, a2
+	ld   t2, 0(t1)           # q
+	li   t3, 0               # lo
+	mv   t4, a1              # hi
+bsearch:
+	bge  t3, t4, bdone
+	add  t5, t3, t4
+	srli t5, t5, 1           # mid
+	slli t6, t5, 3
+	add  t6, t6, a0
+	ld   s2, 0(t6)           # dict[mid]
+	bgeu s2, t2, keephi
+	addi t3, t5, 1
+	j    bsearch
+keephi:
+	mv   t4, t5
+	j    bsearch
+bdone:
+	li   s3, -1              # result
+	bge  t3, a1, store       # lo == n: not found
+	slli t6, t3, 3
+	add  t6, t6, a0
+	ld   s2, 0(t6)
+	bne  s2, t2, store
+	mv   s3, t3
+store:
+	slli t1, t0, 3
+	add  t1, t1, a4
+	sd   s3, 0(t1)
+	addi t0, t0, 1
+	j    qloop
+done:
+	halt
+`
+
+// SearchProg is the assembled Search kernel.
+var SearchProg = isa.MustAssemble("search", searchSrc)
+
+// NewSearch builds a Search workload: every task answers a batch of queries
+// against a shared sorted dictionary (shared read-only data, per-task
+// outputs — the web-search access pattern).
+func NewSearch(cfg Config) *Workload {
+	queries := cfg.Scale
+	if queries <= 0 {
+		queries = 64
+	}
+	// 1024 sorted keys = 8 KB: the dictionary shard fits an SPM slot
+	// share alongside the per-task queries (a Xapian index is sharded
+	// across tasks the same way).
+	dictN := 1024
+	rng := sim.NewRNG(cfg.Seed ^ 0xA004)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "search", Mem: m}
+
+	dictBase := a.alloc(dictN * 8)
+	dict := make([]uint64, dictN)
+	seen := map[uint64]bool{}
+	for i := range dict {
+		v := rng.Uint64()
+		for seen[v] {
+			v = rng.Uint64()
+		}
+		seen[v] = true
+		dict[i] = v
+	}
+	sort.Slice(dict, func(x, y int) bool { return dict[x] < dict[y] })
+	for i, v := range dict {
+		m.WriteUint64(dictBase+uint64(i)*8, v)
+	}
+
+	type batch struct {
+		out  uint64
+		want []int64
+	}
+	batches := make([]batch, cfg.Tasks)
+	for t := 0; t < cfg.Tasks; t++ {
+		qBase := a.alloc(queries * 8)
+		out := a.alloc(queries * 8)
+		want := make([]int64, queries)
+		for i := 0; i < queries; i++ {
+			var q uint64
+			if rng.Intn(100) < 70 { // 70% hit rate
+				q = dict[rng.Intn(dictN)]
+			} else {
+				q = rng.Uint64()
+			}
+			m.WriteUint64(qBase+uint64(i)*8, q)
+			want[i] = refSearch(dict, q)
+		}
+		batches[t] = batch{out: out, want: want}
+		task := Task{
+			ID:   t,
+			Prog: SearchProg,
+			Args: [8]int64{int64(dictBase), int64(dictN), int64(qBase), int64(queries), int64(out)},
+		}
+		if cfg.StageSPM {
+			// The dictionary shard is read-only: each task stages a copy
+			// next to its queries and results.
+			task.Stage = []StageRegion{
+				{Arg: 0, Bytes: dictN * 8},
+				{Arg: 2, Bytes: queries * 8},
+				{Arg: 4, Bytes: queries * 8, Out: true},
+			}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for t, b := range batches {
+			for i, wv := range b.want {
+				if got := int64(m.ReadUint64(b.out + uint64(i)*8)); got != wv {
+					return fmt.Errorf("search task %d query %d: %d, want %d", t, i, got, wv)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+func refSearch(dict []uint64, q uint64) int64 {
+	lo, hi := 0, len(dict)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if dict[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(dict) && dict[lo] == q {
+		return int64(lo)
+	}
+	return -1
+}

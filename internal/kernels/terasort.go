@@ -1,0 +1,209 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// teraSortSrc sorts a partition of 8-byte unsigned keys in place with
+// insertion sort. Map tasks in the paper's Phoenix++-style TeraSort sort
+// their own partitions; reduce tasks merge sorted runs (teraMergeSrc).
+// Arguments: a0 key base, a1 key count.
+const teraSortSrc = `
+	li   t0, 1               # i
+outer:
+	bge  t0, a1, done
+	slli t1, t0, 3
+	add  t1, t1, a0
+	ld   t2, 0(t1)           # key = A[i]
+	addi t3, t0, -1          # j
+inner:
+	bltz t3, place
+	slli t4, t3, 3
+	add  t4, t4, a0
+	ld   t5, 0(t4)
+	bleu t5, t2, place       # A[j] <= key: stop shifting
+	sd   t5, 8(t4)
+	addi t3, t3, -1
+	j    inner
+place:
+	slli t4, t3, 3
+	add  t4, t4, a0
+	sd   t2, 8(t4)
+	addi t0, t0, 1
+	j    outer
+done:
+	halt
+`
+
+// teraMergeSrc merges two sorted runs of 8-byte unsigned keys into an output
+// buffer. Arguments: a0 run A, a1 len A, a2 run B, a3 len B, a4 out base.
+const teraMergeSrc = `
+	li   t0, 0               # ia
+	li   t1, 0               # ib
+	mv   t6, a4              # out cursor
+loop:
+	bge  t0, a1, drainB
+	bge  t1, a3, drainA
+	slli t2, t0, 3
+	add  t2, t2, a0
+	ld   t3, 0(t2)           # A[ia]
+	slli t4, t1, 3
+	add  t4, t4, a2
+	ld   t5, 0(t4)           # B[ib]
+	bltu t5, t3, takeB
+	sd   t3, 0(t6)
+	addi t0, t0, 1
+	addi t6, t6, 8
+	j    loop
+takeB:
+	sd   t5, 0(t6)
+	addi t1, t1, 1
+	addi t6, t6, 8
+	j    loop
+drainA:
+	bge  t0, a1, done
+	slli t2, t0, 3
+	add  t2, t2, a0
+	ld   t3, 0(t2)
+	sd   t3, 0(t6)
+	addi t0, t0, 1
+	addi t6, t6, 8
+	j    drainA
+drainB:
+	bge  t1, a3, done
+	slli t4, t1, 3
+	add  t4, t4, a2
+	ld   t5, 0(t4)
+	sd   t5, 0(t6)
+	addi t1, t1, 1
+	addi t6, t6, 8
+	j    drainB
+done:
+	halt
+`
+
+// TeraSortProg is the assembled partition-sort kernel.
+var TeraSortProg = isa.MustAssemble("terasort", teraSortSrc)
+
+// TeraMergeProg is the assembled merge kernel used by reduce tasks.
+var TeraMergeProg = isa.MustAssemble("teramerge", teraMergeSrc)
+
+// NewTeraSort builds a TeraSort workload: each task sorts its own partition
+// of random 64-bit keys.
+func NewTeraSort(cfg Config) *Workload {
+	keys := cfg.Scale
+	if keys <= 0 {
+		keys = 64
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xA002)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "terasort", Mem: m}
+
+	type part struct {
+		base uint64
+		vals []uint64
+	}
+	parts := make([]part, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		base := a.alloc(keys * 8)
+		vals := fill8(m, rng, base, keys)
+		parts[i] = part{base: base, vals: vals}
+		task := Task{
+			ID:   i,
+			Prog: TeraSortProg,
+			Args: [8]int64{int64(base), int64(keys)},
+		}
+		if cfg.StageSPM {
+			task.Stage = []StageRegion{{Arg: 0, Bytes: keys * 8, Out: true}}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for i, p := range parts {
+			want := append([]uint64(nil), p.vals...)
+			sort.Slice(want, func(x, y int) bool { return want[x] < want[y] })
+			for j, wv := range want {
+				if got := m.ReadUint64(p.base + uint64(j)*8); got != wv {
+					return fmt.Errorf("terasort task %d index %d: %d, want %d", i, j, got, wv)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// NewTeraMerge builds a reduce-phase workload: each task merges two sorted
+// runs into an output buffer.
+func NewTeraMerge(cfg Config) *Workload {
+	keys := cfg.Scale
+	if keys <= 0 {
+		keys = 64
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xA003)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "teramerge", Mem: m}
+
+	type job struct {
+		out  uint64
+		want []uint64
+	}
+	jobs := make([]job, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		lenA := keys/2 + rng.Intn(keys/2+1)
+		lenB := keys - lenA
+		baseA := a.alloc(lenA * 8)
+		baseB := a.alloc(lenB * 8)
+		out := a.alloc(keys * 8)
+		runA := sortedRun(m, rng, baseA, lenA)
+		runB := sortedRun(m, rng, baseB, lenB)
+		want := append(append([]uint64(nil), runA...), runB...)
+		sort.Slice(want, func(x, y int) bool { return want[x] < want[y] })
+		jobs[i] = job{out: out, want: want}
+		task := Task{
+			ID:   i,
+			Prog: TeraMergeProg,
+			Args: [8]int64{int64(baseA), int64(lenA), int64(baseB), int64(lenB), int64(out)},
+		}
+		if cfg.StageSPM {
+			task.Stage = []StageRegion{
+				{Arg: 0, Bytes: lenA * 8},
+				{Arg: 2, Bytes: lenB * 8},
+				{Arg: 4, Bytes: keys * 8, Out: true},
+			}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for i, j := range jobs {
+			for k, wv := range j.want {
+				if got := m.ReadUint64(j.out + uint64(k)*8); got != wv {
+					return fmt.Errorf("teramerge task %d index %d: %d, want %d", i, k, got, wv)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+func sortedRun(m *mem.Sparse, rng *sim.RNG, base uint64, n int) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	sort.Slice(vals, func(x, y int) bool { return vals[x] < vals[y] })
+	for i, v := range vals {
+		m.WriteUint64(base+uint64(i)*8, v)
+	}
+	return vals
+}

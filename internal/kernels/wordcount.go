@@ -1,0 +1,255 @@
+package kernels
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// wordCountSrc counts words in a byte buffer and accumulates per-word
+// frequencies in an open-addressed hash table (FNV-1a hashes, linear
+// probing). Ported from the Phoenix++-style MapReduce WordCount the paper
+// uses. Arguments:
+//
+//	a0 text base   a1 text length
+//	a2 table base  a3 table slots (power of two; 16-byte slots: hash,count)
+//	a4 address receiving the total word count (8 bytes)
+const wordCountSrc = `
+	add  t1, a0, a1          # end of text
+	mv   t0, a0              # cursor
+	li   s4, 0               # total words
+	addi s5, a3, -1          # slot mask
+	li   t3, 32              # separator threshold (<= ' ')
+scan:
+	bgeu t0, t1, finish
+	lbu  t2, 0(t0)
+	addi t0, t0, 1
+	bleu t2, t3, scan        # skip separators
+	li   s2, 0xcbf29ce484222325   # FNV-1a offset basis
+	li   t4, 0x100000001b3        # FNV-1a prime
+word:
+	xor  s2, s2, t2
+	mul  s2, s2, t4
+	bgeu t0, t1, endword
+	lbu  t2, 0(t0)
+	addi t0, t0, 1
+	bgtu t2, t3, word
+endword:
+	addi s4, s4, 1
+	bnez s2, probe_init
+	li   s2, 1               # 0 marks an empty slot; remap hash 0 to 1
+probe_init:
+	and  s6, s2, s5
+probe:
+	slli s7, s6, 4
+	add  s7, s7, a2
+	ld   s8, 0(s7)
+	beqz s8, insert
+	beq  s8, s2, bump
+	addi s6, s6, 1
+	and  s6, s6, s5
+	j    probe
+insert:
+	sd   s2, 0(s7)
+	li   s9, 1
+	sd   s9, 8(s7)
+	j    scan
+bump:
+	ld   s9, 8(s7)
+	addi s9, s9, 1
+	sd   s9, 8(s7)
+	j    scan
+finish:
+	sd   s4, 0(a4)
+	halt
+`
+
+// WordCountProg is the assembled WordCount kernel.
+var WordCountProg = isa.MustAssemble("wordcount", wordCountSrc)
+
+// wcMergeSrc folds one wordcount hash table into another — the reduce side
+// of MapReduce WordCount. Arguments:
+//
+//	a0 source table base  a1 source slots
+//	a2 dest table base    a3 dest slots (power of two)
+const wcMergeSrc = `
+	li   t0, 0               # source slot index
+	addi s5, a3, -1          # dest slot mask
+srcloop:
+	bge  t0, a1, done
+	slli t1, t0, 4
+	add  t1, t1, a0
+	ld   t2, 0(t1)           # hash
+	beqz t2, next
+	ld   t3, 8(t1)           # count
+	and  s6, t2, s5
+probe:
+	slli s7, s6, 4
+	add  s7, s7, a2
+	ld   s8, 0(s7)
+	beqz s8, insert
+	beq  s8, t2, bump
+	addi s6, s6, 1
+	and  s6, s6, s5
+	j    probe
+insert:
+	sd   t2, 0(s7)
+	sd   t3, 8(s7)
+	j    next
+bump:
+	ld   s9, 8(s7)
+	add  s9, s9, t3
+	sd   s9, 8(s7)
+next:
+	addi t0, t0, 1
+	j    srcloop
+done:
+	halt
+`
+
+// WCMergeProg is the assembled WordCount table-merge (reduce) kernel.
+var WCMergeProg = isa.MustAssemble("wcmerge", wcMergeSrc)
+
+// GenerateText produces space/newline-separated words from the benchmark
+// vocabulary, exactly n bytes (padded with spaces).
+func GenerateText(rng *sim.RNG, n int) []byte { return genText(rng, n) }
+
+// ReferenceWordCount is the exported Go reference: it returns the hash
+// table (slot -> {hash, count}) and total word count the kernel produces
+// for text.
+func ReferenceWordCount(text []byte, slots int) ([][2]uint64, uint64) {
+	return refWordCount(text, slots)
+}
+
+var wcVocabulary = []string{
+	"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+	"datacenter", "throughput", "latency", "service", "request", "server",
+	"memory", "cache", "thread", "core", "ring", "packet", "task", "web",
+	"search", "video", "photo", "social", "network", "user", "query", "page",
+}
+
+// NewWordCount builds a WordCount workload: each task counts the words of
+// its own text shard into its own hash table.
+func NewWordCount(cfg Config) *Workload {
+	textBytes := cfg.Scale
+	if textBytes <= 0 {
+		textBytes = 2048
+	}
+	const slots = 256 // power of two, comfortably above vocabulary size
+	rng := sim.NewRNG(cfg.Seed ^ 0xA001)
+	m := mem.NewSparse()
+	a := newArena()
+	w := &Workload{Name: "wordcount", Mem: m}
+
+	type shard struct {
+		text            []byte
+		tableBase, outA uint64
+	}
+	shards := make([]shard, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		text := genText(rng, textBytes)
+		textBase := a.alloc(len(text))
+		tableBase := a.alloc(slots * 16)
+		outAddr := a.alloc(8)
+		m.WriteBytes(textBase, text)
+		shards[i] = shard{text: text, tableBase: tableBase, outA: outAddr}
+		task := Task{
+			ID:   i,
+			Prog: WordCountProg,
+			Args: [8]int64{
+				int64(textBase), int64(len(text)),
+				int64(tableBase), slots, int64(outAddr),
+			},
+		}
+		if cfg.StageSPM {
+			task.Stage = []StageRegion{
+				{Arg: 0, Bytes: len(text)},
+				{Arg: 2, Bytes: slots * 16, Out: true},
+				{Arg: 4, Bytes: 8, Out: true},
+			}
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+
+	w.Check = func() error {
+		for i, s := range shards {
+			table, total := refWordCount(s.text, slots)
+			if got := m.ReadUint64(s.outA); got != total {
+				return fmt.Errorf("wordcount task %d: total %d, want %d", i, got, total)
+			}
+			for slot := 0; slot < slots; slot++ {
+				gotHash := m.ReadUint64(s.tableBase + uint64(slot)*16)
+				gotCount := m.ReadUint64(s.tableBase + uint64(slot)*16 + 8)
+				if gotHash != table[slot][0] || gotCount != table[slot][1] {
+					return fmt.Errorf("wordcount task %d slot %d: (%#x,%d), want (%#x,%d)",
+						i, slot, gotHash, gotCount, table[slot][0], table[slot][1])
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// genText produces space-separated words from the vocabulary.
+func genText(rng *sim.RNG, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		word := wcVocabulary[rng.Intn(len(wcVocabulary))]
+		if len(out)+len(word)+1 > n {
+			break
+		}
+		out = append(out, word...)
+		sep := byte(' ')
+		if rng.Intn(12) == 0 {
+			sep = '\n'
+		}
+		out = append(out, sep)
+	}
+	// Pad with spaces to the exact requested size.
+	for len(out) < n {
+		out = append(out, ' ')
+	}
+	return out
+}
+
+// refWordCount mirrors the kernel exactly: FNV-1a hashing, linear probing,
+// 0-hash remapped to 1.
+func refWordCount(text []byte, slots int) (table [][2]uint64, total uint64) {
+	table = make([][2]uint64, slots)
+	mask := uint64(slots - 1)
+	i := 0
+	for i < len(text) {
+		for i < len(text) && text[i] <= ' ' {
+			i++
+		}
+		if i >= len(text) {
+			break
+		}
+		h := uint64(0xcbf29ce484222325)
+		for i < len(text) && text[i] > ' ' {
+			h ^= uint64(text[i])
+			h *= 0x100000001b3
+			i++
+		}
+		total++
+		if h == 0 {
+			h = 1
+		}
+		slot := h & mask
+		for {
+			if table[slot][0] == 0 {
+				table[slot] = [2]uint64{h, 1}
+				break
+			}
+			if table[slot][0] == h {
+				table[slot][1]++
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	return table, total
+}

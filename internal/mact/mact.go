@@ -1,0 +1,309 @@
+// Package mact implements the Memory Access Collection Table (§3.4): a
+// per-sub-ring structure that merges small, discrete memory accesses from
+// adjacent cores into batched line-granularity requests. Each line holds a
+// type (read/write), a 64-byte-aligned base address (Tag), a byte bitmap
+// (Vector), and a deadline timer (Threshold). A line is flushed to memory
+// when its bitmap fills or its deadline expires, preserving the timeliness
+// bound the paper requires.
+//
+// The table also performs store-to-load forwarding: a read fully covered by
+// a pending write line is answered immediately, keeping same-line
+// read-after-write ordering without a round trip.
+package mact
+
+import (
+	"smarco/internal/noc"
+	"smarco/internal/stats"
+)
+
+// Config sizes a MACT.
+type Config struct {
+	// Lines is the table capacity.
+	Lines int
+	// Threshold is the deadline, in cycles, after which a collected line
+	// must be sent to memory (the paper finds 16 best; Fig. 19).
+	Threshold uint64
+	// Enabled turns collection off entirely when false (requests pass
+	// through untouched) — the "conventional" baseline of Fig. 20.
+	Enabled bool
+}
+
+// Default is the paper's operating point.
+func Default() Config { return Config{Lines: 64, Threshold: 16, Enabled: true} }
+
+// Stats counts MACT activity.
+type Stats struct {
+	Collected      stats.Counter // individual accesses absorbed
+	Forwards       stats.Counter // reads answered from pending write lines
+	Batches        stats.Counter // batch packets emitted
+	FullFlush      stats.Counter // lines flushed because the bitmap filled
+	DeadlineFlush  stats.Counter // lines flushed by the threshold timer
+	CapacityFlush  stats.Counter // lines flushed to make room
+	HazardFlush    stats.Counter // write lines flushed by overlapping reads
+	Bypassed       stats.Counter // requests not eligible for collection
+	Scattered      stats.Counter // individual responses produced
+	OccupancySum   stats.Counter // sum of live lines per Tick (for mean occupancy)
+	OccupancyTicks stats.Counter
+}
+
+type pend struct {
+	id       uint64
+	src      noc.NodeID
+	addr     uint64
+	size     int
+	thread   int
+	priority bool
+}
+
+type line struct {
+	valid    bool
+	write    bool
+	lineAddr uint64
+	bitmap   uint64
+	data     [64]byte
+	deadline uint64
+	created  uint64
+	pend     []pend
+}
+
+// Table is one MACT instance (one per sub-ring hub).
+type Table struct {
+	cfg      Config
+	node     noc.NodeID // the hub hosting this table (source of batches)
+	lines    []line
+	seq      uint64
+	inflight map[batchKey][]pend // emitted batches awaiting responses
+	Stats    Stats
+}
+
+// New builds a table hosted at node.
+func New(node noc.NodeID, cfg Config) *Table {
+	return &Table{cfg: cfg, node: node, lines: make([]line, cfg.Lines)}
+}
+
+// Eligible reports whether the table would consider absorbing p: an
+// enabled table, a plain small read/write that does not cross a line
+// boundary, and not marked real-time priority (those bypass per §3.4).
+func (t *Table) Eligible(p *noc.Packet) bool {
+	if !t.cfg.Enabled || p.Priority {
+		return false
+	}
+	if p.Kind != noc.KReqRead && p.Kind != noc.KReqWrite {
+		return false
+	}
+	req, ok := p.Payload.(noc.MemReq)
+	if !ok || req.Size > 8 || req.IFetch {
+		return false
+	}
+	// DMA chunks (blob-carrying bulk transfers) are not the discrete
+	// small accesses the table exists for.
+	if req.Blob != nil {
+		return false
+	}
+	return (req.Addr&63)+uint64(req.Size) <= 64
+}
+
+// Offer presents a request to the table. It returns the packets the table
+// wants transmitted right now (immediate forwards back toward the core, or
+// hazard/capacity batch flushes toward memory, in that order) and whether
+// the request was absorbed. If absorbed is false the caller forwards the
+// original packet itself — after any returned flushes, which preserves
+// same-line write→read ordering at the memory controller.
+func (t *Table) Offer(p *noc.Packet, now uint64, mcFor func(addr uint64) noc.NodeID) (out []*noc.Packet, absorbed bool) {
+	if !t.Eligible(p) {
+		t.Stats.Bypassed.Inc()
+		return nil, false
+	}
+	req := p.Payload.(noc.MemReq)
+	lineAddr := req.Addr &^ 63
+	off := req.Addr & 63
+	mask := byteMask(off, req.Size)
+
+	if p.Kind == noc.KReqRead {
+		// Store-to-load forwarding from a pending write line.
+		if wl := t.find(lineAddr, true); wl != nil {
+			if wl.bitmap&mask == mask {
+				t.Stats.Forwards.Inc()
+				var data uint64
+				for i := 0; i < req.Size; i++ {
+					data |= uint64(wl.data[off+uint64(i)]) << (8 * uint(i))
+				}
+				resp := noc.MemResp{ID: req.ID, Addr: req.Addr, Size: req.Size, Data: data, Thread: req.Thread}
+				return []*noc.Packet{noc.NewMemRespPacket(req.ID, t.node, p.Src, resp, false, now)}, true
+			}
+			if wl.bitmap&mask != 0 {
+				// Partial overlap: flush the write line now and let the
+				// read go to memory behind it.
+				t.Stats.HazardFlush.Inc()
+				out = append(out, t.flush(wl, now, mcFor))
+				return out, false
+			}
+		}
+		l, flushPkt := t.allocOrFind(lineAddr, false, now, mcFor)
+		if flushPkt != nil {
+			out = append(out, flushPkt)
+		}
+		l.bitmap |= mask
+		l.pend = append(l.pend, pend{id: req.ID, src: p.Src, addr: req.Addr, size: req.Size, thread: req.Thread})
+		t.Stats.Collected.Inc()
+		if l.bitmap == ^uint64(0) {
+			t.Stats.FullFlush.Inc()
+			out = append(out, t.flush(l, now, mcFor))
+		}
+		return out, true
+	}
+
+	// Write.
+	l, flushPkt := t.allocOrFind(lineAddr, true, now, mcFor)
+	if flushPkt != nil {
+		out = append(out, flushPkt)
+	}
+	l.bitmap |= mask
+	for i := 0; i < req.Size; i++ {
+		l.data[off+uint64(i)] = byte(req.Data >> (8 * uint(i)))
+	}
+	l.pend = append(l.pend, pend{id: req.ID, src: p.Src, addr: req.Addr, size: req.Size, thread: req.Thread})
+	t.Stats.Collected.Inc()
+	if l.bitmap == ^uint64(0) {
+		t.Stats.FullFlush.Inc()
+		out = append(out, t.flush(l, now, mcFor))
+	}
+	return out, true
+}
+
+// Expire returns batch packets for every line whose deadline has passed.
+// Call once per cycle.
+func (t *Table) Expire(now uint64, mcFor func(addr uint64) noc.NodeID) []*noc.Packet {
+	var out []*noc.Packet
+	live := uint64(0)
+	for i := range t.lines {
+		l := &t.lines[i]
+		if !l.valid {
+			continue
+		}
+		live++
+		if now >= l.deadline {
+			t.Stats.DeadlineFlush.Inc()
+			out = append(out, t.flush(l, now, mcFor))
+		}
+	}
+	t.Stats.OccupancySum.Add(live)
+	t.Stats.OccupancyTicks.Inc()
+	return out
+}
+
+// OnBatchResp scatters a batch response into the individual responses owed
+// to each collected requester.
+func (t *Table) OnBatchResp(p *noc.Packet, now uint64) []*noc.Packet {
+	resp, ok := p.Payload.(noc.BatchResp)
+	if !ok {
+		return nil
+	}
+	key := batchKey{lineAddr: resp.LineAddr, write: resp.Write, id: resp.ID}
+	pends := t.inflight[key]
+	delete(t.inflight, key)
+	out := make([]*noc.Packet, 0, len(pends))
+	for _, pe := range pends {
+		r := noc.MemResp{ID: pe.id, Addr: pe.addr, Size: pe.size, Thread: pe.thread, Write: resp.Write}
+		if !resp.Write {
+			off := pe.addr & 63
+			for i := 0; i < pe.size; i++ {
+				r.Data |= uint64(resp.Data[off+uint64(i)]) << (8 * uint(i))
+			}
+		}
+		out = append(out, noc.NewMemRespPacket(pe.id, t.node, pe.src, r, false, now))
+		t.Stats.Scattered.Inc()
+	}
+	return out
+}
+
+type batchKey struct {
+	lineAddr uint64
+	write    bool
+	id       uint64
+}
+
+func (t *Table) find(lineAddr uint64, write bool) *line {
+	for i := range t.lines {
+		l := &t.lines[i]
+		if l.valid && l.write == write && l.lineAddr == lineAddr {
+			return l
+		}
+	}
+	return nil
+}
+
+// allocOrFind returns the line for (lineAddr, write), evicting the oldest
+// line if the table is full (returning its flush packet).
+func (t *Table) allocOrFind(lineAddr uint64, write bool, now uint64, mcFor func(addr uint64) noc.NodeID) (*line, *noc.Packet) {
+	if l := t.find(lineAddr, write); l != nil {
+		return l, nil
+	}
+	var free *line
+	var oldest *line
+	for i := range t.lines {
+		l := &t.lines[i]
+		if !l.valid {
+			if free == nil {
+				free = l
+			}
+			continue
+		}
+		if oldest == nil || l.created < oldest.created {
+			oldest = l
+		}
+	}
+	var flushPkt *noc.Packet
+	if free == nil {
+		t.Stats.CapacityFlush.Inc()
+		flushPkt = t.flush(oldest, now, mcFor)
+		free = oldest
+	}
+	*free = line{
+		valid:    true,
+		write:    write,
+		lineAddr: lineAddr,
+		deadline: now + t.cfg.Threshold,
+		created:  now,
+	}
+	return free, flushPkt
+}
+
+// flush converts a line into its batch packet and retires it, remembering
+// the pending requesters for response scattering.
+func (t *Table) flush(l *line, now uint64, mcFor func(addr uint64) noc.NodeID) *noc.Packet {
+	t.seq++
+	t.Stats.Batches.Inc()
+	req := noc.BatchReq{
+		ID:       t.seq,
+		LineAddr: l.lineAddr,
+		Bitmap:   l.bitmap,
+		Data:     l.data,
+		Write:    l.write,
+	}
+	if t.inflight == nil {
+		t.inflight = make(map[batchKey][]pend)
+	}
+	t.inflight[batchKey{lineAddr: l.lineAddr, write: l.write, id: t.seq}] = l.pend
+	pkt := noc.NewBatchPacket(t.seq, t.node, mcFor(l.lineAddr), req, now)
+	l.valid = false
+	l.pend = nil
+	return pkt
+}
+
+// MeanOccupancy returns the average number of live lines per cycle.
+func (t *Table) MeanOccupancy() float64 {
+	return stats.Ratio(t.Stats.OccupancySum.Value(), t.Stats.OccupancyTicks.Value())
+}
+
+// Pending returns the number of in-flight batches awaiting responses.
+func (t *Table) Pending() int { return len(t.inflight) }
+
+// byteMask returns the line bitmap bits covered by an access of size bytes
+// at line offset off.
+func byteMask(off uint64, size int) uint64 {
+	if size >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<uint(size) - 1) << off
+}

@@ -1,0 +1,285 @@
+package mact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+)
+
+var mc0 = func(addr uint64) noc.NodeID { return noc.MCNode(0) }
+
+func readReq(id, addr uint64, size int, src noc.NodeID) *noc.Packet {
+	return noc.NewMemReqPacket(id, src, noc.MCNode(0),
+		noc.MemReq{ID: id, Addr: addr, Size: size}, false, false, 0)
+}
+
+func writeReq(id, addr uint64, size int, data uint64, src noc.NodeID) *noc.Packet {
+	return noc.NewMemReqPacket(id, src, noc.MCNode(0),
+		noc.MemReq{ID: id, Addr: addr, Size: size, Data: data}, true, false, 0)
+}
+
+func TestCollectsReadsIntoOneBatch(t *testing.T) {
+	tab := New(noc.HubNode(0), Config{Lines: 8, Threshold: 16, Enabled: true})
+	// Four cores read adjacent 2-byte values in the same 64-byte line.
+	for i := 0; i < 4; i++ {
+		out, absorbed := tab.Offer(readReq(uint64(i+1), uint64(i*2), 2, noc.CoreNode(i)), 0, mc0)
+		if !absorbed || len(out) != 0 {
+			t.Fatalf("read %d: absorbed=%v out=%d", i, absorbed, len(out))
+		}
+	}
+	if got := tab.Stats.Collected.Value(); got != 4 {
+		t.Fatalf("collected = %d", got)
+	}
+	// Nothing flushes before the threshold.
+	if out := tab.Expire(15, mc0); len(out) != 0 {
+		t.Fatalf("flushed %d lines before deadline", len(out))
+	}
+	out := tab.Expire(16, mc0)
+	if len(out) != 1 {
+		t.Fatalf("deadline flush produced %d packets, want 1", len(out))
+	}
+	if out[0].Kind != noc.KBatchRead {
+		t.Fatalf("kind = %v", out[0].Kind)
+	}
+	req := out[0].Payload.(noc.BatchReq)
+	if req.Bitmap != 0xFF {
+		t.Fatalf("bitmap = %#x, want 0xFF", req.Bitmap)
+	}
+}
+
+func TestScatterAfterBatchResponse(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	tab.Offer(readReq(1, 0, 2, noc.CoreNode(0)), 0, mc0)
+	tab.Offer(readReq(2, 4, 4, noc.CoreNode(1)), 0, mc0)
+	batch := tab.Expire(100, mc0)
+	if len(batch) != 1 {
+		t.Fatalf("batches = %d", len(batch))
+	}
+	breq := batch[0].Payload.(noc.BatchReq)
+	var data [64]byte
+	data[0], data[1] = 0x34, 0x12
+	data[4], data[5], data[6], data[7] = 0xDD, 0xCC, 0xBB, 0xAA
+	resp := noc.NewBatchRespPacket(breq.ID, noc.MCNode(0), noc.HubNode(0),
+		noc.BatchResp{ID: breq.ID, LineAddr: breq.LineAddr, Bitmap: breq.Bitmap, Data: data}, 101)
+	outs := tab.OnBatchResp(resp, 101)
+	if len(outs) != 2 {
+		t.Fatalf("scattered = %d, want 2", len(outs))
+	}
+	r0 := outs[0].Payload.(noc.MemResp)
+	r1 := outs[1].Payload.(noc.MemResp)
+	if r0.Data != 0x1234 {
+		t.Fatalf("r0 data = %#x", r0.Data)
+	}
+	if r1.Data != 0xAABBCCDD {
+		t.Fatalf("r1 data = %#x", r1.Data)
+	}
+	if outs[0].Dst != noc.CoreNode(0) || outs[1].Dst != noc.CoreNode(1) {
+		t.Fatal("responses routed to wrong cores")
+	}
+	if tab.Pending() != 0 {
+		t.Fatalf("pending = %d after scatter", tab.Pending())
+	}
+}
+
+func TestWriteBatchCarriesData(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	tab.Offer(writeReq(1, 8, 2, 0xBEEF, noc.CoreNode(0)), 0, mc0)
+	tab.Offer(writeReq(2, 10, 1, 0x7, noc.CoreNode(1)), 0, mc0)
+	out := tab.Expire(100, mc0)
+	if len(out) != 1 || out[0].Kind != noc.KBatchWrite {
+		t.Fatalf("out = %v", out)
+	}
+	req := out[0].Payload.(noc.BatchReq)
+	if req.Bitmap != 0x7<<8 {
+		t.Fatalf("bitmap = %#x", req.Bitmap)
+	}
+	if req.Data[8] != 0xEF || req.Data[9] != 0xBE || req.Data[10] != 0x7 {
+		t.Fatalf("data = %v", req.Data[8:11])
+	}
+}
+
+func TestFullBitmapFlushesImmediately(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	var flushed []*noc.Packet
+	for i := 0; i < 8; i++ {
+		out, absorbed := tab.Offer(writeReq(uint64(i+1), uint64(i*8), 8, 0, noc.CoreNode(0)), 0, mc0)
+		if !absorbed {
+			t.Fatalf("write %d not absorbed", i)
+		}
+		flushed = append(flushed, out...)
+	}
+	if len(flushed) != 1 {
+		t.Fatalf("full-line flush produced %d packets", len(flushed))
+	}
+	if tab.Stats.FullFlush.Value() != 1 {
+		t.Fatal("full flush not counted")
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	tab.Offer(writeReq(1, 16, 8, 0x1122334455667788, noc.CoreNode(0)), 0, mc0)
+	out, absorbed := tab.Offer(readReq(2, 18, 2, noc.CoreNode(0)), 1, mc0)
+	if !absorbed || len(out) != 1 {
+		t.Fatalf("forward failed: absorbed=%v out=%d", absorbed, len(out))
+	}
+	if out[0].Kind != noc.KRespRead {
+		t.Fatalf("kind = %v", out[0].Kind)
+	}
+	resp := out[0].Payload.(noc.MemResp)
+	if resp.Data != 0x5566 {
+		t.Fatalf("forwarded data = %#x, want 0x5566", resp.Data)
+	}
+	if tab.Stats.Forwards.Value() != 1 {
+		t.Fatal("forward not counted")
+	}
+}
+
+func TestPartialOverlapFlushesWriteLine(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	tab.Offer(writeReq(1, 32, 2, 0xAAAA, noc.CoreNode(0)), 0, mc0)
+	out, absorbed := tab.Offer(readReq(2, 32, 8, noc.CoreNode(0)), 1, mc0)
+	if absorbed {
+		t.Fatal("partially overlapping read must not be absorbed")
+	}
+	if len(out) != 1 || out[0].Kind != noc.KBatchWrite {
+		t.Fatalf("expected hazard flush of the write line, got %v", out)
+	}
+	if tab.Stats.HazardFlush.Value() != 1 {
+		t.Fatal("hazard flush not counted")
+	}
+}
+
+func TestPriorityAndLargeBypass(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	pri := readReq(1, 0, 8, noc.CoreNode(0))
+	pri.Priority = true
+	if _, absorbed := tab.Offer(pri, 0, mc0); absorbed {
+		t.Fatal("priority request must bypass MACT")
+	}
+	big := noc.NewMemReqPacket(2, noc.CoreNode(0), noc.MCNode(0),
+		noc.MemReq{ID: 2, Addr: 0, Size: 64}, false, false, 0)
+	if _, absorbed := tab.Offer(big, 0, mc0); absorbed {
+		t.Fatal("line-sized request must bypass MACT")
+	}
+	straddle := readReq(3, 62, 4, noc.CoreNode(0))
+	if _, absorbed := tab.Offer(straddle, 0, mc0); absorbed {
+		t.Fatal("line-straddling request must bypass MACT")
+	}
+	if tab.Stats.Bypassed.Value() != 3 {
+		t.Fatalf("bypassed = %d", tab.Stats.Bypassed.Value())
+	}
+}
+
+func TestDisabledTableBypassesEverything(t *testing.T) {
+	tab := New(noc.HubNode(0), Config{Lines: 8, Threshold: 16, Enabled: false})
+	if _, absorbed := tab.Offer(readReq(1, 0, 2, noc.CoreNode(0)), 0, mc0); absorbed {
+		t.Fatal("disabled table absorbed a request")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tab := New(noc.HubNode(0), Config{Lines: 2, Threshold: 1000, Enabled: true})
+	tab.Offer(readReq(1, 0, 2, noc.CoreNode(0)), 0, mc0)
+	tab.Offer(readReq(2, 64, 2, noc.CoreNode(0)), 1, mc0)
+	out, absorbed := tab.Offer(readReq(3, 128, 2, noc.CoreNode(0)), 2, mc0)
+	if !absorbed {
+		t.Fatal("request not absorbed after eviction")
+	}
+	if len(out) != 1 {
+		t.Fatalf("capacity eviction emitted %d packets", len(out))
+	}
+	if out[0].Payload.(noc.BatchReq).LineAddr != 0 {
+		t.Fatal("oldest line should be evicted")
+	}
+	if tab.Stats.CapacityFlush.Value() != 1 {
+		t.Fatal("capacity flush not counted")
+	}
+}
+
+// TestNeverDropsOrDuplicates: every absorbed read is answered exactly once
+// across forwarding and scattering, for random request streams.
+func TestNeverDropsOrDuplicates(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		tab := New(noc.HubNode(0), Config{Lines: 4, Threshold: 8, Enabled: true})
+		answered := map[uint64]int{}
+		expect := map[uint64]bool{}
+		var inFlight []*noc.Packet
+		record := func(pkts []*noc.Packet) {
+			for _, p := range pkts {
+				switch p.Kind {
+				case noc.KRespRead:
+					answered[p.Payload.(noc.MemResp).ID]++
+				case noc.KBatchRead, noc.KBatchWrite:
+					inFlight = append(inFlight, p)
+				}
+			}
+		}
+		id := uint64(0)
+		for now := uint64(0); now < 120; now++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				id++
+				addr := uint64(rng.Intn(4) * 64)
+				off := uint64(rng.Intn(32))
+				sz := []int{1, 2, 4, 8}[rng.Intn(4)]
+				var pkts []*noc.Packet
+				var absorbed bool
+				if rng.Intn(2) == 0 {
+					pkts, absorbed = tab.Offer(readReq(id, addr+off, sz, noc.CoreNode(rng.Intn(4))), now, mc0)
+					if absorbed {
+						expect[id] = true
+					}
+				} else {
+					pkts, _ = tab.Offer(writeReq(id, addr+off, sz, rng.Uint64(), noc.CoreNode(rng.Intn(4))), now, mc0)
+				}
+				record(pkts)
+			}
+			record(tab.Expire(now, mc0))
+			// Answer one in-flight batch per cycle.
+			if len(inFlight) > 0 {
+				b := inFlight[0]
+				inFlight = inFlight[1:]
+				breq := b.Payload.(noc.BatchReq)
+				resp := noc.NewBatchRespPacket(breq.ID, noc.MCNode(0), noc.HubNode(0),
+					noc.BatchResp{ID: breq.ID, LineAddr: breq.LineAddr, Bitmap: breq.Bitmap, Write: breq.Write}, now)
+				record(tab.OnBatchResp(resp, now))
+			}
+		}
+		// Drain: expire everything and answer remaining batches.
+		record(tab.Expire(10_000, mc0))
+		for len(inFlight) > 0 {
+			b := inFlight[0]
+			inFlight = inFlight[1:]
+			breq := b.Payload.(noc.BatchReq)
+			resp := noc.NewBatchRespPacket(breq.ID, noc.MCNode(0), noc.HubNode(0),
+				noc.BatchResp{ID: breq.ID, LineAddr: breq.LineAddr, Bitmap: breq.Bitmap, Write: breq.Write}, 10_001)
+			record(tab.OnBatchResp(resp, 10_001))
+		}
+		for id := range expect {
+			if answered[id] != 1 {
+				return false
+			}
+		}
+		for id, n := range answered {
+			if n != 1 || !expect[id] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanOccupancy(t *testing.T) {
+	tab := New(noc.HubNode(0), Default())
+	tab.Offer(readReq(1, 0, 2, noc.CoreNode(0)), 0, mc0)
+	tab.Expire(1, mc0)
+	tab.Expire(2, mc0)
+	if tab.MeanOccupancy() != 1 {
+		t.Fatalf("mean occupancy = %v", tab.MeanOccupancy())
+	}
+}

@@ -1,0 +1,257 @@
+// Package mapreduce implements the programming model of §3.6: a master
+// (the host) slices the input, maps tasks onto SmarCo cores, runs reduce
+// tasks over the map outputs, and merges the final result. Jobs are
+// expressed as phases of kernel tasks; the chip's schedulers handle
+// placement and load balance exactly as for any other workload.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/mem"
+	"smarco/internal/sim"
+)
+
+// Job is a multi-phase MapReduce computation. Phase(0) returns the map
+// tasks; subsequent calls return reduce rounds; nil ends the job. Check
+// verifies the final output against a host-side reference.
+type Job struct {
+	Name  string
+	Mem   *mem.Sparse
+	Phase func(phase int) []kernels.Task
+	Check func() error
+}
+
+// Stats reports a job's execution.
+type Stats struct {
+	Phases      int
+	PhaseCycles []uint64
+	TotalCycles uint64
+	TasksRun    int
+}
+
+// Run executes the job on the chip phase by phase (each phase's tasks are
+// independent; phases form barriers, as in Fig. 15's Map -> Reduce flow).
+func Run(c *chip.Chip, job Job, budgetPerPhase uint64) (Stats, error) {
+	var st Stats
+	for phase := 0; ; phase++ {
+		tasks := job.Phase(phase)
+		if len(tasks) == 0 {
+			break
+		}
+		start := c.Now()
+		c.Submit(tasks)
+		if _, err := c.Run(budgetPerPhase); err != nil {
+			return st, fmt.Errorf("mapreduce %s phase %d: %w", job.Name, phase, err)
+		}
+		st.Phases++
+		st.PhaseCycles = append(st.PhaseCycles, c.Now()-start)
+		st.TasksRun += len(tasks)
+	}
+	st.TotalCycles = c.Now()
+	if job.Check != nil {
+		if err := job.Check(); err != nil {
+			return st, fmt.Errorf("mapreduce %s: %w", job.Name, err)
+		}
+	}
+	return st, nil
+}
+
+// arena mirrors the kernels package's allocator for job-owned images.
+type arena struct{ next uint64 }
+
+func (a *arena) alloc(n int) uint64 {
+	base := a.next
+	a.next += (uint64(n) + 63) &^ 63
+	return base
+}
+
+// NewWordCountJob builds a MapReduce WordCount: map tasks count words of
+// their shard into per-shard hash tables; reduce rounds fold tables
+// pairwise (a merge tree) until one final table remains.
+func NewWordCountJob(seed uint64, shards, shardBytes int) Job {
+	if shards < 1 {
+		shards = 1
+	}
+	if shardBytes <= 0 {
+		shardBytes = 2048
+	}
+	const slots = 1024
+	rng := sim.NewRNG(seed ^ 0x3A9C)
+	m := mem.NewSparse()
+	a := &arena{next: 0x0010_0000}
+
+	texts := make([][]byte, shards)
+	tables := make([]uint64, shards)
+	var mapTasks []kernels.Task
+	nextID := 0
+	for i := 0; i < shards; i++ {
+		texts[i] = kernels.GenerateText(rng, shardBytes)
+		textBase := a.alloc(shardBytes)
+		tables[i] = a.alloc(slots * 16)
+		outAddr := a.alloc(8)
+		m.WriteBytes(textBase, texts[i])
+		mapTasks = append(mapTasks, kernels.Task{
+			ID:   nextID,
+			Prog: kernels.WordCountProg,
+			Args: [8]int64{int64(textBase), int64(shardBytes), int64(tables[i]), slots, int64(outAddr)},
+		})
+		nextID++
+	}
+
+	// Merge-tree state across phases: live is the set of tables still to
+	// be folded; each reduce round merges pairs (src -> dst).
+	live := append([]uint64(nil), tables...)
+
+	job := Job{Name: "wordcount", Mem: m}
+	job.Phase = func(phase int) []kernels.Task {
+		if phase == 0 {
+			return mapTasks
+		}
+		if len(live) <= 1 {
+			return nil
+		}
+		var round []kernels.Task
+		var next []uint64
+		for i := 0; i+1 < len(live); i += 2 {
+			round = append(round, kernels.Task{
+				ID:   nextID,
+				Prog: kernels.WCMergeProg,
+				Args: [8]int64{int64(live[i+1]), slots, int64(live[i]), slots},
+			})
+			nextID++
+			next = append(next, live[i])
+		}
+		if len(live)%2 == 1 {
+			next = append(next, live[len(live)-1])
+		}
+		live = next
+		return round
+	}
+	job.Check = func() error {
+		if len(live) != 1 {
+			return fmt.Errorf("merge tree left %d tables", len(live))
+		}
+		// Reference: count words across all shards, then compare the
+		// (hash -> count) multiset. Slot positions in the merged table
+		// depend on merge order, so compare contents, not layout.
+		want := map[uint64]uint64{}
+		for _, text := range texts {
+			table, _ := kernels.ReferenceWordCount(text, slots)
+			for _, slot := range table {
+				if slot[0] != 0 {
+					want[slot[0]] += slot[1]
+				}
+			}
+		}
+		got := map[uint64]uint64{}
+		for s := 0; s < slots; s++ {
+			h := m.ReadUint64(live[0] + uint64(s)*16)
+			if h == 0 {
+				continue
+			}
+			if _, dup := got[h]; dup {
+				return fmt.Errorf("hash %#x appears in two slots", h)
+			}
+			got[h] = m.ReadUint64(live[0] + uint64(s)*16 + 8)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("merged table has %d words, want %d", len(got), len(want))
+		}
+		for h, w := range want {
+			if got[h] != w {
+				return fmt.Errorf("word %#x count %d, want %d", h, got[h], w)
+			}
+		}
+		return nil
+	}
+	return job
+}
+
+// NewTeraSortJob builds a MapReduce TeraSort: map tasks sort their key
+// partitions in place; reduce rounds merge sorted runs pairwise into fresh
+// buffers until one fully sorted run remains.
+func NewTeraSortJob(seed uint64, partitions, keysPerPart int) Job {
+	if partitions < 1 {
+		partitions = 1
+	}
+	if keysPerPart <= 0 {
+		keysPerPart = 64
+	}
+	rng := sim.NewRNG(seed ^ 0x7E45)
+	m := mem.NewSparse()
+	a := &arena{next: 0x0010_0000}
+
+	type run struct {
+		base uint64
+		n    int
+	}
+	var all []uint64
+	var runs []run
+	var mapTasks []kernels.Task
+	nextID := 0
+	for p := 0; p < partitions; p++ {
+		base := a.alloc(keysPerPart * 8)
+		for i := 0; i < keysPerPart; i++ {
+			v := rng.Uint64()
+			m.WriteUint64(base+uint64(i)*8, v)
+			all = append(all, v)
+		}
+		runs = append(runs, run{base: base, n: keysPerPart})
+		mapTasks = append(mapTasks, kernels.Task{
+			ID:   nextID,
+			Prog: kernels.TeraSortProg,
+			Args: [8]int64{int64(base), int64(keysPerPart)},
+		})
+		nextID++
+	}
+
+	job := Job{Name: "terasort", Mem: m}
+	job.Phase = func(phase int) []kernels.Task {
+		if phase == 0 {
+			return mapTasks
+		}
+		if len(runs) <= 1 {
+			return nil
+		}
+		var round []kernels.Task
+		var next []run
+		for i := 0; i+1 < len(runs); i += 2 {
+			a0, b := runs[i], runs[i+1]
+			out := a.alloc((a0.n + b.n) * 8)
+			round = append(round, kernels.Task{
+				ID:   nextID,
+				Prog: kernels.TeraMergeProg,
+				Args: [8]int64{int64(a0.base), int64(a0.n), int64(b.base), int64(b.n), int64(out)},
+			})
+			nextID++
+			next = append(next, run{base: out, n: a0.n + b.n})
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+		return round
+	}
+	job.Check = func() error {
+		if len(runs) != 1 {
+			return fmt.Errorf("merge tree left %d runs", len(runs))
+		}
+		want := append([]uint64(nil), all...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		final := runs[0]
+		if final.n != len(want) {
+			return fmt.Errorf("final run has %d keys, want %d", final.n, len(want))
+		}
+		for i, wv := range want {
+			if got := m.ReadUint64(final.base + uint64(i)*8); got != wv {
+				return fmt.Errorf("key %d = %d, want %d", i, got, wv)
+			}
+		}
+		return nil
+	}
+	return job
+}

@@ -1,0 +1,85 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"smarco/internal/chip"
+)
+
+func TestWordCountJobOnChip(t *testing.T) {
+	job := NewWordCountJob(7, 8, 768)
+	c := chip.New(chip.SmallConfig(), job.Mem)
+	st, err := Run(c, job, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 shards merge in 3 rounds: 4 phases total.
+	if st.Phases != 4 {
+		t.Fatalf("phases = %d, want 4", st.Phases)
+	}
+	if st.TasksRun != 8+4+2+1 {
+		t.Fatalf("tasks = %d, want 15", st.TasksRun)
+	}
+}
+
+func TestTeraSortJobOnChip(t *testing.T) {
+	job := NewTeraSortJob(9, 8, 32)
+	c := chip.New(chip.SmallConfig(), job.Mem)
+	st, err := Run(c, job, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases != 4 || st.TotalCycles == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleShardJobSkipsReduce(t *testing.T) {
+	job := NewWordCountJob(3, 1, 512)
+	c := chip.New(chip.SmallConfig(), job.Mem)
+	st, err := Run(c, job, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases != 1 {
+		t.Fatalf("phases = %d, want 1 (map only)", st.Phases)
+	}
+}
+
+func TestOddShardCountMerges(t *testing.T) {
+	job := NewTeraSortJob(5, 5, 16)
+	c := chip.New(chip.SmallConfig(), job.Mem)
+	if _, err := Run(c, job, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	job := NewTeraSortJob(11, 4, 16)
+	c := chip.New(chip.SmallConfig(), job.Mem)
+	if _, err := Run(c, job, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the final output and re-check.
+	job2 := NewTeraSortJob(11, 4, 16)
+	c2 := chip.New(chip.SmallConfig(), job2.Mem)
+	// Run phases manually, then corrupt before Check.
+	for phase := 0; ; phase++ {
+		tasks := job2.Phase(phase)
+		if len(tasks) == 0 {
+			break
+		}
+		c2.Submit(tasks)
+		if _, err := c2.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte in the final merged run. Allocation order: 4 partitions
+	// of 128 B from 0x100000, two round-1 outputs of 256 B, then the final
+	// 512 B run at 0x100400.
+	const finalRun = 0x0010_0400
+	job2.Mem.SetByte(finalRun, job2.Mem.ByteAt(finalRun)+1)
+	if err := job2.Check(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}

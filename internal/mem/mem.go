@@ -1,0 +1,159 @@
+// Package mem provides the byte-addressed backing stores used throughout the
+// simulator: a sparse paged main-memory image and a flat scratchpad buffer.
+// These are functional stores — timing lives in internal/dram, internal/cache
+// and internal/spm.
+package mem
+
+import "encoding/binary"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Sparse is a sparse little-endian memory covering the full 64-bit address
+// space, allocating 4 KiB pages on demand. The zero value is ready to use.
+type Sparse struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewSparse returns an empty sparse memory.
+func NewSparse() *Sparse {
+	return &Sparse{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (s *Sparse) page(addr uint64, create bool) *[pageSize]byte {
+	if s.pages == nil {
+		if !create {
+			return nil
+		}
+		s.pages = make(map[uint64]*[pageSize]byte)
+	}
+	key := addr >> pageBits
+	p := s.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		s.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr (0 if never written).
+func (s *Sparse) ByteAt(addr uint64) byte {
+	p := s.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores one byte at addr.
+func (s *Sparse) SetByte(addr uint64, v byte) {
+	s.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes at addr as a zero-extended little-endian value.
+// size must be 1, 2, 4 or 8.
+func (s *Sparse) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(s.ByteAt(addr+uint64(i))) << (8 * uint(i))
+	}
+	return v
+}
+
+// Write stores the low size bytes of val at addr, little-endian.
+func (s *Sparse) Write(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		s.SetByte(addr+uint64(i), byte(val>>(8*uint(i))))
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (s *Sparse) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = s.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes stores b at addr.
+func (s *Sparse) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		s.SetByte(addr+uint64(i), v)
+	}
+}
+
+// ReadUint64 reads an 8-byte little-endian value.
+func (s *Sparse) ReadUint64(addr uint64) uint64 { return s.Read(addr, 8) }
+
+// WriteUint64 stores an 8-byte little-endian value.
+func (s *Sparse) WriteUint64(addr uint64, v uint64) { s.Write(addr, 8, v) }
+
+// Footprint returns the number of allocated pages (for test assertions).
+func (s *Sparse) Footprint() int { return len(s.pages) }
+
+// Flat is a fixed-size zero-based byte store, used for SPM contents.
+type Flat struct {
+	buf []byte
+}
+
+// NewFlat returns a flat store of n bytes.
+func NewFlat(n int) *Flat { return &Flat{buf: make([]byte, n)} }
+
+// Size returns the store's capacity in bytes.
+func (f *Flat) Size() int { return len(f.buf) }
+
+// Read returns size bytes at offset off as a little-endian value. Out-of-
+// range accesses read as zero.
+func (f *Flat) Read(off uint64, size int) uint64 {
+	if off+uint64(size) <= uint64(len(f.buf)) {
+		switch size {
+		case 1:
+			return uint64(f.buf[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(f.buf[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(f.buf[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(f.buf[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := off + uint64(i)
+		if a < uint64(len(f.buf)) {
+			v |= uint64(f.buf[a]) << (8 * uint(i))
+		}
+	}
+	return v
+}
+
+// Write stores the low size bytes of val at off. Out-of-range bytes are
+// dropped.
+func (f *Flat) Write(off uint64, size int, val uint64) {
+	if off+uint64(size) <= uint64(len(f.buf)) {
+		switch size {
+		case 1:
+			f.buf[off] = byte(val)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(f.buf[off:], uint16(val))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(f.buf[off:], uint32(val))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(f.buf[off:], val)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		a := off + uint64(i)
+		if a < uint64(len(f.buf)) {
+			f.buf[a] = byte(val >> (8 * uint(i)))
+		}
+	}
+}
+
+// Bytes returns the underlying buffer (not a copy).
+func (f *Flat) Bytes() []byte { return f.buf }

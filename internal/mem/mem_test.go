@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseReadWriteRoundTrip(t *testing.T) {
+	if err := quick.Check(func(addr uint64, val uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		s := NewSparse()
+		s.Write(addr, size, val)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (uint64(1) << (8 * uint(size))) - 1
+		}
+		return s.Read(addr, size) == val&mask
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseZeroDefault(t *testing.T) {
+	s := NewSparse()
+	if s.Read(0xDEADBEEF, 8) != 0 {
+		t.Fatal("unwritten memory should read zero")
+	}
+	if s.Footprint() != 0 {
+		t.Fatal("read must not allocate pages")
+	}
+}
+
+func TestSparseCrossPageAccess(t *testing.T) {
+	s := NewSparse()
+	addr := uint64(pageSize - 3) // straddles a page boundary
+	s.Write(addr, 8, 0x0123456789ABCDEF)
+	if got := s.Read(addr, 8); got != 0x0123456789ABCDEF {
+		t.Fatalf("cross-page read = %#x", got)
+	}
+	if s.Footprint() != 2 {
+		t.Fatalf("footprint = %d, want 2", s.Footprint())
+	}
+}
+
+func TestSparseBytes(t *testing.T) {
+	s := NewSparse()
+	s.WriteBytes(100, []byte("hello"))
+	if string(s.ReadBytes(100, 5)) != "hello" {
+		t.Fatal("bytes round trip failed")
+	}
+	s.WriteUint64(200, 42)
+	if s.ReadUint64(200) != 42 {
+		t.Fatal("uint64 round trip failed")
+	}
+}
+
+func TestSparseZeroValueUsable(t *testing.T) {
+	var s Sparse
+	if s.Read(10, 4) != 0 {
+		t.Fatal("zero-value read failed")
+	}
+	s.Write(10, 4, 7)
+	if s.Read(10, 4) != 7 {
+		t.Fatal("zero-value write failed")
+	}
+}
+
+func TestSparseLittleEndian(t *testing.T) {
+	s := NewSparse()
+	s.Write(0, 4, 0x04030201)
+	for i := uint64(0); i < 4; i++ {
+		if s.ByteAt(i) != byte(i+1) {
+			t.Fatalf("byte %d = %d", i, s.ByteAt(i))
+		}
+	}
+}
+
+func TestFlatMatchesSparse(t *testing.T) {
+	if err := quick.Check(func(off uint16, val uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		f := NewFlat(1 << 17)
+		s := NewSparse()
+		o := uint64(off)
+		f.Write(o, size, val)
+		s.Write(o, size, val)
+		return f.Read(o, size) == s.Read(o, size)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatOutOfRange(t *testing.T) {
+	f := NewFlat(16)
+	f.Write(14, 4, 0xAABBCCDD) // last two bytes dropped
+	if got := f.Read(14, 2); got != 0xCCDD {
+		t.Fatalf("in-range part = %#x", got)
+	}
+	if got := f.Read(14, 4); got != 0xCCDD {
+		t.Fatalf("read past end = %#x, want zero-padded", got)
+	}
+	if f.Read(100, 8) != 0 {
+		t.Fatal("fully out of range read should be zero")
+	}
+	if f.Size() != 16 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestFlatBytesAliases(t *testing.T) {
+	f := NewFlat(8)
+	f.Bytes()[0] = 0x7F
+	if f.Read(0, 1) != 0x7F {
+		t.Fatal("Bytes must alias the store")
+	}
+}

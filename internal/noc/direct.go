@@ -1,0 +1,119 @@
+package noc
+
+import (
+	"container/heap"
+
+	"smarco/internal/sim"
+)
+
+// DirectLink models the star-shaped direct datapath of §3.5.2: a dedicated
+// point-to-point channel from a sub-ring to the memory system that lets
+// high-priority reads and control messages skip both rings. It applies a
+// fixed propagation delay and a per-cycle byte budget in each direction.
+type DirectLink struct {
+	key        uint64
+	delay      uint64
+	bytesPerCy int
+
+	// A-side (hub) and B-side (memory) endpoints.
+	inA, inB   *sim.Port[*Packet] // components send here
+	outA, outB *sim.Port[*Packet] // components drain these
+
+	flightA, flightB delayQueue // toward B / toward A
+	seq              uint64
+
+	Sent stats64
+}
+
+type stats64 struct{ Packets, Bytes uint64 }
+
+type delayed struct {
+	due uint64
+	seq uint64
+	pkt *Packet
+}
+
+type delayQueue []delayed
+
+func (q delayQueue) Len() int { return len(q) }
+func (q delayQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
+func (q *delayQueue) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+
+// NewDirectLink builds a direct link with the given one-way delay (cycles)
+// and per-direction bandwidth (bytes per cycle).
+func NewDirectLink(key uint64, delay uint64, bytesPerCy int) *DirectLink {
+	return &DirectLink{
+		key:        key,
+		delay:      delay,
+		bytesPerCy: bytesPerCy,
+		inA:        sim.NewPort[*Packet](0),
+		inB:        sim.NewPort[*Packet](0),
+		outA:       sim.NewPort[*Packet](0),
+		outB:       sim.NewPort[*Packet](0),
+	}
+}
+
+// EndA returns the hub-side send/receive ports.
+func (d *DirectLink) EndA() (send, recv *sim.Port[*Packet]) { return d.inA, d.outA }
+
+// EndB returns the memory-side send/receive ports.
+func (d *DirectLink) EndB() (send, recv *sim.Port[*Packet]) { return d.inB, d.outB }
+
+// Ports returns the link's ports for engine registration.
+func (d *DirectLink) Ports() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{d.inA, d.inB, d.outA, d.outB}
+}
+
+// Tick moves packets: admits up to the byte budget from each input into the
+// delay pipe, and delivers due packets.
+func (d *DirectLink) Tick(now uint64) {
+	d.admit(now, d.inA, &d.flightA)
+	d.admit(now, d.inB, &d.flightB)
+	d.deliverDue(now, &d.flightA, d.outB)
+	d.deliverDue(now, &d.flightB, d.outA)
+}
+
+// Commit implements sim.Ticker.
+func (d *DirectLink) Commit(uint64) {}
+
+func (d *DirectLink) admit(now uint64, in *sim.Port[*Packet], q *delayQueue) {
+	budget := d.bytesPerCy
+	for budget > 0 {
+		head, ok := in.Peek()
+		if !ok || head.Size > budget {
+			// Oversized packets serialize: allow one per cycle when the
+			// link is otherwise idle.
+			if ok && budget == d.bytesPerCy {
+				in.Pop()
+				extra := uint64((head.Size + d.bytesPerCy - 1) / d.bytesPerCy)
+				d.push(q, now+d.delay+extra, head)
+			}
+			return
+		}
+		in.Pop()
+		budget -= head.Size
+		d.push(q, now+d.delay, head)
+	}
+}
+
+func (d *DirectLink) push(q *delayQueue, due uint64, p *Packet) {
+	d.seq++
+	heap.Push(q, delayed{due: due, seq: d.seq, pkt: p})
+	d.Sent.Packets++
+	d.Sent.Bytes += uint64(p.Size)
+}
+
+func (d *DirectLink) deliverDue(now uint64, q *delayQueue, out *sim.Port[*Packet]) {
+	for q.Len() > 0 && (*q)[0].due <= now {
+		v := heap.Pop(q).(delayed)
+		v.pkt.Hops++
+		out.Send(d.key, v.seq, v.pkt)
+	}
+}

@@ -1,0 +1,297 @@
+package noc
+
+import (
+	"fmt"
+
+	"smarco/internal/sim"
+)
+
+// Mesh is the 2D-mesh baseline the paper argues against in §3.2 (e.g.
+// Tile64): dimension-ordered (XY) routing, one endpoint per router, input
+// buffering, and per-direction link bandwidth. It exists so the ring-vs-
+// mesh design choice can be measured rather than asserted.
+type Mesh struct {
+	Name    string
+	rows    int
+	cols    int
+	cfg     MeshLinkConfig
+	routers []*MeshRouter
+	placeOf map[NodeID]int // node -> router index
+	resolve func(NodeID) NodeID
+}
+
+// MeshLinkConfig describes mesh links. Each of the four directions has
+// Bytes per cycle; packets larger than Bytes serialize over multiple
+// cycles. Mesh routers carry one packet per output per cycle (the paper's
+// "conventional" wide-link behaviour) — channel slicing is the ring
+// design's contribution.
+type MeshLinkConfig struct {
+	Bytes       int
+	BufferDepth int
+}
+
+// DefaultMeshLink matches the total per-router bandwidth of the sub-ring
+// configuration (4 directions × 8 B vs the ring's 32 B), so topology
+// comparisons hold bandwidth roughly constant.
+func DefaultMeshLink() MeshLinkConfig {
+	return MeshLinkConfig{Bytes: 8, BufferDepth: 64}
+}
+
+// Mesh directions.
+const (
+	meshN = iota
+	meshS
+	meshE
+	meshW
+	meshLocal
+)
+
+// MeshRouter is one mesh node with an attached endpoint.
+type MeshRouter struct {
+	mesh *Mesh
+	idx  int // linear index: row*cols + col
+	key  uint64
+
+	in     [4]*sim.Port[*Packet] // indexed by the direction the packet came FROM
+	inject *sim.Port[*Packet]
+	eject  *sim.Port[*Packet]
+
+	busy    [4]int
+	pending [4]*Packet
+	seq     uint64
+
+	Stats RouterStats
+}
+
+// NewMesh builds a rows×cols mesh.
+func NewMesh(name string, rows, cols int, cfg MeshLinkConfig, keyBase uint64) *Mesh {
+	if rows < 2 || cols < 2 {
+		panic("noc: mesh needs at least 2x2")
+	}
+	m := &Mesh{
+		Name: name, rows: rows, cols: cols, cfg: cfg,
+		placeOf: map[NodeID]int{},
+		resolve: func(id NodeID) NodeID { return id },
+	}
+	for i := 0; i < rows*cols; i++ {
+		r := &MeshRouter{mesh: m, idx: i, key: keyBase + uint64(i)}
+		for d := 0; d < 4; d++ {
+			r.in[d] = sim.NewPort[*Packet](cfg.BufferDepth)
+		}
+		r.inject = sim.NewPort[*Packet](0)
+		r.eject = sim.NewPort[*Packet](0)
+		m.routers = append(m.routers, r)
+	}
+	return m
+}
+
+// SetResolver installs the destination resolver.
+func (m *Mesh) SetResolver(f func(NodeID) NodeID) { m.resolve = f }
+
+// Attach binds node to the router at (row, col) and returns its inject and
+// eject ports.
+func (m *Mesh) Attach(row, col int, node NodeID) (inject, eject *sim.Port[*Packet]) {
+	idx := row*m.cols + col
+	if _, dup := m.placeOf[node]; dup {
+		panic(fmt.Sprintf("noc: node %v attached twice to mesh %q", node, m.Name))
+	}
+	m.placeOf[node] = idx
+	return m.routers[idx].inject, m.routers[idx].eject
+}
+
+// Routers returns all routers for engine registration.
+func (m *Mesh) Routers() []*MeshRouter { return m.routers }
+
+// Ports returns all mesh-owned ports.
+func (m *Mesh) Ports() []interface{ Commit(uint64) } {
+	var out []interface{ Commit(uint64) }
+	for _, r := range m.routers {
+		for d := 0; d < 4; d++ {
+			out = append(out, r.in[d])
+		}
+		out = append(out, r.inject, r.eject)
+	}
+	return out
+}
+
+// TotalStats sums router counters.
+func (m *Mesh) TotalStats() RouterStats {
+	var total RouterStats
+	for _, rt := range m.routers {
+		total.Forwarded.Add(rt.Stats.Forwarded.Value())
+		total.BytesSent.Add(rt.Stats.BytesSent.Value())
+		total.BytesSpent.Add(rt.Stats.BytesSpent.Value())
+		total.Ejected.Add(rt.Stats.Ejected.Value())
+		total.StallFull.Add(rt.Stats.StallFull.Value())
+		total.ActiveCyc.Add(rt.Stats.ActiveCyc.Value())
+	}
+	return total
+}
+
+// Capacity returns total per-cycle transmit bytes (all links).
+func (m *Mesh) Capacity() uint64 {
+	// Interior link count: horizontal + vertical, both directions.
+	links := 2 * (m.rows*(m.cols-1) + m.cols*(m.rows-1))
+	return uint64(links * m.cfg.Bytes)
+}
+
+// routeDir decides the output for a packet at router rt: XY routing —
+// correct the column first, then the row; -1 means eject locally.
+func (m *Mesh) routeDir(rt *MeshRouter, p *Packet) int {
+	target := m.resolve(p.Dst)
+	idx, ok := m.placeOf[target]
+	if !ok {
+		panic(fmt.Sprintf("noc: mesh %q cannot route to %v (resolved %v)", m.Name, p.Dst, target))
+	}
+	if idx == rt.idx {
+		return -1
+	}
+	myRow, myCol := rt.idx/m.cols, rt.idx%m.cols
+	dstRow, dstCol := idx/m.cols, idx%m.cols
+	switch {
+	case dstCol > myCol:
+		return meshE
+	case dstCol < myCol:
+		return meshW
+	case dstRow > myRow:
+		return meshS
+	default:
+		return meshN
+	}
+}
+
+// neighborIn returns the downstream input port for packets leaving rt in
+// direction dir. The input is indexed by the arrival direction as seen by
+// the receiver (a packet sent East arrives "from the West").
+func (m *Mesh) neighborIn(rt *MeshRouter, dir int) *sim.Port[*Packet] {
+	row, col := rt.idx/m.cols, rt.idx%m.cols
+	switch dir {
+	case meshN:
+		return m.routers[(row-1)*m.cols+col].in[meshS]
+	case meshS:
+		return m.routers[(row+1)*m.cols+col].in[meshN]
+	case meshE:
+		return m.routers[row*m.cols+col+1].in[meshW]
+	default:
+		return m.routers[row*m.cols+col-1].in[meshE]
+	}
+}
+
+// Commit implements sim.Ticker.
+func (r *MeshRouter) Commit(uint64) {}
+
+// Tick advances the router: finish in-flight serializations, eject local
+// packets, then arbitrate each output among the five inputs.
+func (r *MeshRouter) Tick(now uint64) {
+	for d := 0; d < 4; d++ {
+		if r.busy[d] > 0 {
+			r.busy[d]--
+		}
+		if r.busy[d] == 0 && r.pending[d] != nil {
+			if r.deliver(d, r.pending[d]) {
+				r.pending[d] = nil
+			} else {
+				r.Stats.StallFull.Inc()
+			}
+		}
+	}
+	if r.allEmpty() {
+		return
+	}
+	r.ejectLocal(now)
+	sent := false
+	for d := 0; d < 4; d++ {
+		if r.transmit(now, d) {
+			sent = true
+		}
+	}
+	if sent {
+		r.Stats.ActiveCyc.Inc()
+	}
+}
+
+func (r *MeshRouter) allEmpty() bool {
+	for d := 0; d < 4; d++ {
+		if !r.in[d].Empty() || r.pending[d] != nil || r.busy[d] != 0 {
+			return false
+		}
+	}
+	return r.inject.Empty()
+}
+
+// inputs returns the five input queues in rotating arbitration order.
+func (r *MeshRouter) inputs(now uint64) [5]*sim.Port[*Packet] {
+	all := [5]*sim.Port[*Packet]{r.in[0], r.in[1], r.in[2], r.in[3], r.inject}
+	rot := int((now + r.key) % 5)
+	var out [5]*sim.Port[*Packet]
+	for i := 0; i < 5; i++ {
+		out[i] = all[(rot+i)%5]
+	}
+	return out
+}
+
+func (r *MeshRouter) ejectLocal(now uint64) {
+	ejected := 0
+	for _, in := range r.inputs(now) {
+		for ejected < maxEjectPerCycle {
+			head, ok := in.Peek()
+			if !ok || r.mesh.routeDir(r, head) != -1 {
+				break
+			}
+			if !r.eject.CanAccept(1) {
+				return
+			}
+			in.Pop()
+			head.Hops++
+			r.seq++
+			r.eject.Send(r.key, r.seq, head)
+			r.Stats.Ejected.Inc()
+			ejected++
+		}
+	}
+}
+
+// transmit moves one packet per output per cycle (wormhole-free store and
+// forward with multi-cycle serialization for oversized packets).
+func (r *MeshRouter) transmit(now uint64, dir int) bool {
+	if r.busy[dir] > 0 || r.pending[dir] != nil {
+		return false
+	}
+	width := r.mesh.cfg.Bytes
+	for _, in := range r.inputs(now) {
+		head, ok := in.Peek()
+		if !ok || r.mesh.routeDir(r, head) != dir {
+			continue
+		}
+		cost := head.Size
+		if cost > width {
+			in.Pop()
+			r.busy[dir] = (cost+width-1)/width - 1
+			r.pending[dir] = head
+			r.Stats.BytesSpent.Add(uint64(((cost + width - 1) / width) * width))
+			return true
+		}
+		if !r.mesh.neighborIn(r, dir).CanAccept(1) {
+			r.Stats.StallFull.Inc()
+			return false
+		}
+		in.Pop()
+		r.deliver(dir, head)
+		r.Stats.BytesSpent.Add(uint64(width))
+		return true
+	}
+	return false
+}
+
+func (r *MeshRouter) deliver(dir int, p *Packet) bool {
+	in := r.mesh.neighborIn(r, dir)
+	if !in.CanAccept(1) {
+		return false
+	}
+	p.Hops++
+	r.seq++
+	in.Send(r.key, r.seq, p)
+	r.Stats.Forwarded.Inc()
+	r.Stats.BytesSent.Add(uint64(p.Size))
+	return true
+}

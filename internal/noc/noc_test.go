@@ -1,0 +1,486 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smarco/internal/sim"
+)
+
+// testNet wires a standalone ring with one endpoint per stop.
+type testNet struct {
+	eng    *sim.Engine
+	ring   *Ring
+	inject []*sim.Port[*Packet]
+	eject  []*sim.Port[*Packet]
+}
+
+func newTestNet(stops int, cfg LinkConfig) *testNet {
+	n := &testNet{eng: sim.NewEngine()}
+	n.ring = NewRing("test", stops, cfg, 100)
+	for i := 0; i < stops; i++ {
+		inj, ej := n.ring.Attach(i, CoreNode(i))
+		n.inject = append(n.inject, inj)
+		n.eject = append(n.eject, ej)
+	}
+	for _, rt := range n.ring.Routers() {
+		n.eng.Add(rt)
+	}
+	for _, p := range n.ring.Ports() {
+		n.eng.AddPort(p)
+	}
+	return n
+}
+
+func (n *testNet) send(from, to, size int, id uint64) {
+	n.inject[from].Send(uint64(from), id, &Packet{
+		ID: id, Kind: KReqRead, Src: CoreNode(from), Dst: CoreNode(to), Size: size,
+	})
+}
+
+func (n *testNet) drain(stop int) []*Packet {
+	return n.eject[stop].DrainInto(nil, 0)
+}
+
+func (n *testNet) run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.eng.Step()
+	}
+}
+
+func TestRingDelivery(t *testing.T) {
+	n := newTestNet(8, DefaultSubRing())
+	n.send(0, 5, 8, 1)
+	n.run(20)
+	got := n.drain(5)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("delivery failed: %v", got)
+	}
+}
+
+func TestRingLocalDelivery(t *testing.T) {
+	n := newTestNet(4, DefaultSubRing())
+	n.send(2, 2, 8, 7)
+	n.run(5)
+	if got := n.drain(2); len(got) != 1 {
+		t.Fatalf("self-addressed packet not ejected: %v", got)
+	}
+}
+
+func TestRingShortestPathHops(t *testing.T) {
+	// On a 16-stop ring, 0 -> 3 should take 3 ring hops + 1 eject hop and
+	// never go the long way (13 hops).
+	n := newTestNet(16, DefaultSubRing())
+	n.send(0, 3, 8, 1)
+	n.send(0, 13, 8, 2) // shorter CCW
+	n.run(40)
+	p3 := n.drain(3)
+	p13 := n.drain(13)
+	if len(p3) != 1 || len(p13) != 1 {
+		t.Fatalf("deliveries: %d %d", len(p3), len(p13))
+	}
+	if p3[0].Hops > 4 {
+		t.Fatalf("0->3 took %d hops, want <= 4", p3[0].Hops)
+	}
+	if p13[0].Hops > 4 {
+		t.Fatalf("0->13 took %d hops (wrong direction?), want <= 4", p13[0].Hops)
+	}
+}
+
+func TestRingExactlyOnceDelivery(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := newTestNet(8, DefaultSubRing())
+		type key struct{ dst, id int }
+		want := map[key]int{}
+		nPkts := 20 + rng.Intn(30)
+		for i := 0; i < nPkts; i++ {
+			from, to := rng.Intn(8), rng.Intn(8)
+			n.send(from, to, 1+rng.Intn(16), uint64(i+1))
+			want[key{to, i + 1}]++
+		}
+		n.run(500)
+		got := map[key]int{}
+		for s := 0; s < 8; s++ {
+			for _, p := range n.drain(s) {
+				got[key{s, int(p.ID)}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlicedBeatsConventionalForSmallPackets is the Fig. 18 mechanism in
+// miniature: a stream of 2-byte packets should achieve far higher throughput
+// on 2-byte slices than on a conventional wide link.
+func TestSlicedBeatsConventionalForSmallPackets(t *testing.T) {
+	run := func(cfg LinkConfig) int {
+		n := newTestNet(4, cfg)
+		id := uint64(0)
+		for i := 0; i < 200; i++ {
+			id++
+			n.send(0, 1, 2, id) // 2-byte payload... Size=2 on the wire
+		}
+		n.run(60)
+		return len(n.drain(1))
+	}
+	sliced := DefaultSubRing()
+	sliced.SliceBytes = 2
+	conv := DefaultSubRing()
+	conv.Conventional = true
+	a, b := run(sliced), run(conv)
+	if a <= b {
+		t.Fatalf("sliced %d <= conventional %d for small packets", a, b)
+	}
+	// Conventional moves at most ~1 packet/cycle; sliced should be several
+	// times that.
+	if a < 2*b {
+		t.Fatalf("sliced %d not clearly ahead of conventional %d", a, b)
+	}
+}
+
+// TestSliceGranularitySweep reproduces the Fig. 18 trend: finer slices give
+// monotonically non-decreasing throughput for 2-byte packets.
+func TestSliceGranularitySweep(t *testing.T) {
+	results := map[int]int{}
+	for _, slice := range []int{2, 4, 8, 16} {
+		cfg := DefaultSubRing()
+		cfg.SliceBytes = slice
+		n := newTestNet(4, cfg)
+		id := uint64(0)
+		for i := 0; i < 300; i++ {
+			id++
+			n.send(0, 2, 2, id)
+		}
+		n.run(50)
+		results[slice] = len(n.drain(2))
+	}
+	if !(results[2] >= results[4] && results[4] >= results[8] && results[8] >= results[16]) {
+		t.Fatalf("throughput not monotone in slice fineness: %v", results)
+	}
+	if results[2] <= results[16] {
+		t.Fatalf("2B slices (%d) should beat 16B slices (%d)", results[2], results[16])
+	}
+}
+
+func TestLargePacketSerializesMultiCycle(t *testing.T) {
+	// A 72-byte packet on a 24-byte-wide direction needs 3 cycles of link
+	// occupancy; check it still arrives intact and that a trailing small
+	// packet arrives after it.
+	cfg := DefaultSubRing() // max dir width (1 fixed + 2 flex) * 8 = 24B
+	n := newTestNet(4, cfg)
+	n.send(0, 1, 72, 1)
+	n.send(0, 1, 2, 2)
+	n.run(30)
+	got := n.drain(1)
+	if len(got) != 2 {
+		t.Fatalf("got %d packets, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("order = %d,%d; large packet should not be overtaken on same path", got[0].ID, got[1].ID)
+	}
+}
+
+func TestPriorityPacketsPreferred(t *testing.T) {
+	// Saturate the link with normal packets, then inject one priority
+	// packet; it should be among the earliest deliveries from its queue.
+	cfg := DefaultSubRing()
+	n := newTestNet(4, cfg)
+	for i := 0; i < 50; i++ {
+		n.send(0, 1, 24, uint64(i+1))
+	}
+	n.run(1) // let them commit into the inject queue
+	n.inject[0].Send(0, 1000, &Packet{ID: 1000, Kind: KReqRead, Src: CoreNode(0), Dst: CoreNode(1), Size: 8, Priority: true})
+	n.run(60)
+	got := n.drain(1)
+	pos := -1
+	for i, p := range got {
+		if p.ID == 1000 {
+			pos = i
+		}
+	}
+	if pos == -1 {
+		t.Fatal("priority packet never delivered")
+	}
+	if pos > len(got)/2 {
+		t.Fatalf("priority packet delivered at position %d of %d", pos, len(got))
+	}
+}
+
+func TestRingStatsAccumulate(t *testing.T) {
+	n := newTestNet(4, DefaultSubRing())
+	for i := 0; i < 10; i++ {
+		n.send(0, 2, 8, uint64(i+1))
+	}
+	n.run(30)
+	total := n.ring.TotalStats()
+	if total.Forwarded.Value() == 0 || total.BytesSent.Value() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if total.Ejected.Value() != 10 {
+		t.Fatalf("ejected = %d, want 10", total.Ejected.Value())
+	}
+	if total.BytesSpent.Value() < total.BytesSent.Value() {
+		t.Fatal("budget spent cannot be below bytes sent")
+	}
+	if n.ring.Capacity() == 0 {
+		t.Fatal("capacity must be positive")
+	}
+}
+
+func TestResolverRouting(t *testing.T) {
+	// A ring where only hubs are attached must route core destinations to
+	// the core's hub via the resolver (main-ring behaviour).
+	ring := NewRing("main", 4, DefaultMainRing(), 500)
+	eng := sim.NewEngine()
+	var ejects []*sim.Port[*Packet]
+	var injects []*sim.Port[*Packet]
+	for s := 0; s < 4; s++ {
+		inj, ej := ring.Attach(s, HubNode(s))
+		injects = append(injects, inj)
+		ejects = append(ejects, ej)
+	}
+	ring.SetResolver(func(dst NodeID) NodeID {
+		if dst.IsCore() {
+			return HubNode(dst.CoreIndex() / 16)
+		}
+		return dst
+	})
+	for _, rt := range ring.Routers() {
+		eng.Add(rt)
+	}
+	for _, p := range ring.Ports() {
+		eng.AddPort(p)
+	}
+	// Packet for core 37 (sub-ring 2) injected at hub 0.
+	injects[0].Send(0, 1, &Packet{ID: 9, Dst: CoreNode(37), Size: 8})
+	for i := 0; i < 20; i++ {
+		eng.Step()
+	}
+	if got := ejects[2].DrainInto(nil, 0); len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("resolver routing failed: %v", got)
+	}
+}
+
+func TestDirectLinkDelayAndOrder(t *testing.T) {
+	d := NewDirectLink(1, 4, 8)
+	eng := sim.NewEngine()
+	eng.Add(d)
+	for _, p := range d.Ports() {
+		eng.AddPort(p)
+	}
+	sendA, recvA := d.EndA()
+	_, recvB := d.EndB()
+	sendA.Send(0, 1, &Packet{ID: 1, Size: 8})
+	sendA.Send(0, 2, &Packet{ID: 2, Size: 8})
+	for i := 0; i < 3; i++ {
+		eng.Step()
+	}
+	if recvB.Len() != 0 {
+		t.Fatal("packet arrived before the link delay elapsed")
+	}
+	for i := 0; i < 10; i++ {
+		eng.Step()
+	}
+	got := recvB.DrainInto(nil, 0)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("direct link delivery: %v", got)
+	}
+	if recvA.Len() != 0 {
+		t.Fatal("nothing was sent toward A")
+	}
+	if d.Sent.Packets != 2 {
+		t.Fatalf("sent packets = %d", d.Sent.Packets)
+	}
+}
+
+func TestDirectLinkBandwidthLimit(t *testing.T) {
+	d := NewDirectLink(1, 1, 8)
+	eng := sim.NewEngine()
+	eng.Add(d)
+	for _, p := range d.Ports() {
+		eng.AddPort(p)
+	}
+	sendA, _ := d.EndA()
+	_, recvB := d.EndB()
+	for i := 0; i < 10; i++ {
+		sendA.Send(0, uint64(i), &Packet{ID: uint64(i), Size: 8})
+	}
+	// 8 bytes/cycle, 8-byte packets: at most one admitted per cycle.
+	for i := 0; i < 5; i++ {
+		eng.Step()
+	}
+	if got := recvB.Len(); got > 4 {
+		t.Fatalf("link passed %d packets in 5 cycles at 1/cycle", got)
+	}
+}
+
+func TestNodeIDHelpers(t *testing.T) {
+	if !CoreNode(7).IsCore() || CoreNode(7).CoreIndex() != 7 {
+		t.Fatal("core node helpers")
+	}
+	if !HubNode(3).IsHub() || HubNode(3).HubIndex() != 3 {
+		t.Fatal("hub node helpers")
+	}
+	if !MCNode(2).IsMC() || MCNode(2).MCIndex() != 2 {
+		t.Fatal("mc node helpers")
+	}
+	if !HostNode().IsHost() {
+		t.Fatal("host node helpers")
+	}
+	for _, id := range []NodeID{CoreNode(1), HubNode(1), MCNode(1), HostNode()} {
+		if id.String() == "" {
+			t.Fatal("empty string rendering")
+		}
+	}
+}
+
+func TestPacketSizes(t *testing.T) {
+	req := NewMemReqPacket(1, CoreNode(0), MCNode(0), MemReq{Addr: 0, Size: 2}, false, false, 0)
+	if req.Size != headerBytes {
+		t.Fatalf("read request size = %d", req.Size)
+	}
+	wr := NewMemReqPacket(1, CoreNode(0), MCNode(0), MemReq{Addr: 0, Size: 4, Data: 9}, true, false, 0)
+	if wr.Size != headerBytes+4 {
+		t.Fatalf("write request size = %d", wr.Size)
+	}
+	resp := NewMemRespPacket(1, MCNode(0), CoreNode(0), MemResp{Size: 8}, false, 0)
+	if resp.Size != headerBytes+8 {
+		t.Fatalf("read response size = %d", resp.Size)
+	}
+	wack := NewMemRespPacket(1, MCNode(0), CoreNode(0), MemResp{Size: 8, Write: true}, false, 0)
+	if wack.Size != headerBytes {
+		t.Fatalf("write ack size = %d", wack.Size)
+	}
+	// A batched read of 20 scattered bytes costs a fixed 16B on the wire.
+	b := NewBatchPacket(1, HubNode(0), MCNode(0), BatchReq{Bitmap: (1 << 20) - 1}, 0)
+	if b.Size != headerBytes+8 {
+		t.Fatalf("batch read size = %d", b.Size)
+	}
+	bw := NewBatchPacket(1, HubNode(0), MCNode(0), BatchReq{Bitmap: 0xFF, Write: true}, 0)
+	if bw.Size != headerBytes+8+8 {
+		t.Fatalf("batch write size = %d", bw.Size)
+	}
+	if KReqRead.String() == "" || Kind(200).String() == "" {
+		t.Fatal("kind names")
+	}
+}
+
+// meshNet wires a standalone mesh with one endpoint per node.
+type meshNet struct {
+	eng    *sim.Engine
+	mesh   *Mesh
+	inject map[int]*sim.Port[*Packet]
+	eject  map[int]*sim.Port[*Packet]
+}
+
+func newMeshNet(rows, cols int) *meshNet {
+	n := &meshNet{
+		eng:    sim.NewEngine(),
+		mesh:   NewMesh("t", rows, cols, DefaultMeshLink(), 3000),
+		inject: map[int]*sim.Port[*Packet]{},
+		eject:  map[int]*sim.Port[*Packet]{},
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			inj, ej := n.mesh.Attach(r, c, CoreNode(id))
+			n.inject[id] = inj
+			n.eject[id] = ej
+		}
+	}
+	for _, rt := range n.mesh.Routers() {
+		n.eng.Add(rt)
+	}
+	for _, p := range n.mesh.Ports() {
+		n.eng.AddPort(p)
+	}
+	return n
+}
+
+func (n *meshNet) run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.eng.Step()
+	}
+}
+
+func TestMeshDelivery(t *testing.T) {
+	n := newMeshNet(4, 4)
+	n.inject[0].Send(0, 1, &Packet{ID: 1, Dst: CoreNode(15), Size: 8})
+	n.run(30)
+	got := n.eject[15].DrainInto(nil, 0)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("mesh delivery failed: %v", got)
+	}
+	// XY route 0 -> 15 on a 4x4: 3 east + 3 south + eject = 7 hops.
+	if got[0].Hops != 7 {
+		t.Fatalf("hops = %d, want 7 (XY)", got[0].Hops)
+	}
+}
+
+func TestMeshExactlyOnce(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := newMeshNet(3, 3)
+		want := map[[2]int]int{}
+		for i := 0; i < 30; i++ {
+			from, to := rng.Intn(9), rng.Intn(9)
+			n.inject[from].Send(uint64(from), uint64(i+1), &Packet{ID: uint64(i + 1), Dst: CoreNode(to), Size: 1 + rng.Intn(24)})
+			want[[2]int{to, i + 1}]++
+		}
+		n.run(500)
+		got := map[[2]int]int{}
+		for node := 0; node < 9; node++ {
+			for _, p := range n.eject[node].DrainInto(nil, 0) {
+				got[[2]int{node, int(p.ID)}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshOversizedPacketSerializes(t *testing.T) {
+	n := newMeshNet(2, 2)
+	n.inject[0].Send(0, 1, &Packet{ID: 1, Dst: CoreNode(1), Size: 72}) // 9 cycles at 8B
+	n.inject[0].Send(0, 2, &Packet{ID: 2, Dst: CoreNode(1), Size: 8})
+	n.run(40)
+	got := n.eject[1].DrainInto(nil, 0)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("serialization order broken: %v", got)
+	}
+}
+
+func TestMeshStats(t *testing.T) {
+	n := newMeshNet(3, 3)
+	for i := 0; i < 5; i++ {
+		n.inject[0].Send(0, uint64(i+1), &Packet{ID: uint64(i + 1), Dst: CoreNode(8), Size: 8})
+	}
+	n.run(60)
+	total := n.mesh.TotalStats()
+	if total.Ejected.Value() != 5 || total.Forwarded.Value() == 0 {
+		t.Fatalf("stats: %+v", total)
+	}
+	if n.mesh.Capacity() == 0 {
+		t.Fatal("capacity must be positive")
+	}
+}

@@ -1,0 +1,69 @@
+// Package noc implements SmarCo's on-chip network: a hierarchical ring
+// topology (16-core sub-rings attached to one main ring, §3.2), the
+// high-density sliced-channel links with greedy switch allocation (§3.3),
+// bidirectional flex lanes, congestion-aware direction selection, and the
+// per-sub-ring direct datapaths to memory (§3.5.2).
+package noc
+
+import "fmt"
+
+// NodeID identifies an endpoint attached to the network.
+type NodeID int32
+
+// Node ID ranges. Cores occupy [0, 1000); the remaining classes use fixed
+// offsets so IDs stay stable regardless of chip size.
+const (
+	coreBase NodeID = 0
+	hubBase  NodeID = 1000
+	mcBase   NodeID = 2000
+	hostNode NodeID = 3000
+)
+
+// CoreNode returns the node ID of core i.
+func CoreNode(i int) NodeID { return coreBase + NodeID(i) }
+
+// HubNode returns the node ID of sub-ring s's hub router interface (which
+// also hosts the sub-ring's MACT and sub-scheduler).
+func HubNode(s int) NodeID { return hubBase + NodeID(s) }
+
+// MCNode returns the node ID of memory controller m.
+func MCNode(m int) NodeID { return mcBase + NodeID(m) }
+
+// HostNode returns the node ID of the host/PCIe interface.
+func HostNode() NodeID { return hostNode }
+
+// IsCore reports whether id names a core.
+func (id NodeID) IsCore() bool { return id >= coreBase && id < hubBase }
+
+// IsHub reports whether id names a sub-ring hub.
+func (id NodeID) IsHub() bool { return id >= hubBase && id < mcBase }
+
+// IsMC reports whether id names a memory controller.
+func (id NodeID) IsMC() bool { return id >= mcBase && id < hostNode }
+
+// IsHost reports whether id names the host interface.
+func (id NodeID) IsHost() bool { return id == hostNode }
+
+// CoreIndex returns the core number of a core node.
+func (id NodeID) CoreIndex() int { return int(id - coreBase) }
+
+// HubIndex returns the sub-ring number of a hub node.
+func (id NodeID) HubIndex() int { return int(id - hubBase) }
+
+// MCIndex returns the controller number of an MC node.
+func (id NodeID) MCIndex() int { return int(id - mcBase) }
+
+// String renders the node ID for diagnostics.
+func (id NodeID) String() string {
+	switch {
+	case id.IsCore():
+		return fmt.Sprintf("core%d", id.CoreIndex())
+	case id.IsHub():
+		return fmt.Sprintf("hub%d", id.HubIndex())
+	case id.IsMC():
+		return fmt.Sprintf("mc%d", id.MCIndex())
+	case id.IsHost():
+		return "host"
+	}
+	return fmt.Sprintf("node(%d)", int32(id))
+}

@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind classifies a packet's role in the memory system.
+type Kind uint8
+
+// Packet kinds.
+const (
+	// KReqRead asks a memory controller for Size bytes at Addr.
+	KReqRead Kind = iota
+	// KReqWrite carries Size bytes of data to be written at Addr.
+	KReqWrite
+	// KRespRead returns read data to the requester.
+	KRespRead
+	// KRespWrite acknowledges a write (used for store flow control).
+	KRespWrite
+	// KBatchRead is a MACT-batched read: one base address plus a byte
+	// bitmap covering a 64-byte line (§3.4).
+	KBatchRead
+	// KBatchWrite is a MACT-batched write of the dirty bytes of a line.
+	KBatchWrite
+	// KBatchRespRead returns a batched line read to the MACT for scatter.
+	KBatchRespRead
+	// KBatchRespWrite acknowledges a batched write.
+	KBatchRespWrite
+	// KDMA carries one chunk of a DMA transfer between SPMs or between an
+	// SPM and memory.
+	KDMA
+	// KDMAAck completes a DMA transfer.
+	KDMAAck
+	// KCtrl carries scheduler/control messages (task dispatch, completion).
+	KCtrl
+	// KMatchReq asks a memory controller's near-memory match unit to scan
+	// a text region for a short pattern (the paper's §7 future-work
+	// in-memory computing for string matching).
+	KMatchReq
+	// KMatchResp returns the match count.
+	KMatchResp
+)
+
+var kindNames = [...]string{
+	"req.read", "req.write", "resp.read", "resp.write",
+	"batch.read", "batch.write", "batch.resp.read", "batch.resp.write",
+	"dma", "dma.ack", "ctrl", "match.req", "match.resp",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// headerBytes is the wire overhead of every packet: routing, kind, and
+// transaction identifiers.
+const headerBytes = 8
+
+// MemReq is the payload of KReqRead/KReqWrite packets.
+type MemReq struct {
+	ID     uint64 // requester-unique transaction ID
+	Addr   uint64
+	Size   int    // access granularity in bytes (1, 2, 4, 8) or line fill
+	Data   uint64 // store data (writes)
+	Thread int    // requesting hardware thread (for wakeup routing)
+	IFetch bool   // instruction fetch (for statistics)
+	// Blob carries write data wider than 8 bytes (DMA chunks, line fills).
+	Blob []byte
+}
+
+// MemResp is the payload of KRespRead/KRespWrite packets.
+type MemResp struct {
+	ID     uint64
+	Addr   uint64
+	Size   int
+	Data   uint64 // load data (reads)
+	Thread int
+	Write  bool
+	// Blob carries read data wider than 8 bytes (DMA chunks, line fills).
+	Blob []byte
+}
+
+// BatchReq is the payload of MACT-batched packets: one 64-byte-aligned line
+// with a byte bitmap; writes carry the dirty bytes' data.
+type BatchReq struct {
+	ID       uint64
+	LineAddr uint64
+	Bitmap   uint64 // bit i set = byte i of the line is requested
+	Data     [64]byte
+	Write    bool
+}
+
+// BatchResp returns a batched line to the issuing MACT.
+type BatchResp struct {
+	ID       uint64
+	LineAddr uint64
+	Bitmap   uint64
+	Data     [64]byte
+	Write    bool
+}
+
+// DMAReq is one chunk of a DMA transfer (engine-level, ≤64 bytes).
+type DMAReq struct {
+	ID       uint64
+	SrcAddr  uint64
+	DstAddr  uint64
+	Bytes    int
+	Data     [64]byte
+	Final    bool // last chunk of the transfer
+	ReadSide bool // true: this packet asks the destination to supply data
+}
+
+// Ctrl is a scheduler/control message.
+type Ctrl struct {
+	ID   uint64
+	Op   string
+	Arg0 int64
+	Arg1 int64
+}
+
+// Packet is the unit of transmission. Size is the on-wire size in bytes
+// (header + payload), which is what the sliced channels allocate against.
+type Packet struct {
+	ID       uint64
+	Kind     Kind
+	Src, Dst NodeID
+	Size     int
+	Priority bool // real-time: may use the direct datapath, bypasses MACT
+	Born     uint64
+	Hops     int
+	Payload  any
+}
+
+// NewMemReqPacket builds a read or write request packet with the correct
+// wire size.
+func NewMemReqPacket(id uint64, src, dst NodeID, req MemReq, write, priority bool, now uint64) *Packet {
+	kind := KReqRead
+	size := headerBytes
+	if write {
+		kind = KReqWrite
+		size += req.Size
+	}
+	return &Packet{
+		ID: id, Kind: kind, Src: src, Dst: dst,
+		Size: size, Priority: priority, Born: now, Payload: req,
+	}
+}
+
+// NewMemRespPacket builds the response to a memory request.
+func NewMemRespPacket(id uint64, src, dst NodeID, resp MemResp, priority bool, now uint64) *Packet {
+	kind := KRespRead
+	size := headerBytes
+	if resp.Write {
+		kind = KRespWrite
+	} else {
+		size += resp.Size
+	}
+	return &Packet{
+		ID: id, Kind: kind, Src: src, Dst: dst,
+		Size: size, Priority: priority, Born: now, Payload: resp,
+	}
+}
+
+// NewBatchPacket builds a MACT batch packet. Batched reads cost a fixed
+// header+bitmap regardless of how many accesses were merged — that is the
+// MACT's bandwidth win. Batched writes must still carry the dirty bytes.
+func NewBatchPacket(id uint64, src, dst NodeID, req BatchReq, now uint64) *Packet {
+	kind := KBatchRead
+	size := headerBytes + 8 // header + bitmap
+	if req.Write {
+		kind = KBatchWrite
+		size += bits.OnesCount64(req.Bitmap)
+	}
+	return &Packet{ID: id, Kind: kind, Src: src, Dst: dst, Size: size, Born: now, Payload: req}
+}
+
+// NewBatchRespPacket builds the response to a MACT batch.
+func NewBatchRespPacket(id uint64, src, dst NodeID, resp BatchResp, now uint64) *Packet {
+	kind := KBatchRespRead
+	size := headerBytes + 8
+	if resp.Write {
+		kind = KBatchRespWrite
+	} else {
+		size += bits.OnesCount64(resp.Bitmap)
+	}
+	return &Packet{ID: id, Kind: kind, Src: src, Dst: dst, Size: size, Born: now, Payload: resp}
+}
+
+// MatchReq is the payload of KMatchReq: scan [TextAddr, TextAddr+TextLen)
+// for Pattern[:PatLen], counting (possibly overlapping) occurrences.
+type MatchReq struct {
+	ID       uint64
+	TextAddr uint64
+	TextLen  uint64
+	Pattern  [8]byte
+	PatLen   int
+}
+
+// MatchResp is the payload of KMatchResp.
+type MatchResp struct {
+	ID    uint64
+	Count uint64
+}
+
+// NewMatchReqPacket builds a near-memory match command.
+func NewMatchReqPacket(id uint64, src, dst NodeID, req MatchReq, now uint64) *Packet {
+	return &Packet{
+		ID: id, Kind: KMatchReq, Src: src, Dst: dst,
+		Size: headerBytes + 16 + req.PatLen, Born: now, Payload: req,
+	}
+}
+
+// NewMatchRespPacket builds the reply to a match command.
+func NewMatchRespPacket(id uint64, src, dst NodeID, resp MatchResp, now uint64) *Packet {
+	return &Packet{
+		ID: id, Kind: KMatchResp, Src: src, Dst: dst,
+		Size: headerBytes + 8, Born: now, Payload: resp,
+	}
+}
+
+// NewDMAPacket builds a DMA chunk packet.
+func NewDMAPacket(id uint64, src, dst NodeID, req DMAReq, now uint64) *Packet {
+	size := headerBytes
+	if !req.ReadSide {
+		size += req.Bytes
+	}
+	return &Packet{ID: id, Kind: KDMA, Src: src, Dst: dst, Size: size, Born: now, Payload: req}
+}

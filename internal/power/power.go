@@ -1,0 +1,185 @@
+// Package power models SmarCo's area and power the way the paper does
+// (§4.2.5, with McPAT/CACTI/Orion substituted by calibrated per-component
+// coefficients): unit area/power values are derived from Table 1's 32 nm
+// breakdown of the 256-core chip, technology nodes scale them, and runtime
+// energy combines static power with activity-weighted dynamic power.
+package power
+
+import (
+	"smarco/internal/chip"
+	"smarco/internal/stats"
+)
+
+// Node is a technology node's scaling relative to the 32 nm reference.
+type Node struct {
+	Name       string
+	AreaScale  float64
+	PowerScale float64
+}
+
+// Node32 is the evaluation node of Table 1.
+var Node32 = Node{Name: "32nm", AreaScale: 1, PowerScale: 1}
+
+// Node40 is the prototype's TSMC 40 nm node (§4.4).
+var Node40 = Node{Name: "40nm", AreaScale: 1.5625, PowerScale: 1.35}
+
+// Table 1 reference totals for the 256-core chip at 32 nm.
+const (
+	refCores     = 256
+	refRouters   = 16*(16+1) + 21 // sub-ring routers + main ring stops
+	refMACTs     = 16
+	refMCs       = 4
+	coresArea    = 634.32
+	coresPower   = 209.91
+	ringArea     = 57.43
+	ringPower    = 14.55
+	mactArea     = 1.43
+	mactPower    = 0.14
+	spmCacheArea = 44.90
+	spmCachePwr  = 1.84
+	mcArea       = 12.92
+	mcPower      = 13.65
+)
+
+// staticFraction is the share of each component's Table-1 power that is
+// leakage (always burned); the rest is dynamic and scales with activity.
+const staticFraction = 0.3
+
+// Row is one component class of the breakdown.
+type Row struct {
+	Component string
+	Area      float64 // mm²
+	Power     float64 // W at full activity
+}
+
+// Breakdown is a chip's area/power budget.
+type Breakdown struct {
+	Node Node
+	Rows []Row
+}
+
+// TotalArea sums the component areas.
+func (b Breakdown) TotalArea() float64 {
+	t := 0.0
+	for _, r := range b.Rows {
+		t += r.Area
+	}
+	return t
+}
+
+// TotalPower sums the component peak powers.
+func (b Breakdown) TotalPower() float64 {
+	t := 0.0
+	for _, r := range b.Rows {
+		t += r.Power
+	}
+	return t
+}
+
+// ChipBreakdown computes the budget for an arbitrary chip configuration at
+// the given node by scaling the calibrated per-unit coefficients.
+func ChipBreakdown(cfg chip.Config, node Node) Breakdown {
+	cores := float64(cfg.Cores())
+	routers := float64(cfg.SubRings*(cfg.CoresPerSub+1) + mainStops(cfg))
+	macts := float64(cfg.SubRings)
+	mcs := float64(cfg.MCs)
+	a, p := node.AreaScale, node.PowerScale
+	return Breakdown{
+		Node: node,
+		Rows: []Row{
+			{"Cores", coresArea / refCores * cores * a, coresPower / refCores * cores * p},
+			{"Hierarchy Ring", ringArea / refRouters * routers * a, ringPower / refRouters * routers * p},
+			{"MACT", mactArea / refMACTs * macts * a, mactPower / refMACTs * macts * p},
+			{"SPM+Cache", spmCacheArea / refCores * cores * a, spmCachePwr / refCores * cores * p},
+			{"MC+PHY", mcArea / refMCs * mcs * a, mcPower / refMCs * mcs * p},
+		},
+	}
+}
+
+// mainStops mirrors the chip's main-ring layout size.
+func mainStops(cfg chip.Config) int {
+	return cfg.SubRings + cfg.MCs + 1
+}
+
+// Table1 reproduces the paper's Table 1 exactly (default chip at 32 nm).
+func Table1() Breakdown {
+	return ChipBreakdown(chip.DefaultConfig(), Node32)
+}
+
+// Activity captures how busy each component class was during a run, each in
+// [0, 1].
+type Activity struct {
+	Core float64 // issue-slot utilization (IPC / peak IPC)
+	Ring float64 // link utilization
+	MACT float64 // table occupancy
+	Mem  float64 // bus utilization
+}
+
+// ActivityFromMetrics derives activity factors from chip metrics.
+func ActivityFromMetrics(m chip.Metrics, cfg chip.Config) Activity {
+	peakIPC := float64(cfg.Cores() * cfg.Core.Lanes)
+	var busBytes float64
+	if m.Cycles > 0 {
+		busBytes = float64(m.MemBusBytes) / float64(m.Cycles)
+	}
+	memPeak := float64(cfg.MCs * cfg.DRAM.BusBytesPerCycle)
+	act := Activity{
+		Core: clamp(m.IPC / peakIPC),
+		Ring: clamp((m.SubRingUtil + m.MainRingUtil) / 2),
+		Mem:  clamp(busBytes / memPeak),
+	}
+	if m.MACTCollected > 0 {
+		act.MACT = clamp(float64(m.MACTBatches) / float64(m.MACTCollected) * 4)
+	}
+	return act
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// AvgPower returns the run-average power draw for the breakdown under the
+// given activity: static power always burns; dynamic scales per component.
+func AvgPower(b Breakdown, act Activity) float64 {
+	factors := []float64{act.Core, act.Ring, act.MACT, act.Core, act.Mem}
+	total := 0.0
+	for i, r := range b.Rows {
+		f := 1.0
+		if i < len(factors) {
+			f = factors[i]
+		}
+		total += r.Power * (staticFraction + (1-staticFraction)*f)
+	}
+	return total
+}
+
+// Energy converts average power and runtime into joules.
+func Energy(watts, seconds float64) float64 { return watts * seconds }
+
+// Xeon power model: idle floor plus utilization-proportional dynamic power
+// within the 165 W TDP (Table 2).
+const (
+	XeonTDP  = 165.0
+	xeonIdle = 60.0
+)
+
+// XeonPower returns the baseline's average power at a utilization.
+func XeonPower(util float64) float64 {
+	return xeonIdle + (XeonTDP-xeonIdle)*clamp(util)
+}
+
+// Table renders a Breakdown as the paper's Table 1 layout.
+func (b Breakdown) Table(title string) *stats.Table {
+	t := stats.NewTable(title, "Main Components", "Area (mm^2)", "Power (Watt)")
+	for _, r := range b.Rows {
+		t.AddRow(r.Component, r.Area, r.Power)
+	}
+	t.AddRow("Total", b.TotalArea(), b.TotalPower())
+	return t
+}

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smarco/internal/chip"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+// TestTable1MatchesPaper: the calibrated model must reproduce Table 1.
+func TestTable1MatchesPaper(t *testing.T) {
+	b := Table1()
+	want := map[string][2]float64{
+		"Cores":          {634.32, 209.91},
+		"Hierarchy Ring": {57.43, 14.55},
+		"MACT":           {1.43, 0.14},
+		"SPM+Cache":      {44.90, 1.84},
+		"MC+PHY":         {12.92, 13.65},
+	}
+	for _, r := range b.Rows {
+		w, ok := want[r.Component]
+		if !ok {
+			t.Fatalf("unexpected component %q", r.Component)
+		}
+		approx(t, r.Area, w[0], 0.01, r.Component+" area")
+		approx(t, r.Power, w[1], 0.01, r.Component+" power")
+	}
+	approx(t, b.TotalArea(), 751.00, 0.05, "total area")
+	approx(t, b.TotalPower(), 240.09, 0.05, "total power")
+}
+
+func TestSmallerChipScalesDown(t *testing.T) {
+	small := ChipBreakdown(chip.SmallConfig(), Node32)
+	full := Table1()
+	if small.TotalArea() >= full.TotalArea()/4 {
+		t.Fatalf("16-core chip area %v not much smaller than 256-core %v",
+			small.TotalArea(), full.TotalArea())
+	}
+}
+
+func Test40nmCostsMore(t *testing.T) {
+	at32 := ChipBreakdown(chip.DefaultConfig(), Node32)
+	at40 := ChipBreakdown(chip.DefaultConfig(), Node40)
+	if at40.TotalArea() <= at32.TotalArea() || at40.TotalPower() <= at32.TotalPower() {
+		t.Fatal("40 nm must cost more area and power than 32 nm")
+	}
+	approx(t, at40.TotalArea()/at32.TotalArea(), 1.5625, 1e-9, "area scale")
+}
+
+func TestAvgPowerBetweenStaticAndPeak(t *testing.T) {
+	b := Table1()
+	idle := AvgPower(b, Activity{})
+	peak := AvgPower(b, Activity{Core: 1, Ring: 1, MACT: 1, Mem: 1})
+	approx(t, peak, b.TotalPower(), 1e-9, "peak power")
+	approx(t, idle, b.TotalPower()*staticFraction, 1e-9, "idle power")
+	mid := AvgPower(b, Activity{Core: 0.5, Ring: 0.5, MACT: 0.5, Mem: 0.5})
+	if mid <= idle || mid >= peak {
+		t.Fatalf("mid power %v outside (%v, %v)", mid, idle, peak)
+	}
+}
+
+func TestXeonPowerModel(t *testing.T) {
+	if XeonPower(0) != 60 {
+		t.Fatalf("idle = %v", XeonPower(0))
+	}
+	if XeonPower(1) != 165 {
+		t.Fatalf("peak = %v", XeonPower(1))
+	}
+	if XeonPower(2) != 165 {
+		t.Fatal("utilization must clamp")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if Energy(100, 2.5) != 250 {
+		t.Fatal("energy arithmetic")
+	}
+}
+
+func TestActivityFromMetricsClamped(t *testing.T) {
+	cfg := chip.DefaultConfig()
+	m := chip.Metrics{Cycles: 1000, Instructions: 1 << 40, SubRingUtil: 2, MemBusBytes: 1 << 40}
+	m.IPC = float64(m.Instructions) / float64(m.Cycles)
+	a := ActivityFromMetrics(m, cfg)
+	for _, v := range []float64{a.Core, a.Ring, a.MACT, a.Mem} {
+		if v < 0 || v > 1 {
+			t.Fatalf("activity out of range: %+v", a)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table1().Table("Table 1").String()
+	for _, frag := range []string{"Cores", "MACT", "Total", "751.00"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("table missing %q:\n%s", frag, out)
+		}
+	}
+}

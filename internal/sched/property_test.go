@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smarco/internal/cpu"
+	"smarco/internal/sim"
+)
+
+// TestLaxityPickIsMinimal: whatever the queue contents, the laxity policy
+// must select an entry with minimal laxity from the first non-empty chain.
+func TestLaxityPickIsMinimal(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		s := &SubScheduler{cfg: Config{Policy: PolicyLaxity}}
+		n := 1 + rng.Intn(20)
+		now := uint64(1000)
+		for i := 0; i < n; i++ {
+			w := cpu.Work{TaskID: i}
+			if rng.Intn(4) > 0 {
+				w.Deadline = now + uint64(rng.Intn(10_000))
+				w.EstCycles = uint64(rng.Intn(5_000))
+			}
+			s.normal = append(s.normal, entry{work: w})
+		}
+		q, idx := s.pick(now)
+		if q == nil {
+			return false
+		}
+		chosen := laxity((*q)[idx].work, now)
+		for _, e := range *q {
+			if laxity(e.work, now) < chosen {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlinePickIsEarliest: the software policy must select the earliest
+// deadline (missing deadlines sort last).
+func TestDeadlinePickIsEarliest(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		s := &SubScheduler{cfg: Config{Policy: PolicyDeadline}}
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			w := cpu.Work{TaskID: i}
+			if rng.Intn(4) > 0 {
+				w.Deadline = 1 + uint64(rng.Intn(100_000))
+			}
+			s.normal = append(s.normal, entry{work: w})
+		}
+		q, idx := s.pick(0)
+		chosenDl := (*q)[idx].work.Deadline
+		if chosenDl == 0 {
+			chosenDl = math.MaxUint64
+		}
+		for _, e := range *q {
+			dl := e.work.Deadline
+			if dl == 0 {
+				dl = math.MaxUint64
+			}
+			if dl < chosenDl {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHighChainAlwaysBeforeNormal: with both chains populated, pick must
+// draw from the high-priority chain regardless of laxity values.
+func TestHighChainAlwaysBeforeNormal(t *testing.T) {
+	s := &SubScheduler{cfg: Config{Policy: PolicyLaxity}}
+	s.high = append(s.high, entry{work: cpu.Work{TaskID: 1, Deadline: 1 << 40}})
+	s.normal = append(s.normal, entry{work: cpu.Work{TaskID: 2, Deadline: 10}})
+	q, idx := s.pick(0)
+	if (*q)[idx].work.TaskID != 1 {
+		t.Fatal("normal chain task chosen over high-priority chain")
+	}
+}
+
+// TestLaxityIsMonotoneInDeadline: laxity grows with deadline and shrinks
+// with estimate.
+func TestLaxityIsMonotoneInDeadline(t *testing.T) {
+	if err := quick.Check(func(dl uint32, est uint32, now uint32) bool {
+		a := laxity(cpu.Work{Deadline: uint64(dl) + 1, EstCycles: uint64(est)}, uint64(now))
+		b := laxity(cpu.Work{Deadline: uint64(dl) + 100, EstCycles: uint64(est)}, uint64(now))
+		c := laxity(cpu.Work{Deadline: uint64(dl) + 1, EstCycles: uint64(est) + 50}, uint64(now))
+		return b > a && c < a
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package sched implements SmarCo's task scheduling (§3.7): a main
+// scheduler on the main ring that load-balances tasks across sub-rings, and
+// a hardware sub-scheduler per sub-ring built from three chain tables (null
+// / normal / high-priority) that dispatches thread tasks by execution
+// laxity. A software Deadline Scheduler baseline (the paper's comparison
+// point in Fig. 21) is provided for the same interface.
+package sched
+
+import (
+	"math"
+
+	"smarco/internal/cpu"
+	"smarco/internal/sim"
+	"smarco/internal/stats"
+)
+
+// Policy selects the sub-scheduler's dispatch algorithm.
+type Policy uint8
+
+// Policies.
+const (
+	// PolicyLaxity is the paper's hardware laxity-aware scheduler.
+	PolicyLaxity Policy = iota
+	// PolicyDeadline is the software Deadline Scheduler baseline [21]:
+	// earliest-deadline-first with a per-dispatch software overhead.
+	PolicyDeadline
+	// PolicyFIFO dispatches in arrival order (no deadline awareness).
+	PolicyFIFO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLaxity:
+		return "laxity"
+	case PolicyDeadline:
+		return "deadline-sw"
+	case PolicyFIFO:
+		return "fifo"
+	}
+	return "policy?"
+}
+
+// Config parameterizes a sub-scheduler.
+type Config struct {
+	Policy Policy
+	// DispatchPerCycle bounds hardware dispatches per cycle.
+	DispatchPerCycle int
+	// SoftwareOverhead is the cycles consumed per dispatch decision by
+	// the software baseline (thread wakeup, run-queue manipulation).
+	SoftwareOverhead int
+}
+
+// DefaultHW is the hardware laxity-aware configuration.
+func DefaultHW() Config {
+	return Config{Policy: PolicyLaxity, DispatchPerCycle: 4}
+}
+
+// DefaultSW is the software deadline-scheduler baseline.
+func DefaultSW() Config {
+	return Config{Policy: PolicyDeadline, DispatchPerCycle: 1, SoftwareOverhead: 400}
+}
+
+// Result records one task's completion.
+type Result struct {
+	TaskID   int
+	Core     int
+	Done     uint64
+	Deadline uint64
+}
+
+// Missed reports whether the task finished past its deadline.
+func (r Result) Missed() bool { return r.Deadline != 0 && r.Done > r.Deadline }
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Dispatched stats.Counter
+	Completed  stats.Counter
+	Misses     stats.Counter // deadline misses
+	QueueWait  stats.Histogram
+}
+
+// SubScheduler dispatches tasks to the cores of one sub-ring.
+type SubScheduler struct {
+	Ring int
+	cfg  Config
+	key  uint64
+
+	in   *sim.Port[cpu.Work]       // tasks from the main scheduler
+	done *sim.Port[cpu.Completion] // completions from the cores
+
+	cores    []*cpu.Core
+	freeCtx  []int // free thread contexts per core (null chain table)
+	high     []entry
+	normal   []entry
+	overhead int
+	seq      uint64
+
+	credit    *sim.Port[int] // per-completion credits back to the main scheduler
+	deadlines map[int]uint64 // task ID -> deadline, for result records
+	Results   []Result
+	Stats     Stats
+}
+
+type entry struct {
+	work    cpu.Work
+	queued  uint64
+	arrival uint64
+}
+
+// NewSub builds a sub-scheduler for the given cores. done must be the port
+// the cores were constructed with.
+func NewSub(ring int, cfg Config, cores []*cpu.Core, done *sim.Port[cpu.Completion], key uint64) *SubScheduler {
+	s := &SubScheduler{
+		Ring:  ring,
+		cfg:   cfg,
+		key:   key,
+		in:    sim.NewPort[cpu.Work](0),
+		done:  done,
+		cores: cores,
+	}
+	for _, c := range cores {
+		s.freeCtx = append(s.freeCtx, c.ThreadSlots())
+	}
+	return s
+}
+
+// InPort returns the port the main scheduler sends tasks to.
+func (s *SubScheduler) InPort() *sim.Port[cpu.Work] { return s.in }
+
+// SetCreditPort connects the credit feedback channel to the main scheduler.
+func (s *SubScheduler) SetCreditPort(p *sim.Port[int]) { s.credit = p }
+
+// Ports returns ports owned by the sub-scheduler.
+func (s *SubScheduler) Ports() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{s.in, s.done}
+}
+
+// Capacity returns total thread contexts under this scheduler.
+func (s *SubScheduler) Capacity() int {
+	total := 0
+	for _, c := range s.cores {
+		total += c.ThreadSlots()
+	}
+	return total
+}
+
+// FreeContexts returns currently free thread contexts (null chain length).
+func (s *SubScheduler) FreeContexts() int {
+	total := 0
+	for _, n := range s.freeCtx {
+		total += n
+	}
+	return total
+}
+
+// Commit implements sim.Ticker.
+func (s *SubScheduler) Commit(uint64) {}
+
+// Tick processes completions and dispatches queued tasks.
+func (s *SubScheduler) Tick(now uint64) {
+	// Completions: free contexts, record results, return credits.
+	for {
+		comp, ok := s.done.Pop()
+		if !ok {
+			break
+		}
+		core := s.coreIndex(comp.Core)
+		s.freeCtx[core]++
+		s.Stats.Completed.Inc()
+		var deadline uint64
+		if t, ok := s.deadlines[comp.TaskID]; ok {
+			deadline = t
+			delete(s.deadlines, comp.TaskID)
+		}
+		res := Result{TaskID: comp.TaskID, Core: comp.Core, Done: comp.Cycle, Deadline: deadline}
+		if res.Missed() {
+			s.Stats.Misses.Inc()
+		}
+		s.Results = append(s.Results, res)
+		if s.credit != nil {
+			s.seq++
+			s.credit.Send(s.key, s.seq, 1)
+		}
+	}
+
+	// Intake: append to the priority chain tables.
+	for {
+		w, ok := s.in.Pop()
+		if !ok {
+			break
+		}
+		e := entry{work: w, queued: now, arrival: w.ReleaseCycle}
+		if w.Priority {
+			s.high = append(s.high, e)
+		} else {
+			s.normal = append(s.normal, e)
+		}
+		if w.Deadline != 0 {
+			if s.deadlines == nil {
+				s.deadlines = map[int]uint64{}
+			}
+			s.deadlines[w.TaskID] = w.Deadline
+		}
+	}
+
+	// Dispatch.
+	if s.cfg.Policy == PolicyDeadline && s.overhead > 0 {
+		s.overhead--
+		return
+	}
+	budget := s.cfg.DispatchPerCycle
+	if budget <= 0 {
+		budget = 1
+	}
+	for d := 0; d < budget; d++ {
+		if !s.dispatchOne(now) {
+			break
+		}
+		if s.cfg.Policy == PolicyDeadline {
+			s.overhead = s.cfg.SoftwareOverhead
+			break
+		}
+	}
+}
+
+func (s *SubScheduler) coreIndex(coreID int) int {
+	for i, c := range s.cores {
+		if c.ID == coreID {
+			return i
+		}
+	}
+	panic("sched: completion from a core outside this sub-ring")
+}
+
+// dispatchOne picks a task by policy and sends it to the least-loaded core
+// with a free context. Returns false when nothing can be dispatched.
+func (s *SubScheduler) dispatchOne(now uint64) bool {
+	core := -1
+	best := 0
+	for i, free := range s.freeCtx {
+		if free > best {
+			best = free
+			core = i
+		}
+	}
+	if core < 0 {
+		return false
+	}
+	q, idx := s.pick(now)
+	if q == nil {
+		return false
+	}
+	e := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	s.freeCtx[core]--
+	s.Stats.Dispatched.Inc()
+	s.Stats.QueueWait.Observe(now - e.queued)
+	s.seq++
+	s.cores[core].WorkPort().Send(s.key, s.seq, e.work)
+	return true
+}
+
+// pick selects the next entry according to policy: the high-priority chain
+// first, then the normal chain.
+func (s *SubScheduler) pick(now uint64) (*[]entry, int) {
+	for _, q := range []*[]entry{&s.high, &s.normal} {
+		if len(*q) == 0 {
+			continue
+		}
+		switch s.cfg.Policy {
+		case PolicyFIFO:
+			return q, 0
+		case PolicyDeadline:
+			bestIdx, bestDl := 0, uint64(math.MaxUint64)
+			for i, e := range *q {
+				dl := e.work.Deadline
+				if dl == 0 {
+					dl = math.MaxUint64
+				}
+				if dl < bestDl {
+					bestDl, bestIdx = dl, i
+				}
+			}
+			return q, bestIdx
+		default: // PolicyLaxity
+			bestIdx := 0
+			bestLax := laxity((*q)[0].work, now)
+			for i := 1; i < len(*q); i++ {
+				if l := laxity((*q)[i].work, now); l < bestLax {
+					bestLax, bestIdx = l, i
+				}
+			}
+			return q, bestIdx
+		}
+	}
+	return nil, 0
+}
+
+// laxity is the scheduling slack: deadline - now - estimated execution.
+// Tasks without deadlines sort last (maximum laxity).
+func laxity(w cpu.Work, now uint64) int64 {
+	if w.Deadline == 0 {
+		return math.MaxInt64
+	}
+	return int64(w.Deadline) - int64(now) - int64(w.EstCycles)
+}
+
+// QueueLen returns queued (not yet dispatched) tasks.
+func (s *SubScheduler) QueueLen() int { return len(s.high) + len(s.normal) }

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"testing"
+
+	"smarco/internal/cpu"
+	"smarco/internal/dram"
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+)
+
+// schedRig wires n cores + 1 MC + a sub-scheduler on a ring.
+type schedRig struct {
+	eng   *sim.Engine
+	sub   *SubScheduler
+	main  *MainScheduler
+	store *mem.Sparse
+	cores []*cpu.Core
+}
+
+func newSchedRig(t *testing.T, nCores int, cfg Config) *schedRig {
+	t.Helper()
+	r := &schedRig{eng: sim.NewEngine(), store: mem.NewSparse()}
+	done := sim.NewPort[cpu.Completion](0)
+	ring := noc.NewRing("t", nCores+1, noc.DefaultSubRing(), 20_000)
+	mcFor := func(addr uint64) noc.NodeID { return noc.MCNode(0) }
+	coreCfg := cpu.DefaultConfig()
+	coreCfg.MemCores = nCores
+	for i := 0; i < nCores; i++ {
+		inj, ej := ring.Attach(i, noc.CoreNode(i))
+		core := cpu.New(i, coreCfg, r.store, inj, ej, done, mcFor, uint64(100+i))
+		r.cores = append(r.cores, core)
+		r.eng.Add(core)
+		for _, p := range core.Ports() {
+			r.eng.AddPort(p)
+		}
+	}
+	mcInj, mcEj := ring.Attach(nCores, noc.MCNode(0))
+	ctl := dram.New(noc.MCNode(0), dram.DDR4(), r.store, mcInj, mcEj, 99)
+	r.eng.Add(ctl)
+	for _, rt := range ring.Routers() {
+		r.eng.Add(rt)
+	}
+	for _, p := range ring.Ports() {
+		r.eng.AddPort(p)
+	}
+	r.eng.AddPort(done)
+
+	r.sub = NewSub(0, cfg, r.cores, done, 5000)
+	r.main = NewMain([]*SubScheduler{r.sub}, 6000)
+	r.eng.Add(r.sub, r.main)
+	for _, p := range r.sub.Ports() {
+		r.eng.AddPort(p)
+	}
+	for _, p := range r.main.Ports() {
+		r.eng.AddPort(p)
+	}
+	return r
+}
+
+func (r *schedRig) runUntil(t *testing.T, nDone int, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		r.eng.Step()
+		if len(r.sub.Results) >= nDone {
+			return
+		}
+	}
+	t.Fatalf("only %d of %d tasks completed in %d cycles", len(r.sub.Results), nDone, budget)
+}
+
+var tinyProg = isa.MustAssemble("tiny", `
+	li t0, 0
+	li t1, 200
+l:
+	addi t0, t0, 1
+	blt  t0, t1, l
+	halt
+`)
+
+func mkWork(id int, deadline, est uint64, pri bool) cpu.Work {
+	return cpu.Work{
+		TaskID: id, Prog: tinyProg, CodeBase: 0x4000_0000,
+		Deadline: deadline, EstCycles: est, Priority: pri,
+	}
+}
+
+func TestAllTasksCompleteAndFreeContexts(t *testing.T) {
+	r := newSchedRig(t, 2, DefaultHW())
+	for i := 0; i < 40; i++ {
+		r.main.Submit(mkWork(i+1, 0, 300, false))
+	}
+	r.runUntil(t, 40, 200_000)
+	if r.sub.FreeContexts() != r.sub.Capacity() {
+		t.Fatalf("contexts leaked: %d of %d free", r.sub.FreeContexts(), r.sub.Capacity())
+	}
+	seen := map[int]bool{}
+	for _, res := range r.sub.Results {
+		if seen[res.TaskID] {
+			t.Fatalf("task %d completed twice", res.TaskID)
+		}
+		seen[res.TaskID] = true
+	}
+	if len(seen) != 40 {
+		t.Fatalf("distinct completions = %d", len(seen))
+	}
+}
+
+func TestLoadBalanceAcrossCores(t *testing.T) {
+	r := newSchedRig(t, 4, DefaultHW())
+	for i := 0; i < 32; i++ {
+		r.main.Submit(mkWork(i+1, 0, 300, false))
+	}
+	r.runUntil(t, 32, 200_000)
+	perCore := map[int]int{}
+	for _, res := range r.sub.Results {
+		perCore[res.Core]++
+	}
+	for core, n := range perCore {
+		if n == 0 || n > 16 {
+			t.Fatalf("core %d ran %d of 32 tasks — unbalanced", core, n)
+		}
+	}
+	if len(perCore) != 4 {
+		t.Fatalf("only %d cores used", len(perCore))
+	}
+}
+
+func TestHighPriorityChainDispatchedFirst(t *testing.T) {
+	r := newSchedRig(t, 1, DefaultHW())
+	// Fill all 8 contexts plus a backlog; the priority task should leap
+	// over the queued normal backlog.
+	for i := 0; i < 30; i++ {
+		r.main.Submit(mkWork(i+1, 0, 300, false))
+	}
+	r.main.Submit(mkWork(99, 0, 300, true))
+	r.runUntil(t, 31, 300_000)
+	pos := -1
+	for i, res := range r.sub.Results {
+		if res.TaskID == 99 {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 15 {
+		t.Fatalf("priority task finished at position %d", pos)
+	}
+}
+
+func TestLaxityOrdersByUrgency(t *testing.T) {
+	r := newSchedRig(t, 1, DefaultHW())
+	// Two batches: loose deadlines submitted first, tight deadlines after.
+	for i := 0; i < 16; i++ {
+		r.main.Submit(mkWork(i+1, 1_000_000, 500, false))
+	}
+	for i := 0; i < 8; i++ {
+		r.main.Submit(mkWork(100+i, 5_000, 500, false))
+	}
+	r.runUntil(t, 24, 400_000)
+	// The tight-deadline tasks should not be the last to finish.
+	lastTight := 0
+	for i, res := range r.sub.Results {
+		if res.TaskID >= 100 {
+			lastTight = i
+		}
+	}
+	if lastTight == len(r.sub.Results)-1 {
+		t.Fatal("tight-deadline tasks finished last under laxity policy")
+	}
+	if r.sub.Stats.Misses.Value() > 4 {
+		t.Fatalf("laxity scheduler missed %d deadlines", r.sub.Stats.Misses.Value())
+	}
+}
+
+func TestSoftwareOverheadSlowsDispatch(t *testing.T) {
+	run := func(cfg Config) uint64 {
+		r := newSchedRig(t, 2, cfg)
+		for i := 0; i < 24; i++ {
+			r.main.Submit(mkWork(i+1, 0, 300, false))
+		}
+		r.runUntil(t, 24, 500_000)
+		return r.eng.Now()
+	}
+	hw := run(DefaultHW())
+	sw := run(DefaultSW())
+	if sw <= hw {
+		t.Fatalf("software scheduler (%d cycles) should be slower than hardware (%d)", sw, hw)
+	}
+}
+
+func TestExitSpreadTighterWithLaxity(t *testing.T) {
+	// Miniature Fig. 21: equal tasks with a common deadline; the laxity
+	// hardware scheduler should produce a tighter exit-time spread than
+	// the software deadline scheduler.
+	spread := func(cfg Config) uint64 {
+		r := newSchedRig(t, 2, cfg)
+		for i := 0; i < 32; i++ {
+			r.main.Submit(mkWork(i+1, 100_000, 400, false))
+		}
+		r.runUntil(t, 32, 500_000)
+		lo, hi := r.sub.Results[0].Done, r.sub.Results[0].Done
+		for _, res := range r.sub.Results {
+			if res.Done < lo {
+				lo = res.Done
+			}
+			if res.Done > hi {
+				hi = res.Done
+			}
+		}
+		return hi - lo
+	}
+	lax := spread(DefaultHW())
+	sw := spread(DefaultSW())
+	if lax >= sw {
+		t.Fatalf("laxity spread %d not tighter than software spread %d", lax, sw)
+	}
+}
+
+func TestMainSchedulerReleaseTimes(t *testing.T) {
+	r := newSchedRig(t, 1, DefaultHW())
+	w := mkWork(1, 0, 300, false)
+	w.ReleaseCycle = 500
+	r.main.Submit(w)
+	for i := 0; i < 400; i++ {
+		r.eng.Step()
+	}
+	if len(r.sub.Results) != 0 {
+		t.Fatal("task ran before its release cycle")
+	}
+	r.runUntil(t, 1, 100_000)
+	if r.sub.Results[0].Done < 500 {
+		t.Fatal("completion earlier than release")
+	}
+}
+
+func TestCreditsBoundOutstanding(t *testing.T) {
+	r := newSchedRig(t, 1, DefaultHW())
+	for i := 0; i < 100; i++ {
+		r.main.Submit(mkWork(i+1, 0, 300, false))
+	}
+	for i := 0; i < 10; i++ {
+		r.eng.Step()
+	}
+	// Credits = 2 * capacity (16 for 1 core × 8 threads).
+	dispatched := int(r.main.Stats.Dispatched.Value())
+	if dispatched > 2*r.sub.Capacity() {
+		t.Fatalf("main scheduler pushed %d tasks with only %d credits", dispatched, 2*r.sub.Capacity())
+	}
+	r.runUntil(t, 100, 1_000_000)
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyLaxity.String() == "" || PolicyDeadline.String() == "" || PolicyFIFO.String() == "" {
+		t.Fatal("policies must have names")
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Port is a deterministic single-consumer message queue connecting simulated
+// components. Any number of producers may Send during the tick phase of a
+// cycle; the engine then commits the port, at which point the staged messages
+// are sorted by their (sender, sequence) key and appended to the visible
+// queue. The owning component drains the queue during a later tick.
+//
+// Sorting by key is what keeps the simulation deterministic under the
+// parallel executor: goroutine interleaving can change the order in which
+// Send is called, but never the committed order.
+type Port[T any] struct {
+	mu     sync.Mutex
+	staged []envelope[T]
+	queue  []T
+	cap    int // 0 = unbounded
+	// visLen mirrors len(queue) so hot paths can test emptiness without
+	// taking the mutex (simulators poll hundreds of ports per cycle).
+	visLen atomic.Int32
+}
+
+type envelope[T any] struct {
+	key uint64
+	seq uint64
+	msg T
+}
+
+// NewPort returns a port with the given visible-queue capacity.
+// capacity <= 0 means unbounded.
+func NewPort[T any](capacity int) *Port[T] {
+	return &Port[T]{cap: capacity}
+}
+
+// Send stages msg for delivery at the end of the current cycle. key orders
+// concurrent senders (use a globally unique sender ID); seq orders multiple
+// messages from one sender within one cycle.
+func (p *Port[T]) Send(key, seq uint64, msg T) {
+	p.mu.Lock()
+	p.staged = append(p.staged, envelope[T]{key: key, seq: seq, msg: msg})
+	p.mu.Unlock()
+}
+
+// CanAccept reports whether the visible queue has room for n more messages,
+// counting messages already staged this cycle. It is a heuristic for
+// credit-style flow control; the port never rejects a Send.
+func (p *Port[T]) CanAccept(n int) bool {
+	if p.cap <= 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)+len(p.staged)+n <= p.cap
+}
+
+// Commit publishes staged messages in deterministic order. The engine calls
+// this between the tick and commit phases.
+func (p *Port[T]) Commit(uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.staged) == 0 {
+		return
+	}
+	sort.SliceStable(p.staged, func(i, j int) bool {
+		if p.staged[i].key != p.staged[j].key {
+			return p.staged[i].key < p.staged[j].key
+		}
+		return p.staged[i].seq < p.staged[j].seq
+	})
+	for _, env := range p.staged {
+		p.queue = append(p.queue, env.msg)
+	}
+	p.staged = p.staged[:0]
+	p.visLen.Store(int32(len(p.queue)))
+}
+
+// Empty reports whether no committed messages are visible, without locking.
+func (p *Port[T]) Empty() bool { return p.visLen.Load() == 0 }
+
+// Len returns the number of visible (committed) messages.
+func (p *Port[T]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Peek returns the head message without removing it.
+func (p *Port[T]) Peek() (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	if len(p.queue) == 0 {
+		return zero, false
+	}
+	return p.queue[0], true
+}
+
+// At returns the i-th visible message without removing it.
+func (p *Port[T]) At(i int) (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	if i < 0 || i >= len(p.queue) {
+		return zero, false
+	}
+	return p.queue[i], true
+}
+
+// PopAt removes and returns the i-th visible message.
+func (p *Port[T]) PopAt(i int) (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	if i < 0 || i >= len(p.queue) {
+		return zero, false
+	}
+	msg := p.queue[i]
+	copy(p.queue[i:], p.queue[i+1:])
+	p.queue = p.queue[:len(p.queue)-1]
+	p.visLen.Store(int32(len(p.queue)))
+	return msg, true
+}
+
+// Pop removes and returns the head message.
+func (p *Port[T]) Pop() (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	if len(p.queue) == 0 {
+		return zero, false
+	}
+	msg := p.queue[0]
+	copy(p.queue, p.queue[1:])
+	p.queue = p.queue[:len(p.queue)-1]
+	p.visLen.Store(int32(len(p.queue)))
+	return msg, true
+}
+
+// DrainInto appends up to max visible messages into dst and returns the
+// extended slice. max <= 0 drains everything.
+func (p *Port[T]) DrainInto(dst []T, max int) []T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	dst = append(dst, p.queue[:n]...)
+	copy(p.queue, p.queue[n:])
+	p.queue = p.queue[:len(p.queue)-n]
+	p.visLen.Store(int32(len(p.queue)))
+	return dst
+}

@@ -1,0 +1,139 @@
+// Package sim provides the deterministic cycle-level simulation kernel that
+// every SmarCo component is built on.
+//
+// The engine advances a single global cycle counter. Each cycle has two
+// phases: every component's Tick is called (compute phase: read state that
+// was committed at the end of the previous cycle, stage new outputs), then
+// every component's Commit is called (staged outputs become visible). Because
+// Tick never observes another component's same-cycle writes, the order in
+// which components are ticked does not affect results, which is what makes
+// both the serial and the parallel executors produce identical histories.
+//
+// The parallel executor reproduces the conservative synchronous PDES scheme
+// the paper's simulation framework uses: components are grouped into
+// partitions (one per sub-ring in the chip model), partitions tick
+// concurrently, and a barrier at each phase boundary provides the one-cycle
+// lookahead that makes the synchronization safe.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ticker is implemented by every simulated component.
+//
+// Tick runs in the compute phase of a cycle: it may read any state committed
+// in earlier cycles and may stage outputs (typically via Port.Send), but it
+// must not make state visible to other components. Commit runs in the commit
+// phase and publishes the staged state.
+type Ticker interface {
+	Tick(now uint64)
+	Commit(now uint64)
+}
+
+// Engine drives a set of components cycle by cycle.
+type Engine struct {
+	partitions [][]Ticker
+	ports      []committer
+	now        uint64
+	parallel   bool
+	wg         sync.WaitGroup
+}
+
+// committer is the commit half of Ticker, implemented by Port so the engine
+// can flush staged messages between the two phases.
+type committer interface {
+	Commit(now uint64)
+}
+
+// NewEngine returns an empty serial engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// SetParallel switches the engine between the serial executor and the
+// partition-parallel executor. Results are identical either way.
+func (e *Engine) SetParallel(p bool) { e.parallel = p }
+
+// AddPartition registers a group of components that may be ticked on its own
+// goroutine in parallel mode. Components that communicate combinationally
+// (within the same cycle) must share a partition only if they also share
+// staged state; port-based communication is always safe across partitions.
+func (e *Engine) AddPartition(components ...Ticker) {
+	e.partitions = append(e.partitions, components)
+}
+
+// Add registers components into the default (first) partition.
+func (e *Engine) Add(components ...Ticker) {
+	if len(e.partitions) == 0 {
+		e.partitions = append(e.partitions, nil)
+	}
+	e.partitions[0] = append(e.partitions[0], components...)
+}
+
+// AddPort registers a port to be flushed between the tick and commit phases.
+// Ports registered here have their staged messages sorted and published
+// before component Commit runs, so a component's Commit can already see
+// messages sent to it during the same cycle's Tick phase, one cycle before
+// its next Tick observes them.
+func (e *Engine) AddPort(p committer) { e.ports = append(e.ports, p) }
+
+// Now returns the current cycle number (the number of completed cycles).
+func (e *Engine) Now() uint64 { return e.now }
+
+// Step advances the simulation by exactly one cycle.
+func (e *Engine) Step() {
+	if e.parallel && len(e.partitions) > 1 {
+		e.phaseParallel(func(t Ticker) { t.Tick(e.now) })
+		e.commitPorts()
+		e.phaseParallel(func(t Ticker) { t.Commit(e.now) })
+	} else {
+		for _, part := range e.partitions {
+			for _, t := range part {
+				t.Tick(e.now)
+			}
+		}
+		e.commitPorts()
+		for _, part := range e.partitions {
+			for _, t := range part {
+				t.Commit(e.now)
+			}
+		}
+	}
+	e.now++
+}
+
+func (e *Engine) commitPorts() {
+	for _, p := range e.ports {
+		p.Commit(e.now)
+	}
+}
+
+func (e *Engine) phaseParallel(f func(Ticker)) {
+	e.wg.Add(len(e.partitions))
+	for _, part := range e.partitions {
+		part := part
+		go func() {
+			defer e.wg.Done()
+			for _, t := range part {
+				f(t)
+			}
+		}()
+	}
+	e.wg.Wait()
+}
+
+// Run advances until done returns true or the cycle budget is exhausted. It
+// returns the cycle count at stop and an error when the budget ran out.
+func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	start := e.now
+	for e.now-start < maxCycles {
+		if done != nil && done() {
+			return e.now, nil
+		}
+		e.Step()
+	}
+	if done != nil && done() {
+		return e.now, nil
+	}
+	return e.now, fmt.Errorf("sim: cycle budget of %d exhausted at cycle %d", maxCycles, e.now)
+}

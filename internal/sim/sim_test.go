@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// counterTicker stages an increment in Tick and publishes it in Commit, so a
+// same-cycle reader never sees the new value.
+type counterTicker struct {
+	visible uint64
+	staged  uint64
+}
+
+func (c *counterTicker) Tick(uint64)   { c.staged = c.visible + 1 }
+func (c *counterTicker) Commit(uint64) { c.visible = c.staged }
+
+// readerTicker records what it observed of its peer during Tick.
+type readerTicker struct {
+	peer     *counterTicker
+	observed []uint64
+}
+
+func (r *readerTicker) Tick(uint64)   { r.observed = append(r.observed, r.peer.visible) }
+func (r *readerTicker) Commit(uint64) {}
+
+func TestEngineTwoPhaseVisibility(t *testing.T) {
+	c := &counterTicker{}
+	r := &readerTicker{peer: c}
+	e := NewEngine()
+	// Reader registered before the writer: with single-phase semantics it
+	// would observe stale values only by ordering luck; two-phase semantics
+	// guarantee it sees the previous cycle's commit regardless of order.
+	e.Add(r, c)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	want := []uint64{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if r.observed[i] != w {
+			t.Fatalf("cycle %d: observed %d, want %d", i, r.observed[i], w)
+		}
+	}
+}
+
+func TestEngineOrderIndependence(t *testing.T) {
+	run := func(swap bool) []uint64 {
+		c := &counterTicker{}
+		r := &readerTicker{peer: c}
+		e := NewEngine()
+		if swap {
+			e.Add(c, r)
+		} else {
+			e.Add(r, c)
+		}
+		for i := 0; i < 8; i++ {
+			e.Step()
+		}
+		return r.observed
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordering changed results at cycle %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineRunStopsOnDone(t *testing.T) {
+	c := &counterTicker{}
+	e := NewEngine()
+	e.Add(c)
+	stop, err := e.Run(1000, func() bool { return c.visible >= 10 })
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if stop != 10 {
+		t.Fatalf("stopped at cycle %d, want 10", stop)
+	}
+}
+
+func TestEngineRunBudgetExhausted(t *testing.T) {
+	e := NewEngine()
+	e.Add(&counterTicker{})
+	if _, err := e.Run(5, func() bool { return false }); err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("engine advanced %d cycles, want 5", e.Now())
+	}
+}
+
+// portSender sends a deterministic message stream during Tick.
+type portSender struct {
+	id   uint64
+	port *Port[uint64]
+	sent uint64
+}
+
+func (s *portSender) Tick(now uint64) {
+	for i := uint64(0); i < 3; i++ {
+		s.port.Send(s.id, i, s.id*1000+now*10+i)
+		s.sent++
+	}
+}
+func (s *portSender) Commit(uint64) {}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	build := func(parallel bool) (*Engine, *Port[uint64]) {
+		e := NewEngine()
+		e.SetParallel(parallel)
+		port := NewPort[uint64](0)
+		e.AddPort(port)
+		for p := 0; p < 8; p++ {
+			senders := make([]Ticker, 0, 4)
+			for s := 0; s < 4; s++ {
+				senders = append(senders, &portSender{id: uint64(p*4 + s), port: port})
+			}
+			e.AddPartition(senders...)
+		}
+		return e, port
+	}
+	eS, pS := build(false)
+	eP, pP := build(true)
+	for c := 0; c < 20; c++ {
+		eS.Step()
+		eP.Step()
+	}
+	got := pP.DrainInto(nil, 0)
+	want := pS.DrainInto(nil, 0)
+	if len(got) != len(want) {
+		t.Fatalf("message counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d differs: parallel %d, serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelPhaseBarrier(t *testing.T) {
+	// All Ticks of a cycle must complete before any Commit of that cycle.
+	var inTick atomic.Int32
+	type phaseTicker struct {
+		Ticker
+	}
+	_ = phaseTicker{}
+	mk := func() Ticker {
+		return &funcTicker{
+			tick: func(uint64) { inTick.Add(1) },
+			commit: func(uint64) {
+				if inTick.Load() != 16 {
+					t.Errorf("commit ran before all ticks: %d", inTick.Load())
+				}
+			},
+		}
+	}
+	e := NewEngine()
+	e.SetParallel(true)
+	for p := 0; p < 16; p++ {
+		e.AddPartition(mk())
+	}
+	e.Step()
+}
+
+type funcTicker struct {
+	tick   func(uint64)
+	commit func(uint64)
+}
+
+func (f *funcTicker) Tick(now uint64)   { f.tick(now) }
+func (f *funcTicker) Commit(now uint64) { f.commit(now) }
+
+func TestPortDeterministicOrdering(t *testing.T) {
+	p := NewPort[int](0)
+	// Stage out of key order; commit must sort by (key, seq).
+	p.Send(2, 0, 20)
+	p.Send(1, 1, 11)
+	p.Send(1, 0, 10)
+	p.Send(0, 0, 0)
+	p.Commit(0)
+	got := p.DrainInto(nil, 0)
+	want := []int{0, 10, 11, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPortPopAndPeek(t *testing.T) {
+	p := NewPort[string](0)
+	if _, ok := p.Pop(); ok {
+		t.Fatal("pop on empty port succeeded")
+	}
+	p.Send(0, 0, "a")
+	p.Send(0, 1, "b")
+	p.Commit(0)
+	if v, ok := p.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %q, %v", v, ok)
+	}
+	if v, _ := p.Pop(); v != "a" {
+		t.Fatalf("pop = %q, want a", v)
+	}
+	if v, _ := p.Pop(); v != "b" {
+		t.Fatalf("pop = %q, want b", v)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("len = %d, want 0", p.Len())
+	}
+}
+
+func TestPortCapacityHint(t *testing.T) {
+	p := NewPort[int](2)
+	if !p.CanAccept(2) {
+		t.Fatal("empty port should accept 2")
+	}
+	p.Send(0, 0, 1)
+	if !p.CanAccept(1) {
+		t.Fatal("port with one staged should accept 1 more")
+	}
+	if p.CanAccept(2) {
+		t.Fatal("port with one staged must not accept 2 more")
+	}
+	p.Commit(0)
+	p.Send(0, 0, 2)
+	p.Commit(0)
+	if p.CanAccept(1) {
+		t.Fatal("full port must not accept")
+	}
+}
+
+func TestPortDrainMax(t *testing.T) {
+	p := NewPort[int](0)
+	for i := 0; i < 5; i++ {
+		p.Send(0, uint64(i), i)
+	}
+	p.Commit(0)
+	first := p.DrainInto(nil, 2)
+	if len(first) != 2 || first[0] != 0 || first[1] != 1 {
+		t.Fatalf("drain(2) = %v", first)
+	}
+	rest := p.DrainInto(nil, 0)
+	if len(rest) != 3 || rest[0] != 2 {
+		t.Fatalf("drain rest = %v", rest)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats collects and formats the metrics the SmarCo evaluation
+// reports: counters (instructions, misses, packets), ratios, latency
+// histograms, and simple tables matching the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns num/den, or 0 when den is zero.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Histogram accumulates integer samples (typically latencies in cycles).
+type Histogram struct {
+	samples []uint64
+	sum     uint64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() uint64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() uint64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Samples returns a copy of all recorded samples.
+func (h *Histogram) Samples() []uint64 {
+	out := make([]uint64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Table is a small fixed-column text table used by the experiment harnesses
+// to print paper-style rows.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

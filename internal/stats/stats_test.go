@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset value = %d", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1,4) = %v", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Fatalf("Ratio(3,0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{5, 1, 9, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 18 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 4.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %d, want 3", p)
+	}
+	if p := h.Percentile(100); p != 9 {
+		t.Fatalf("p100 = %d, want 9", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(99) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if math.Abs(h.Stddev()-2.0) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", h.Stddev())
+	}
+}
+
+func TestHistogramObserveAfterSort(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	_ = h.Max() // forces sort
+	h.Observe(1)
+	if h.Min() != 1 {
+		t.Fatalf("min after late observe = %d", h.Min())
+	}
+}
+
+func TestHistogramPercentileWithinRange(t *testing.T) {
+	if err := quick.Check(func(vals []uint16, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		pct := float64(p % 101)
+		got := h.Percentile(pct)
+		return got >= h.Min() && got <= h.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSamplesCopy(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	s := h.Samples()
+	s[0] = 99
+	if h.Samples()[0] != 1 {
+		t.Fatal("Samples must return a copy")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("a", 1)
+	tab.AddRow("longer-name", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer-name") {
+		t.Fatal("missing row")
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("Rows() = %d", len(tab.Rows()))
+	}
+}

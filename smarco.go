@@ -1,0 +1,145 @@
+// Package smarco is the public API of the SmarCo reproduction: a
+// cycle-level simulator of the many-core high-throughput processor from
+// "SmarCo: An Efficient Many-Core Processor for High-Throughput
+// Applications in Datacenters" (HPCA 2018), together with the paper's six
+// benchmarks, its conventional-processor baseline, its MapReduce
+// programming model, and harnesses regenerating every table and figure of
+// its evaluation.
+//
+// Quick start:
+//
+//	w := smarco.NewWorkload("wordcount", smarco.WorkloadConfig{Seed: 1, Tasks: 32})
+//	c := smarco.NewChip(smarco.SmallChip(), w.Mem)
+//	c.Submit(w.Tasks)
+//	cycles, err := c.Run(10_000_000)
+//	...
+//	m := c.Metrics()
+//
+// The exported names are aliases into the implementation packages so the
+// full method sets remain available.
+package smarco
+
+import (
+	"smarco/internal/card"
+	"smarco/internal/chip"
+	"smarco/internal/conv"
+	"smarco/internal/experiments"
+	"smarco/internal/kernels"
+	"smarco/internal/mapreduce"
+	"smarco/internal/mem"
+	"smarco/internal/power"
+	"smarco/internal/sched"
+)
+
+// Chip is a fully wired SmarCo processor instance.
+type Chip = chip.Chip
+
+// ChipConfig sizes a chip (sub-rings, cores, NoC links, MACT, DRAM,
+// scheduler policy).
+type ChipConfig = chip.Config
+
+// Metrics aggregates chip-wide counters after a run.
+type Metrics = chip.Metrics
+
+// Memory is the byte-addressed backing store shared by workloads and chip.
+type Memory = mem.Sparse
+
+// Workload is a benchmark instance: a memory image, independent tasks, and
+// an output verifier.
+type Workload = kernels.Workload
+
+// WorkloadConfig sizes a generated workload.
+type WorkloadConfig = kernels.Config
+
+// Task is one schedulable unit of work.
+type Task = kernels.Task
+
+// SchedResult records one task's completion (used by the real-time
+// experiments).
+type SchedResult = sched.Result
+
+// XeonConfig describes the conventional-processor baseline.
+type XeonConfig = conv.Config
+
+// XeonResult is the baseline's run report.
+type XeonResult = conv.Result
+
+// MapReduceJob is a multi-phase MapReduce computation (§3.6).
+type MapReduceJob = mapreduce.Job
+
+// PowerBreakdown is an area/power budget (Table 1).
+type PowerBreakdown = power.Breakdown
+
+// Card is a PCIe accelerator card holding one or two SmarCo processors
+// (§4.4, Fig. 25).
+type Card = card.Card
+
+// CardConfig sizes a card.
+type CardConfig = card.Config
+
+// Benchmarks lists the paper's six benchmarks in order: wordcount,
+// terasort, search, kmeans, kmp, rnc.
+var Benchmarks = kernels.Names
+
+// DefaultChip returns the paper's 256-core, 2048-thread configuration.
+func DefaultChip() ChipConfig { return chip.DefaultConfig() }
+
+// SmallChip returns a 16-core configuration that runs in seconds.
+func SmallChip() ChipConfig { return chip.SmallConfig() }
+
+// NewChip builds a chip over the given memory image (nil for a fresh one).
+func NewChip(cfg ChipConfig, store *Memory) *Chip { return chip.New(cfg, store) }
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory { return mem.NewSparse() }
+
+// NewWorkload builds one of the six paper benchmarks. It panics on an
+// unknown name; see Benchmarks.
+func NewWorkload(name string, cfg WorkloadConfig) *Workload {
+	return kernels.MustNew(name, cfg)
+}
+
+// Xeon returns the conventional baseline configuration (Intel Xeon
+// E7-8890V4 per Table 2).
+func Xeon() XeonConfig { return conv.XeonE78890V4() }
+
+// RunOnXeon executes a workload on the conventional baseline with the
+// given software thread count.
+func RunOnXeon(cfg XeonConfig, w *Workload, threads int) XeonResult {
+	return conv.Run(cfg, w, threads)
+}
+
+// NewWordCountJob builds a MapReduce WordCount job (map shards, reduce by
+// table-merge tree).
+func NewWordCountJob(seed uint64, shards, shardBytes int) MapReduceJob {
+	return mapreduce.NewWordCountJob(seed, shards, shardBytes)
+}
+
+// NewTeraSortJob builds a MapReduce TeraSort job (map sorts partitions,
+// reduce merges runs).
+func NewTeraSortJob(seed uint64, partitions, keysPerPart int) MapReduceJob {
+	return mapreduce.NewTeraSortJob(seed, partitions, keysPerPart)
+}
+
+// RunMapReduce executes a job phase by phase on the chip.
+func RunMapReduce(c *Chip, job MapReduceJob, budgetPerPhase uint64) (mapreduce.Stats, error) {
+	return mapreduce.Run(c, job, budgetPerPhase)
+}
+
+// NewCard builds a PCIe accelerator card over the given memory image.
+func NewCard(cfg CardConfig, store *Memory) *Card { return card.New(cfg, store) }
+
+// DefaultPCIe returns a Gen3 x8-class link model.
+func DefaultPCIe() card.PCIeConfig { return card.DefaultPCIe() }
+
+// Table1 returns the paper's Table 1 area/power breakdown (32 nm).
+func Table1() PowerBreakdown { return power.Table1() }
+
+// ExperimentScale selects experiment sizing; see internal/experiments.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall = experiments.ScaleSmall
+	ScalePaper = experiments.ScalePaper
+)

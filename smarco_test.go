@@ -1,0 +1,99 @@
+package smarco
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart mirrors the README quickstart.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := NewWorkload("wordcount", WorkloadConfig{Seed: 1, Tasks: 16, Scale: 512})
+	c := NewChip(SmallChip(), w.Mem)
+	c.Submit(w.Tasks)
+	cycles, err := c.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Instructions == 0 || m.TasksDone != 16 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestPublicAPIXeonBaseline(t *testing.T) {
+	w := NewWorkload("search", WorkloadConfig{Seed: 2, Tasks: 8, Scale: 16})
+	r := RunOnXeon(Xeon(), w, 8)
+	if r.Cycles == 0 || r.Seconds <= 0 {
+		t.Fatalf("baseline result: %+v", r)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIMapReduce(t *testing.T) {
+	job := NewTeraSortJob(3, 4, 32)
+	c := NewChip(SmallChip(), job.Mem)
+	st, err := RunMapReduce(c, job, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases < 2 {
+		t.Fatalf("phases = %d", st.Phases)
+	}
+}
+
+func TestPublicAPITable1(t *testing.T) {
+	b := Table1()
+	if b.TotalArea() < 750 || b.TotalArea() > 752 {
+		t.Fatalf("Table 1 area = %v", b.TotalArea())
+	}
+}
+
+func TestBenchmarkListStable(t *testing.T) {
+	want := []string{"wordcount", "terasort", "search", "kmeans", "kmp", "rnc"}
+	if len(Benchmarks) != len(want) {
+		t.Fatalf("benchmarks = %v", Benchmarks)
+	}
+	for i, n := range want {
+		if Benchmarks[i] != n {
+			t.Fatalf("benchmark %d = %q, want %q", i, Benchmarks[i], n)
+		}
+	}
+}
+
+func TestPublicAPIStaging(t *testing.T) {
+	w := NewWorkload("kmp", WorkloadConfig{Seed: 4, Tasks: 8, Scale: 512, StageSPM: true})
+	c := NewChip(SmallChip(), w.Mem)
+	c.Submit(w.Tasks)
+	if _, err := c.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().SPMAccesses == 0 {
+		t.Fatal("staged workload produced no SPM accesses")
+	}
+}
+
+func TestPublicAPICard(t *testing.T) {
+	w := NewWorkload("rnc", WorkloadConfig{Seed: 8, Tasks: 8, StageSPM: true})
+	cfg := CardConfig{Processors: 2, Chip: SmallChip(), PCIe: DefaultPCIe()}
+	c := NewCard(cfg, w.Mem)
+	cycles, err := c.Run(w.Tasks, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || len(c.Chips()) != 2 {
+		t.Fatalf("card run: cycles=%d chips=%d", cycles, len(c.Chips()))
+	}
+}
