@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"smarco/internal/chip"
+	"smarco/internal/fault"
 	"smarco/internal/kernels"
 	"smarco/internal/power"
 )
@@ -42,6 +43,11 @@ func main() {
 	mesh := flag.Bool("mesh", false, "use the 2D-mesh baseline interconnect instead of hierarchical rings")
 	parallel := flag.Bool("parallel", true, "parallel (PDES-style) execution")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic)")
+	linkRate := flag.Float64("link-fault-rate", 0, "per-traversal NoC link fault probability")
+	flipRate := flag.Float64("dram-flip-rate", 0, "per-word DRAM bit-flip probability per access")
+	killCores := flag.Int("kill-cores", 0, "hard-fail this many cores mid-run")
+	killCycle := flag.Uint64("kill-cycle", 0, "cycle at which cores fail (0 = default)")
 	showPower := flag.Bool("power", false, "print the power/area estimate for this configuration")
 	timeline := flag.String("timeline", "", "write a per-interval metrics CSV to this file")
 	interval := flag.Uint64("interval", 2000, "timeline sampling interval in cycles")
@@ -67,6 +73,13 @@ func main() {
 		cfg.Topology = "mesh"
 	}
 	cfg.Parallel = *parallel
+	cfg.Fault = fault.Config{
+		Seed:          *faultSeed,
+		LinkFaultRate: *linkRate,
+		DRAMFlipRate:  *flipRate,
+		KillCores:     *killCores,
+		KillCycle:     *killCycle,
+	}
 
 	nTasks := *tasks
 	if nTasks <= 0 {
@@ -86,7 +99,10 @@ func main() {
 		cfg.MACT.Enabled, cfg.MACT.Threshold, !cfg.SubLink.Conventional, cfg.SubLink.SliceBytes, *stage)
 	fmt.Printf("workload: %s, %d tasks, seed %d\n\n", w.Name, len(w.Tasks), *seed)
 
-	c := chip.New(cfg, w.Mem)
+	c, err := chip.Build(cfg, w.Mem)
+	if err != nil {
+		log.Fatal(err)
+	}
 	c.Submit(w.Tasks)
 	var cycles uint64
 	if *timeline != "" {
@@ -136,6 +152,19 @@ memory            %d requests (%d batched), %d bus bytes, row-hit %.3f
 		m.SubRingUtil, m.MainRingUtil, m.PacketsMoved,
 		m.MACTCollected, m.MACTBatches, m.MACTForwards, m.MACTBypassed,
 		m.MemRequests, m.MemBatches, m.MemBusBytes, m.RowHitRate)
+
+	if cfg.Fault.Enabled() {
+		fmt.Printf(`
+fault injection   seed %d
+link faults       %d  (retransmits %d, lost %d)
+DRAM ECC          corrected %d, uncorrectable %d
+cores killed      %d  (tasks migrated %d, rollback writes %d)
+`,
+			cfg.Fault.Seed,
+			m.LinkFaults, m.Retransmits, m.PacketsLost,
+			m.ECCCorrected, m.ECCUncorrectable,
+			m.CoresKilled, m.TasksMigrated, m.RollbackWrites)
+	}
 
 	if *showPower {
 		b := power.ChipBreakdown(cfg, power.Node32)

@@ -29,7 +29,10 @@ func run(policy sched.Config, label string, deadline uint64) {
 		w.Tasks[i].EstCycles = deadline / 8
 	}
 
-	c := chip.New(cfg, w.Mem)
+	c, err := chip.Build(cfg, w.Mem)
+	if err != nil {
+		log.Fatal(err)
+	}
 	c.Submit(w.Tasks)
 	if _, err := c.Run(50_000_000); err != nil {
 		log.Fatal(err)

@@ -56,14 +56,14 @@ type Cache struct {
 }
 
 // New builds a cache. Size must be divisible by LineBytes*Ways.
-func New(cfg Config) *Cache {
+func New(cfg Config) (*Cache, error) {
 	lines := cfg.SizeBytes / cfg.LineBytes
 	if lines <= 0 || cfg.Ways <= 0 || lines%cfg.Ways != 0 {
-		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+		return nil, fmt.Errorf("cache: bad geometry %+v", cfg)
 	}
 	nsets := lines / cfg.Ways
 	if nsets&(nsets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+		return nil, fmt.Errorf("cache: set count %d not a power of two", nsets)
 	}
 	var shift uint
 	for 1<<shift < cfg.LineBytes {
@@ -77,6 +77,16 @@ func New(cfg Config) *Cache {
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew builds a cache, panicking on invalid geometry. Convenience for
+// statically known-good configs (tests, presets).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

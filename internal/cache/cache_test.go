@@ -8,7 +8,7 @@ import (
 )
 
 func TestColdMissThenHit(t *testing.T) {
-	c := New(L1D16K())
+	c := MustNew(L1D16K())
 	if c.Access(0x1000, false) {
 		t.Fatal("cold access hit")
 	}
@@ -27,7 +27,7 @@ func TestColdMissThenHit(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	// Two-way cache, walk three lines mapping to the same set.
 	cfg := Config{SizeBytes: 4 << 10, LineBytes: 64, Ways: 2, HitLatency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	setStride := uint64(cfg.SizeBytes / cfg.Ways) // lines that alias to set 0
 	a, b, d := uint64(0), setStride, 2*setStride
 	c.Access(a, false)
@@ -49,7 +49,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestDirtyWriteback(t *testing.T) {
 	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1, HitLatency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(0, true) // dirty fill
 	victim, wb := c.Fill(128, false)
 	if !wb || victim != 0 {
@@ -62,7 +62,7 @@ func TestDirtyWriteback(t *testing.T) {
 
 func TestWriteHitSetsDirty(t *testing.T) {
 	cfg := Config{SizeBytes: 128, LineBytes: 64, Ways: 1, HitLatency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(0, false)
 	c.Access(0, true) // write hit dirties the line
 	_, wb := c.Fill(128, false)
@@ -72,7 +72,7 @@ func TestWriteHitSetsDirty(t *testing.T) {
 }
 
 func TestFillIdempotentWhenPresent(t *testing.T) {
-	c := New(L1D16K())
+	c := MustNew(L1D16K())
 	c.Fill(0x2000, false)
 	victim, wb := c.Fill(0x2000, false)
 	if victim != 0 || wb {
@@ -81,7 +81,7 @@ func TestFillIdempotentWhenPresent(t *testing.T) {
 }
 
 func TestMissRatioStats(t *testing.T) {
-	c := New(L1D16K())
+	c := MustNew(L1D16K())
 	for i := 0; i < 10; i++ {
 		addr := uint64(i * 64)
 		if !c.Access(addr, false) {
@@ -101,7 +101,7 @@ func TestMissRatioStats(t *testing.T) {
 }
 
 func TestInvalidateAll(t *testing.T) {
-	c := New(L1D16K())
+	c := MustNew(L1D16K())
 	c.Fill(0x40, false)
 	c.InvalidateAll()
 	if c.Probe(0x40) {
@@ -110,19 +110,28 @@ func TestInvalidateAll(t *testing.T) {
 }
 
 func TestLineAddr(t *testing.T) {
-	c := New(L1D16K())
+	c := MustNew(L1D16K())
 	if c.LineAddr(0x1234) != 0x1200 {
 		t.Fatalf("LineAddr = %#x", c.LineAddr(0x1234))
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
+func TestBadGeometryErrors(t *testing.T) {
+	if _, err := New(Config{SizeBytes: 100, LineBytes: 64, Ways: 3}); err == nil {
+		t.Fatal("expected error for bad geometry")
+	}
+	if _, err := New(Config{SizeBytes: 24 << 10, LineBytes: 64, Ways: 2}); err == nil {
+		t.Fatal("expected error for non-power-of-two set count")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(Config{SizeBytes: 100, LineBytes: 64, Ways: 3})
+	MustNew(Config{SizeBytes: 100, LineBytes: 64, Ways: 3})
 }
 
 // TestMatchesReferenceModel cross-checks the cache against a brute-force
@@ -134,7 +143,7 @@ func TestMatchesReferenceModel(t *testing.T) {
 	}
 	if err := quick.Check(func(seed uint64) bool {
 		cfg := Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, HitLatency: 1}
-		c := New(cfg)
+		c := MustNew(cfg)
 		nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
 		ref := make(map[int][]refLine) // set -> resident lines
 		rng := sim.NewRNG(seed)

@@ -46,13 +46,26 @@ type Card struct {
 
 // New builds a card. Every processor shares the provided memory image
 // (the host has staged the dataset into card memory before submission).
-func New(cfg Config, store *mem.Sparse) *Card {
+func New(cfg Config, store *mem.Sparse) (*Card, error) {
 	if cfg.Processors < 1 || cfg.Processors > 2 {
-		panic(fmt.Sprintf("card: %d processors unsupported (build 1 or 2)", cfg.Processors))
+		return nil, fmt.Errorf("card: %d processors unsupported (build 1 or 2)", cfg.Processors)
 	}
 	c := &Card{cfg: cfg}
 	for i := 0; i < cfg.Processors; i++ {
-		c.chips = append(c.chips, chip.New(cfg.Chip, store))
+		ch, err := chip.Build(cfg.Chip, store)
+		if err != nil {
+			return nil, fmt.Errorf("card: processor %d: %w", i, err)
+		}
+		c.chips = append(c.chips, ch)
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config, store *mem.Sparse) *Card {
+	c, err := New(cfg, store)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

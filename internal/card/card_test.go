@@ -17,7 +17,7 @@ func smallCardConfig(processors int) Config {
 
 func TestSingleProcessorCardRunsAndVerifies(t *testing.T) {
 	w := kernels.MustNew("wordcount", kernels.Config{Seed: 41, Tasks: 16, Scale: 512, StageSPM: true})
-	c := New(smallCardConfig(1), w.Mem)
+	c := MustNew(smallCardConfig(1), w.Mem)
 	cycles, err := c.Run(w.Tasks, 20_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +34,7 @@ func TestSingleProcessorCardRunsAndVerifies(t *testing.T) {
 func TestDualProcessorCardScales(t *testing.T) {
 	run := func(processors int) uint64 {
 		w := kernels.MustNew("kmp", kernels.Config{Seed: 43, Tasks: 64, Scale: 768, StageSPM: true})
-		c := New(smallCardConfig(processors), w.Mem)
+		c := MustNew(smallCardConfig(processors), w.Mem)
 		cycles, err := c.Run(w.Tasks, 40_000_000)
 		if err != nil {
 			t.Fatal(err)
@@ -57,12 +57,9 @@ func TestDualProcessorCardScales(t *testing.T) {
 }
 
 func TestCardRejectsBadProcessorCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	New(Config{Processors: 3, Chip: chip.SmallConfig()}, nil)
+	if _, err := New(Config{Processors: 3, Chip: chip.SmallConfig()}, nil); err == nil {
+		t.Fatal("expected error for unsupported processor count")
+	}
 }
 
 func TestPCIePacingDelaysSubmission(t *testing.T) {
@@ -71,7 +68,7 @@ func TestPCIePacingDelaysSubmission(t *testing.T) {
 	cfg := smallCardConfig(1)
 	cfg.PCIe.TasksPerKCycle = 1
 	w := kernels.MustNew("rnc", kernels.Config{Seed: 47, Tasks: 8, StageSPM: true})
-	c := New(cfg, w.Mem)
+	c := MustNew(cfg, w.Mem)
 	cycles, err := c.Run(w.Tasks, 20_000_000)
 	if err != nil {
 		t.Fatal(err)

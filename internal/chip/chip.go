@@ -10,6 +10,7 @@ import (
 
 	"smarco/internal/cpu"
 	"smarco/internal/dram"
+	"smarco/internal/fault"
 	"smarco/internal/isa"
 	"smarco/internal/kernels"
 	"smarco/internal/mact"
@@ -47,6 +48,12 @@ type Config struct {
 	// ClockHz converts cycles to seconds for cross-machine comparisons
 	// (SmarCo runs at 1.5 GHz).
 	ClockHz float64
+	// Fault configures deterministic fault injection (link faults, DRAM
+	// bit flips, hard core failures). The zero value disables it.
+	Fault fault.Config
+	// WatchdogCycles is the engine's zero-progress observation interval;
+	// 0 selects sim.DefaultWatchdogCycles.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig is the paper's 256-core chip.
@@ -112,15 +119,17 @@ type Chip struct {
 	codeBases map[*isa.Program]uint64
 	nextCode  uint64
 	submitted int
+	inj       *fault.Injector // nil when fault injection is disabled
 
 	hostInject *sim.Port[*noc.Packet]
 	hostEject  *sim.Port[*noc.Packet]
 	hostSeq    uint64
 }
 
-// New builds a chip over the given backing store (typically a workload's
-// memory image).
-func New(cfg Config, store *mem.Sparse) *Chip {
+// Build constructs a chip over the given backing store (typically a
+// workload's memory image), validating the configuration — including the
+// fault model — instead of panicking.
+func Build(cfg Config, store *mem.Sparse) (*Chip, error) {
 	if store == nil {
 		store = mem.NewSparse()
 	}
@@ -132,13 +141,89 @@ func New(cfg Config, store *mem.Sparse) *Chip {
 		codeBases: map[*isa.Program]uint64{},
 		nextCode:  codeRegion,
 	}
+	// Validate even when no fault class is enabled, so a negative rate is
+	// rejected rather than silently treated as "off".
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("chip: %w", err)
+	}
+	if cfg.Fault.Enabled() {
+		inj, err := fault.NewInjector(cfg.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("chip: %w", err)
+		}
+		c.inj = inj
+	}
 	c.eng.SetParallel(cfg.Parallel)
+	wd := cfg.WatchdogCycles
+	if wd == 0 {
+		wd = sim.DefaultWatchdogCycles
+	}
+	c.eng.SetWatchdog(wd)
+	var err error
 	if cfg.Topology == "mesh" {
-		c.buildMesh()
+		err = c.buildMesh()
 	} else {
-		c.build()
+		err = c.build()
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.armFaults()
+	return c, nil
+}
+
+// New is Build for statically known-good configurations.
+func New(cfg Config, store *mem.Sparse) *Chip {
+	c, err := Build(cfg, store)
+	if err != nil {
+		panic(err)
 	}
 	return c
+}
+
+// FaultStats exposes the RAS counters (nil without fault injection).
+func (c *Chip) FaultStats() *fault.Stats {
+	if c.inj == nil {
+		return nil
+	}
+	return &c.inj.Stats
+}
+
+// armFaults installs the fault injector across the built chip: NoC routers
+// (link faults), memory controllers (ECC + undo-log stamping), schedulers
+// (migration counters), and — when core kills are configured — the cores'
+// RAS machinery plus the scheduled kill set.
+func (c *Chip) armFaults() {
+	inj := c.inj
+	if inj == nil {
+		return
+	}
+	if c.Mesh != nil {
+		c.Mesh.SetFaultInjector(inj)
+	}
+	if c.MainRing != nil {
+		c.MainRing.SetFaultInjector(inj)
+	}
+	for _, r := range c.SubRings {
+		r.SetFaultInjector(inj)
+	}
+	for _, mc := range c.MCs {
+		mc.SetFaultInjector(inj)
+	}
+	for _, s := range c.Subs {
+		s.SetFaultInjector(inj)
+	}
+	if !inj.RASEnabled() {
+		return
+	}
+	for _, core := range c.Cores {
+		core.EnableRAS(inj)
+	}
+	cycle := inj.KillCycle()
+	per := len(c.Cores) / len(c.Subs)
+	for _, id := range inj.KillSet(len(c.Cores)) {
+		c.Subs[id/per].ScheduleKill(cycle, id%per)
+	}
 }
 
 // mcFor maps a DRAM address to its controller, page-interleaved.
@@ -147,7 +232,7 @@ func (c *Chip) mcFor(addr uint64) noc.NodeID {
 }
 
 // build wires every component.
-func (c *Chip) build() {
+func (c *Chip) build() error {
 	cfg := c.Config
 
 	// Main ring layout: hubs with MCs inserted at equal spacing, host last.
@@ -168,7 +253,11 @@ func (c *Chip) build() {
 	}
 	layout = append(layout, stop{noc.HostNode()})
 
-	c.MainRing = noc.NewRing("main", len(layout), cfg.MainLink, 1_000_000)
+	mainRing, err := noc.NewRing("main", len(layout), cfg.MainLink, 1_000_000)
+	if err != nil {
+		return err
+	}
+	c.MainRing = mainRing
 	c.MainRing.SetResolver(func(dst noc.NodeID) noc.NodeID {
 		if dst.IsCore() {
 			return noc.HubNode(dst.CoreIndex() / cfg.CoresPerSub)
@@ -194,7 +283,10 @@ func (c *Chip) build() {
 	// Sub-rings, cores, hubs, sub-schedulers.
 	var directLinks []*noc.DirectLink
 	for s := 0; s < cfg.SubRings; s++ {
-		ring := noc.NewRing(fmt.Sprintf("sub%d", s), cfg.CoresPerSub+1, cfg.SubLink, uint64(10_000*(s+1)))
+		ring, err := noc.NewRing(fmt.Sprintf("sub%d", s), cfg.CoresPerSub+1, cfg.SubLink, uint64(10_000*(s+1)))
+		if err != nil {
+			return err
+		}
 		c.SubRings = append(c.SubRings, ring)
 		lo, hi := s*cfg.CoresPerSub, (s+1)*cfg.CoresPerSub
 		ring.SetResolver(func(dst noc.NodeID) noc.NodeID {
@@ -210,7 +302,10 @@ func (c *Chip) build() {
 		for k := 0; k < cfg.CoresPerSub; k++ {
 			id := lo + k
 			inj, ej := ring.Attach(k, noc.CoreNode(id))
-			core := cpu.New(id, cfg.Core, c.store, inj, ej, done, c.mcFor, uint64(100_000+id))
+			core, err := cpu.New(id, cfg.Core, c.store, inj, ej, done, c.mcFor, uint64(100_000+id))
+			if err != nil {
+				return err
+			}
 			c.Cores = append(c.Cores, core)
 			subCores = append(subCores, core)
 		}
@@ -285,6 +380,7 @@ func (c *Chip) build() {
 	for _, p := range c.Main.Ports() {
 		c.eng.AddPort(p)
 	}
+	return nil
 }
 
 // codeBase assigns (or returns) the code-segment address for a program.

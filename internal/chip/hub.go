@@ -1,6 +1,8 @@
 package chip
 
 import (
+	"fmt"
+
 	"smarco/internal/mact"
 	"smarco/internal/noc"
 	"smarco/internal/sim"
@@ -28,6 +30,7 @@ type hub struct {
 	mcFor func(addr uint64) noc.NodeID
 
 	seq     uint64
+	moved   uint64 // packets processed, for progress reporting
 	scratch []*noc.Packet
 }
 
@@ -60,6 +63,7 @@ func (h *hub) Tick(now uint64) {
 	if !h.subEject.Empty() {
 		h.scratch = h.subEject.DrainInto(h.scratch[:0], 0)
 		for _, p := range h.scratch {
+			h.moved++
 			h.outbound(now, p)
 		}
 	}
@@ -71,6 +75,7 @@ func (h *hub) Tick(now uint64) {
 	if !h.mainEj.Empty() {
 		h.scratch = h.mainEj.DrainInto(h.scratch[:0], 0)
 		for _, p := range h.scratch {
+			h.moved++
 			h.inbound(now, p)
 		}
 	}
@@ -78,9 +83,25 @@ func (h *hub) Tick(now uint64) {
 	if h.directRecv != nil && !h.directRecv.Empty() {
 		h.scratch = h.directRecv.DrainInto(h.scratch[:0], 0)
 		for _, p := range h.scratch {
+			h.moved++
 			h.inbound(now, p)
 		}
 	}
+}
+
+// String names the hub for diagnostics.
+func (h *hub) String() string { return fmt.Sprintf("hub%d", h.ring) }
+
+// Progress implements sim.ProgressReporter: packets moved between rings.
+func (h *hub) Progress() uint64 { return h.moved }
+
+// Health implements sim.HealthReporter: non-empty while MACT batches await
+// memory responses.
+func (h *hub) Health() string {
+	if n := h.MACT.Pending(); n > 0 {
+		return fmt.Sprintf("%d batches in flight", n)
+	}
+	return ""
 }
 
 // outbound handles a packet leaving the sub-ring.

@@ -15,7 +15,7 @@ import (
 // with XY routing instead of hierarchical rings. There are no hubs, no
 // MACT, and no direct datapaths — those are ring-design mechanisms; the
 // mesh baseline sends every request straight to its controller.
-func (c *Chip) buildMesh() {
+func (c *Chip) buildMesh() error {
 	cfg := c.Config
 	nodes := cfg.Cores() + cfg.MCs + 1
 	cols := int(math.Ceil(math.Sqrt(float64(nodes))))
@@ -26,7 +26,11 @@ func (c *Chip) buildMesh() {
 	if cols < 2 {
 		cols = 2
 	}
-	c.Mesh = noc.NewMesh("mesh", rows, cols, cfg.MeshLink, 2_000_000)
+	mesh, err := noc.NewMesh("mesh", rows, cols, cfg.MeshLink, 2_000_000)
+	if err != nil {
+		return err
+	}
+	c.Mesh = mesh
 
 	// Row-major placement: cores first, then controllers, then the host.
 	var places []noc.NodeID
@@ -56,7 +60,10 @@ func (c *Chip) buildMesh() {
 	c.eng.AddPort(done)
 	for i := 0; i < cfg.Cores(); i++ {
 		p := ports[noc.CoreNode(i)]
-		core := cpu.New(i, cfg.Core, c.store, p[0], p[1], done, c.mcFor, uint64(100_000+i))
+		core, err := cpu.New(i, cfg.Core, c.store, p[0], p[1], done, c.mcFor, uint64(100_000+i))
+		if err != nil {
+			return err
+		}
 		c.Cores = append(c.Cores, core)
 	}
 	// One global scheduler domain (no sub-rings to partition by).
@@ -88,4 +95,5 @@ func (c *Chip) buildMesh() {
 	for _, p := range c.Main.Ports() {
 		c.eng.AddPort(p)
 	}
+	return nil
 }

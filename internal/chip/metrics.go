@@ -44,6 +44,17 @@ type Metrics struct {
 
 	// Tasks.
 	TasksDone uint64
+
+	// Fault injection / RAS (all zero without an injector).
+	LinkFaults       uint64 // corrupted + dropped link traversals
+	Retransmits      uint64
+	PacketsLost      uint64
+	ECCCorrected     uint64
+	ECCUncorrectable uint64
+	CoresKilled      uint64
+	TasksMigrated    uint64
+	RollbackWrites   uint64
+	ForeignComplete  uint64
 }
 
 // Metrics gathers the current counter values.
@@ -117,5 +128,18 @@ func (c *Chip) Metrics() Metrics {
 	}
 	m.RowHitRate = stats.Ratio(rowHits, rowTotal)
 	m.TasksDone = uint64(c.CompletedTasks())
+
+	if c.inj != nil {
+		f := &c.inj.Stats
+		m.LinkFaults = f.LinkCorrupt.Load() + f.LinkDropped.Load()
+		m.Retransmits = f.Retransmits.Load()
+		m.PacketsLost = f.PacketsLost.Load()
+		m.ECCCorrected = f.ECCCorrected.Load()
+		m.ECCUncorrectable = f.ECCUncorrected.Load()
+		m.CoresKilled = f.CoreKills.Load()
+		m.TasksMigrated = f.TasksMigrated.Load()
+		m.RollbackWrites = f.RollbackWrites.Load()
+		m.ForeignComplete = f.ForeignComplete.Load()
+	}
 	return m
 }

@@ -166,11 +166,11 @@ type machineState struct {
 func newMachineState(cfg Config, w *kernels.Workload) *machineState {
 	m := &machineState{cfg: cfg, w: w, predictor: map[uint64]bool{}}
 	for c := 0; c < cfg.Cores; c++ {
-		m.l1i = append(m.l1i, cache.New(cfg.L1I))
-		m.l1d = append(m.l1d, cache.New(cfg.L1D))
-		m.l2 = append(m.l2, cache.New(cfg.L2))
+		m.l1i = append(m.l1i, cache.MustNew(cfg.L1I))
+		m.l1d = append(m.l1d, cache.MustNew(cfg.L1D))
+		m.l2 = append(m.l2, cache.MustNew(cfg.L2))
 	}
-	m.llc = cache.New(cfg.LLC)
+	m.llc = cache.MustNew(cfg.LLC)
 	return m
 }
 

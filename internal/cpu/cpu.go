@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"smarco/internal/cache"
+	"smarco/internal/fault"
 	"smarco/internal/isa"
 	"smarco/internal/mem"
 	"smarco/internal/noc"
@@ -141,6 +142,9 @@ type thread struct {
 	stageOrig [8]int64
 	// pf is the sequential prefetcher's per-thread state.
 	pf prefetchState
+	// undo collects the pre-images of this task's acked memory writes while
+	// RAS is armed, for rollback if the core is killed (see ras.go).
+	undo []undoEntry
 }
 
 type lane struct {
@@ -216,15 +220,29 @@ type Core struct {
 	mcFor        func(addr uint64) noc.NodeID
 	dma          dmaEngine
 	outQ         []*noc.Packet // staged packets when inject backpressures
-	Stats        Stats
+
+	// RAS (see ras.go): fault injector, the sub-scheduler's re-dispatch
+	// port, and the hard-failure state machine.
+	ras        *fault.Injector
+	orphanPort *sim.Port[Work]
+	dead       bool
+	dying      *dyingState
+	handled    uint64 // packets/DMA chunks processed (progress reporting)
+
+	Stats Stats
 }
 
 // New builds a core. inject/eject are the ports from attaching the core to
 // its sub-ring; mcFor maps a DRAM address to its memory controller node.
 func New(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Packet],
-	donePort *sim.Port[Completion], mcFor func(addr uint64) noc.NodeID, key uint64) *Core {
+	donePort *sim.Port[Completion], mcFor func(addr uint64) noc.NodeID, key uint64) (*Core, error) {
 	if cfg.Lanes <= 0 || cfg.ThreadsPerLane <= 0 {
-		panic("cpu: invalid lane configuration")
+		return nil, fmt.Errorf("cpu: core %d has invalid lane configuration %dx%d",
+			id, cfg.Lanes, cfg.ThreadsPerLane)
+	}
+	icache, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: core %d: %w", id, err)
 	}
 	c := &Core{
 		ID:           id,
@@ -236,7 +254,7 @@ func New(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Pac
 		workPort:     sim.NewPort[Work](0),
 		donePort:     donePort,
 		SPM:          spm.New(id),
-		icache:       cache.New(cfg.ICache),
+		icache:       icache,
 		store:        store,
 		pendLoad:     map[uint64]*thread{},
 		pendStore:    map[uint64]*thread{},
@@ -248,7 +266,10 @@ func New(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Pac
 		mcFor:        mcFor,
 	}
 	if cfg.Cached {
-		c.dcache = cache.New(cfg.DCache)
+		c.dcache, err = cache.New(cfg.DCache)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: core %d: %w", id, err)
+		}
 	}
 	c.lanes = make([]lane, cfg.Lanes)
 	for l := range c.lanes {
@@ -267,6 +288,16 @@ func New(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Pac
 		}
 	}
 	c.dma.core = c
+	return c, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(id int, cfg Config, store *mem.Sparse, inject, eject *sim.Port[*noc.Packet],
+	donePort *sim.Port[Completion], mcFor func(addr uint64) noc.NodeID, key uint64) *Core {
+	c, err := New(id, cfg, store, inject, eject, donePort, mcFor, key)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -299,6 +330,10 @@ func (c *Core) Commit(uint64) {}
 
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
+	if c.dead {
+		c.tickDead(now)
+		return
+	}
 	c.Stats.Cycles.Inc()
 	c.drainOutQ()
 	c.acceptWork(now)
@@ -381,7 +416,7 @@ func (c *Core) stageIn(now uint64, th *thread) {
 		th.regs.Set(uint8(10+r.Arg), int64(spmAddr))
 		th.stagePend++
 		c.Stats.StageBytes.Add(uint64(r.Bytes))
-		c.dma.enqueue(spm.DMARequest{Src: dramAddr, Dst: spmAddr, Len: uint64(r.Bytes)},
+		c.dma.enqueue(spm.DMARequest{Src: dramAddr, Dst: spmAddr, Len: uint64(r.Bytes)}, th,
 			func(uint64) {
 				th.stagePend--
 				if th.stagePend == 0 && th.state == TStaging {
@@ -404,7 +439,7 @@ func (c *Core) stageOut(now uint64, th *thread) bool {
 		th.stagePend++
 		started = true
 		c.Stats.StageBytes.Add(uint64(r.Bytes))
-		c.dma.enqueue(spm.DMARequest{Src: spmAddr, Dst: uint64(th.stageOrig[r.Arg]), Len: uint64(r.Bytes)},
+		c.dma.enqueue(spm.DMARequest{Src: spmAddr, Dst: uint64(th.stageOrig[r.Arg]), Len: uint64(r.Bytes)}, th,
 			func(uint64) {
 				th.stagePend--
 				if th.stagePend == 0 && th.state == TDraining {
@@ -460,6 +495,7 @@ func (c *Core) reapHalted(now uint64) {
 		c.donePort.Send(c.key, c.sendSeq, comp)
 		c.Stats.TaskLat.Observe(now - th.assigned)
 		th.state = TIdle
+		th.undo = nil // the task is committed; its writes are permanent
 		c.freeSlot = append(c.freeSlot, th.slot)
 	}
 }

@@ -24,12 +24,12 @@ func newRig(t *testing.T, nCores int, cfg Config) *rig {
 	t.Helper()
 	r := &rig{eng: sim.NewEngine(), store: mem.NewSparse()}
 	r.done = sim.NewPort[Completion](0)
-	ring := noc.NewRing("t", nCores+1, noc.DefaultSubRing(), 10_000)
+	ring := noc.MustNewRing("t", nCores+1, noc.DefaultSubRing(), 10_000)
 	mcFor := func(addr uint64) noc.NodeID { return noc.MCNode(0) }
 	cfg.MemCores = nCores
 	for i := 0; i < nCores; i++ {
 		inj, ej := ring.Attach(i, noc.CoreNode(i))
-		core := New(i, cfg, r.store, inj, ej, r.done, mcFor, uint64(100+i))
+		core := MustNew(i, cfg, r.store, inj, ej, r.done, mcFor, uint64(100+i))
 		r.cores = append(r.cores, core)
 		r.eng.Add(core)
 		for _, p := range core.Ports() {

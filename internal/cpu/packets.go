@@ -16,6 +16,7 @@ func (c *Core) handlePackets(now uint64) {
 		if !ok {
 			return
 		}
+		c.handled++
 		switch p.Kind {
 		case noc.KRespRead:
 			c.onReadResp(now, p)
@@ -116,6 +117,12 @@ func (c *Core) onWriteAck(now uint64, p *noc.Packet) {
 	}
 	if th, ok := c.pendStore[resp.ID]; ok {
 		delete(c.pendStore, resp.ID)
+		if c.ras != nil && resp.Order != 0 {
+			th.undo = append(th.undo, undoEntry{
+				addr: resp.Addr, size: resp.Size,
+				pre: resp.PreImage, order: resp.Order,
+			})
+		}
 		c.retireStore(th, resp.ID)
 		return
 	}
@@ -169,8 +176,9 @@ type dmaEngine struct {
 	req         spm.DMARequest
 	onDone      func(now uint64)
 	fromRegs    bool
-	issued      uint64 // bytes with requests sent
-	completed   uint64 // bytes confirmed
+	owner       *thread // staging thread whose undo log tracks the transfer
+	issued      uint64  // bytes with requests sent
+	completed   uint64  // bytes confirmed
 	outstanding int
 	pendIDs     map[uint64]dmaChunk
 }
@@ -180,20 +188,22 @@ type dmaXfer struct {
 	req      spm.DMARequest
 	onDone   func(now uint64)
 	fromRegs bool
+	owner    *thread
 }
 
 type dmaChunk struct {
 	srcOff uint64 // offset within the transfer
 	bytes  int
+	write  bool // chunk is an outbound write (its ack may carry a pre-image)
 }
 
 const dmaMaxOutstanding = 4
 
 func (d *dmaEngine) idle() bool { return !d.active && len(d.queue) == 0 }
 
-// enqueue schedules a runtime-initiated transfer.
-func (d *dmaEngine) enqueue(req spm.DMARequest, onDone func(now uint64)) {
-	d.queue = append(d.queue, dmaXfer{req: req, onDone: onDone})
+// enqueue schedules a runtime-initiated transfer on behalf of owner.
+func (d *dmaEngine) enqueue(req spm.DMARequest, owner *thread, onDone func(now uint64)) {
+	d.queue = append(d.queue, dmaXfer{req: req, onDone: onDone, owner: owner})
 }
 
 // maybeKick checks the SPM control registers after any write that might
@@ -219,6 +229,7 @@ func (d *dmaEngine) start(now uint64) {
 		d.req = x.req
 		d.onDone = x.onDone
 		d.fromRegs = x.fromRegs
+		d.owner = x.owner
 		d.issued, d.completed, d.outstanding = 0, 0, 0
 		if d.pendIDs == nil {
 			d.pendIDs = map[uint64]dmaChunk{}
@@ -264,6 +275,7 @@ func (d *dmaEngine) tick(now uint64) {
 				c.SPM.WriteBytes(spm.OffsetOf(dst), blob)
 				d.issued += uint64(n)
 				d.completed += uint64(n)
+				c.handled++
 				d.finishIfDone(now)
 				return
 			}
@@ -272,9 +284,10 @@ func (d *dmaEngine) tick(now uint64) {
 			target = c.mcFor(dst)
 		}
 		req := noc.MemReq{ID: id, Addr: dst, Size: n, Blob: blob}
-		d.pendIDs[id] = dmaChunk{srcOff: off, bytes: n}
+		d.pendIDs[id] = dmaChunk{srcOff: off, bytes: n, write: true}
 		d.outstanding++
 		d.issued += uint64(n)
+		c.handled++
 		c.send(noc.NewMemReqPacket(id, c.Node, target, req, true, false, now))
 
 	case spm.IsSPMAddr(dst, cores) && spm.CoreOf(dst) == c.ID:
@@ -289,6 +302,7 @@ func (d *dmaEngine) tick(now uint64) {
 		d.pendIDs[id] = dmaChunk{srcOff: off, bytes: n}
 		d.outstanding++
 		d.issued += uint64(n)
+		c.handled++
 		c.send(noc.NewMemReqPacket(id, c.Node, target, req, false, false, now))
 
 	default:
@@ -326,6 +340,12 @@ func (d *dmaEngine) onWriteAck(now uint64, resp noc.MemResp) bool {
 	}
 	delete(d.pendIDs, resp.ID)
 	d.outstanding--
+	if d.core.ras != nil && resp.Order != 0 && d.owner != nil {
+		d.owner.undo = append(d.owner.undo, undoEntry{
+			addr: resp.Addr, size: resp.Size,
+			pre: resp.PreImage, blob: resp.Blob, order: resp.Order,
+		})
+	}
 	d.completed += uint64(ch.bytes)
 	d.finishIfDone(now)
 	return true

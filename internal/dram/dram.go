@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"smarco/internal/fault"
 	"smarco/internal/mem"
 	"smarco/internal/noc"
 	"smarco/internal/sim"
@@ -64,6 +65,9 @@ type queued struct {
 	pkt     *noc.Packet
 	arrived uint64
 	direct  int // direct-link index it arrived on, or -1 for the ring
+	// eccRetried marks a read whose first service hit an uncorrectable
+	// (double-bit) ECC error: the data was refused and the access re-read.
+	eccRetried bool
 }
 
 type completion struct {
@@ -111,8 +115,18 @@ type Controller struct {
 	scratch []*noc.Packet
 	match   matchUnit
 
+	// Fault injection (nil = no faults). eccSeq is the private counter the
+	// SECDED model hashes; order stamps every applied write in service
+	// order for the RAS undo log.
+	inj    *fault.Injector
+	eccSeq uint64
+	order  uint64
+
 	Stats Stats
 }
+
+// SetFaultInjector installs the DRAM bit-flip / RAS injector.
+func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
 
 // New builds a controller bound to the shared backing store. inject/eject
 // are the ports returned by attaching the controller to the main ring.
@@ -272,10 +286,48 @@ func (c *Controller) service(now uint64, q queued) {
 	heap.Push(&c.done, completion{due: now + uint64(lat), seq: c.seq, q: q})
 }
 
+// eccCheck rolls the SECDED model for a read of `words` 64-bit words.
+// It returns true when the data must be refused (uncorrectable double-bit
+// flip): the caller re-reads the row. Single-bit flips are corrected in
+// flight — counted, data unharmed.
+func (c *Controller) eccCheck(words int) (refuse bool) {
+	if c.inj == nil || words <= 0 {
+		return false
+	}
+	c.eccSeq++
+	_, double := c.inj.DRAMFault(c.key, c.eccSeq, words)
+	return double
+}
+
 // complete applies the functional access and sends the response.
 func (c *Controller) complete(now uint64, q queued) {
 	p := q.pkt
+
+	// SECDED ECC on the array read. An uncorrectable error refuses the
+	// data and re-reads the row (once — the re-read is served clean, as a
+	// transient flip does not survive the retry).
+	if !q.eccRetried {
+		words := 0
+		switch pl := p.Payload.(type) {
+		case noc.MemReq:
+			if p.Kind == noc.KReqRead {
+				words = (pl.Size + 7) / 8
+			}
+		case noc.BatchReq:
+			if !pl.Write {
+				words = 8
+			}
+		}
+		if c.eccCheck(words) {
+			q.eccRetried = true
+			c.seq++
+			heap.Push(&c.done, completion{due: now + uint64(c.cfg.RowMissCycles), seq: c.seq, q: q})
+			return
+		}
+	}
+
 	c.Stats.Served.Inc()
+	ras := c.inj.RASEnabled()
 	var resp *noc.Packet
 	switch pl := p.Payload.(type) {
 	case noc.MemReq:
@@ -291,12 +343,23 @@ func (c *Controller) complete(now uint64, q queued) {
 			resp = noc.NewMemRespPacket(pl.ID, c.Node, p.Src, r, p.Priority, now)
 		case noc.KReqWrite:
 			c.Stats.Writes.Inc()
+			r := noc.MemResp{ID: pl.ID, Addr: pl.Addr, Size: pl.Size, Thread: pl.Thread, Write: true}
+			if ras {
+				// Capture the overwritten value and a serve-order stamp
+				// for the core-failure undo log.
+				c.order++
+				r.Order = c.order
+				if pl.Blob != nil {
+					r.Blob = c.store.ReadBytes(pl.Addr, pl.Size)
+				} else {
+					r.PreImage = c.store.Read(pl.Addr, pl.Size)
+				}
+			}
 			if pl.Blob != nil {
 				c.store.WriteBytes(pl.Addr, pl.Blob[:pl.Size])
 			} else {
 				c.store.Write(pl.Addr, pl.Size, pl.Data)
 			}
-			r := noc.MemResp{ID: pl.ID, Addr: pl.Addr, Size: pl.Size, Thread: pl.Thread, Write: true}
 			resp = noc.NewMemRespPacket(pl.ID, c.Node, p.Src, r, p.Priority, now)
 		default:
 			panic(fmt.Sprintf("dram: unexpected packet kind %v", p.Kind))
@@ -306,8 +369,15 @@ func (c *Controller) complete(now uint64, q queued) {
 		r := noc.BatchResp{ID: pl.ID, LineAddr: pl.LineAddr, Bitmap: pl.Bitmap, Write: pl.Write}
 		if pl.Write {
 			c.Stats.Writes.Inc()
+			if ras {
+				c.order++
+				r.Order = c.order
+			}
 			for i := 0; i < 64; i++ {
 				if pl.Bitmap&(1<<uint(i)) != 0 {
+					if ras {
+						r.Data[i] = c.store.ByteAt(pl.LineAddr + uint64(i))
+					}
 					c.store.SetByte(pl.LineAddr+uint64(i), pl.Data[i])
 				}
 			}
@@ -330,3 +400,19 @@ func (c *Controller) complete(now uint64, q queued) {
 
 // QueueLen returns the number of waiting requests (for congestion metrics).
 func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// String names the controller for diagnostics.
+func (c *Controller) String() string { return c.Node.String() }
+
+// Progress implements sim.ProgressReporter: requests completed.
+func (c *Controller) Progress() uint64 {
+	return c.Stats.Served.Value() + c.Stats.Matches.Value()
+}
+
+// Health implements sim.HealthReporter: non-empty while requests pend.
+func (c *Controller) Health() string {
+	if len(c.queue) == 0 && c.done.Len() == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d queued, %d in service", len(c.queue), c.done.Len())
+}

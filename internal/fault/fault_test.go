@@ -1,0 +1,187 @@
+package fault
+
+import "testing"
+
+func TestConfigEnabledAndValidate(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	for _, c := range []Config{
+		{LinkFaultRate: 1e-3},
+		{DRAMFlipRate: 1e-4},
+		{KillCores: 1},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("config %+v should be enabled", c)
+		}
+	}
+	for _, c := range []Config{
+		{LinkFaultRate: -0.1},
+		{LinkFaultRate: 1.5},
+		{DRAMFlipRate: 2},
+		{KillCores: -1},
+		{MaxRetransmit: -3},
+	} {
+		if c.Validate() == nil {
+			t.Fatalf("config %+v should fail validation", c)
+		}
+	}
+	if _, err := NewInjector(Config{LinkFaultRate: 2}); err == nil {
+		t.Fatal("NewInjector must reject invalid rates")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var inj *Injector
+	if f, _ := inj.LinkFault(1, 2, 3); f {
+		t.Fatal("nil injector faulted a link")
+	}
+	if s, d := inj.DRAMFault(1, 2, 8); s || d {
+		t.Fatal("nil injector flipped a bit")
+	}
+	if inj.KillSet(16) != nil {
+		t.Fatal("nil injector killed cores")
+	}
+	if inj.RASEnabled() {
+		t.Fatal("nil injector claims RAS")
+	}
+	if inj.MaxRetransmit() != DefaultMaxRetransmit {
+		t.Fatal("nil injector retransmit budget")
+	}
+}
+
+// Decisions must be pure functions of (seed, site, cycle, seq): two injectors
+// with the same config agree on every decision, regardless of call order.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, LinkFaultRate: 0.05, DRAMFlipRate: 0.01, KillCores: 3}
+	a, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(cfg)
+
+	type key struct{ site, cycle, seq uint64 }
+	decisions := map[key][2]bool{}
+	for site := uint64(0); site < 8; site++ {
+		for seq := uint64(0); seq < 200; seq++ {
+			f, d := a.LinkFault(site, seq*3, seq)
+			decisions[key{site, seq * 3, seq}] = [2]bool{f, d}
+		}
+	}
+	// Replay in a different order on the second injector.
+	for site := uint64(7); site < 8; site-- {
+		for seq := uint64(199); seq < 200; seq-- {
+			f, d := b.LinkFault(site, seq*3, seq)
+			want := decisions[key{site, seq * 3, seq}]
+			if f != want[0] || d != want[1] {
+				t.Fatalf("site %d seq %d: (%v,%v) != (%v,%v)", site, seq, f, d, want[0], want[1])
+			}
+		}
+	}
+	if a.Stats.LinkCorrupt.Load() != b.Stats.LinkCorrupt.Load() ||
+		a.Stats.LinkDropped.Load() != b.Stats.LinkDropped.Load() {
+		t.Fatal("stats diverged between identical replays")
+	}
+}
+
+// Observed fault frequency should track the configured rate.
+func TestLinkFaultRateSanity(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 11, LinkFaultRate: 0.1})
+	n := 50_000
+	hits := 0
+	for s := 0; s < n; s++ {
+		if f, _ := inj.LinkFault(42, uint64(s), uint64(s)); f {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("observed link fault rate %.4f, want ~0.1", got)
+	}
+}
+
+func TestDRAMFaultSingleVsDouble(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 13, DRAMFlipRate: 0.05})
+	var singles, doubles int
+	for s := 0; s < 20_000; s++ {
+		single, double := inj.DRAMFault(9, uint64(s), 8)
+		if single && double {
+			t.Fatal("a flip cannot be both correctable and uncorrectable")
+		}
+		if single {
+			singles++
+		}
+		if double {
+			doubles++
+		}
+	}
+	if singles == 0 || doubles == 0 {
+		t.Fatalf("expected both outcomes at this rate: singles=%d doubles=%d", singles, doubles)
+	}
+	if doubles >= singles {
+		t.Fatalf("doubles (%d) should be rare relative to singles (%d)", doubles, singles)
+	}
+	if inj.Stats.ECCCorrected.Load() != uint64(singles) ||
+		inj.Stats.ECCUncorrected.Load() != uint64(doubles) {
+		t.Fatal("ECC stats disagree with returned outcomes")
+	}
+}
+
+func TestKillSetReproducibleAndBounded(t *testing.T) {
+	mk := func(seed uint64, kill, total int) []int {
+		inj, _ := NewInjector(Config{Seed: seed, KillCores: kill})
+		return inj.KillSet(total)
+	}
+	a := mk(7, 3, 16)
+	b := mk(7, 3, 16)
+	if len(a) != 3 {
+		t.Fatalf("kill set size %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kill set not reproducible: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] >= 16 {
+			t.Fatalf("victim %d out of range", a[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate victim in %v", a)
+		}
+		seen[v] = true
+	}
+	// Asking to kill everything leaves one survivor.
+	if got := mk(7, 16, 16); len(got) != 15 {
+		t.Fatalf("kill-all produced %d victims, want 15", len(got))
+	}
+	// Different seeds should (almost surely) pick different victims.
+	c := mk(8, 3, 16)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("seeds 7 and 8 picked identical victims (possible but suspicious)")
+	}
+}
+
+func TestRetryDelayShape(t *testing.T) {
+	if RetryDelay(0, false) >= RetryDelay(0, true) {
+		t.Fatal("drop detection must cost more than a NAK")
+	}
+	prev := uint64(0)
+	for a := 0; a < 6; a++ {
+		d := RetryDelay(a, false)
+		if d <= prev {
+			t.Fatalf("backoff not increasing at attempt %d", a)
+		}
+		prev = d
+	}
+	if RetryDelay(6, false) != RetryDelay(20, false) {
+		t.Fatal("backoff must cap")
+	}
+}

@@ -78,7 +78,7 @@ type CDNPoint struct {
 // and returns the measured point.
 func RunCDN(cfg CDNConfig, clients int, seed uint64) CDNPoint {
 	rng := sim.NewRNG(seed ^ 0xCD4)
-	l1 := cache.New(cfg.L1)
+	l1 := cache.MustNew(cfg.L1)
 	// 2-bit saturating counters, shared by all connections.
 	predictor := make([]int8, cfg.PredictorSlots)
 

@@ -205,10 +205,18 @@ func (t *Table) OnBatchResp(p *noc.Packet, now uint64) []*noc.Packet {
 	out := make([]*noc.Packet, 0, len(pends))
 	for _, pe := range pends {
 		r := noc.MemResp{ID: pe.id, Addr: pe.addr, Size: pe.size, Thread: pe.thread, Write: resp.Write}
+		off := pe.addr & 63
 		if !resp.Write {
-			off := pe.addr & 63
 			for i := 0; i < pe.size; i++ {
 				r.Data |= uint64(resp.Data[off+uint64(i)]) << (8 * uint(i))
+			}
+		} else if resp.Order != 0 {
+			// Under RAS the batch response carries the pre-image of the
+			// dirty bytes; reconstruct this store's slice of it so the
+			// core's undo log sees an ordinary write ack.
+			r.Order = resp.Order
+			for i := 0; i < pe.size; i++ {
+				r.PreImage |= uint64(resp.Data[off+uint64(i)]) << (8 * uint(i))
 			}
 		}
 		out = append(out, noc.NewMemRespPacket(pe.id, t.node, pe.src, r, false, now))

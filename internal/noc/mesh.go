@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"smarco/internal/fault"
 	"smarco/internal/sim"
 )
 
@@ -60,13 +61,15 @@ type MeshRouter struct {
 	pending [4]*Packet
 	seq     uint64
 
+	flt linkFaultState
+
 	Stats RouterStats
 }
 
 // NewMesh builds a rows×cols mesh.
-func NewMesh(name string, rows, cols int, cfg MeshLinkConfig, keyBase uint64) *Mesh {
+func NewMesh(name string, rows, cols int, cfg MeshLinkConfig, keyBase uint64) (*Mesh, error) {
 	if rows < 2 || cols < 2 {
-		panic("noc: mesh needs at least 2x2")
+		return nil, fmt.Errorf("noc: mesh %q needs at least 2x2, got %dx%d", name, rows, cols)
 	}
 	m := &Mesh{
 		Name: name, rows: rows, cols: cols, cfg: cfg,
@@ -82,7 +85,24 @@ func NewMesh(name string, rows, cols int, cfg MeshLinkConfig, keyBase uint64) *M
 		r.eject = sim.NewPort[*Packet](0)
 		m.routers = append(m.routers, r)
 	}
+	return m, nil
+}
+
+// MustNewMesh is NewMesh for statically known-good configurations.
+func MustNewMesh(name string, rows, cols int, cfg MeshLinkConfig, keyBase uint64) *Mesh {
+	m, err := NewMesh(name, rows, cols, cfg, keyBase)
+	if err != nil {
+		panic(err)
+	}
 	return m
+}
+
+// SetFaultInjector installs a fault injector on every mesh router (nil
+// disables injection).
+func (m *Mesh) SetFaultInjector(inj *fault.Injector) {
+	for _, rt := range m.routers {
+		rt.flt.inj = inj
+	}
 }
 
 // SetResolver installs the destination resolver.
@@ -188,13 +208,28 @@ func (r *MeshRouter) Tick(now uint64) {
 			r.busy[d]--
 		}
 		if r.busy[d] == 0 && r.pending[d] != nil {
-			if r.deliver(d, r.pending[d]) {
+			if r.deliverAt(now, d, r.pending[d]) {
 				r.pending[d] = nil
 			} else {
 				r.Stats.StallFull.Inc()
 			}
 		}
 	}
+	r.flt.tickRetries(now, r.key,
+		func(dir int) bool {
+			if !r.mesh.neighborIn(r, dir).CanAccept(1) {
+				r.Stats.StallFull.Inc()
+				return false
+			}
+			return true
+		},
+		func(dir int, p *Packet) {
+			p.Hops++
+			r.seq++
+			r.mesh.neighborIn(r, dir).Send(r.key, r.seq, p)
+			r.Stats.Forwarded.Inc()
+			r.Stats.BytesSent.Add(uint64(p.Size))
+		})
 	if r.allEmpty() {
 		return
 	}
@@ -216,7 +251,28 @@ func (r *MeshRouter) allEmpty() bool {
 			return false
 		}
 	}
-	return r.inject.Empty()
+	return r.inject.Empty() && r.flt.pendingRetries() == 0
+}
+
+// String names the router for diagnostics ("mesh.r5").
+func (r *MeshRouter) String() string { return fmt.Sprintf("%s.r%d", r.mesh.Name, r.idx) }
+
+// Progress implements sim.ProgressReporter: packets moved.
+func (r *MeshRouter) Progress() uint64 {
+	return r.Stats.Forwarded.Value() + r.Stats.Ejected.Value()
+}
+
+// Health implements sim.HealthReporter: non-empty while traffic pends.
+func (r *MeshRouter) Health() string {
+	queued := r.inject.Len()
+	inflight := 0
+	for d := 0; d < 4; d++ {
+		queued += r.in[d].Len()
+		if r.pending[d] != nil || r.busy[d] > 0 {
+			inflight++
+		}
+	}
+	return routerHealth(queued, r.flt.pendingRetries(), inflight)
 }
 
 // inputs returns the five input queues in rotating arbitration order.
@@ -276,17 +332,22 @@ func (r *MeshRouter) transmit(now uint64, dir int) bool {
 			return false
 		}
 		in.Pop()
-		r.deliver(dir, head)
+		r.deliverAt(now, dir, head)
 		r.Stats.BytesSpent.Add(uint64(width))
 		return true
 	}
 	return false
 }
 
-func (r *MeshRouter) deliver(dir int, p *Packet) bool {
+// deliverAt hands a packet downstream; a traversal may be faulted by the
+// injector, moving the packet to the retry queue instead.
+func (r *MeshRouter) deliverAt(now uint64, dir int, p *Packet) bool {
 	in := r.mesh.neighborIn(r, dir)
 	if !in.CanAccept(1) {
 		return false
+	}
+	if r.flt.decide(now, r.key, dir, p) {
+		return true
 	}
 	p.Hops++
 	r.seq++

@@ -17,7 +17,7 @@ type testNet struct {
 
 func newTestNet(stops int, cfg LinkConfig) *testNet {
 	n := &testNet{eng: sim.NewEngine()}
-	n.ring = NewRing("test", stops, cfg, 100)
+	n.ring = MustNewRing("test", stops, cfg, 100)
 	for i := 0; i < stops; i++ {
 		inj, ej := n.ring.Attach(i, CoreNode(i))
 		n.inject = append(n.inject, inj)
@@ -241,7 +241,7 @@ func TestRingStatsAccumulate(t *testing.T) {
 func TestResolverRouting(t *testing.T) {
 	// A ring where only hubs are attached must route core destinations to
 	// the core's hub via the resolver (main-ring behaviour).
-	ring := NewRing("main", 4, DefaultMainRing(), 500)
+	ring := MustNewRing("main", 4, DefaultMainRing(), 500)
 	eng := sim.NewEngine()
 	var ejects []*sim.Port[*Packet]
 	var injects []*sim.Port[*Packet]
@@ -387,7 +387,7 @@ type meshNet struct {
 func newMeshNet(rows, cols int) *meshNet {
 	n := &meshNet{
 		eng:    sim.NewEngine(),
-		mesh:   NewMesh("t", rows, cols, DefaultMeshLink(), 3000),
+		mesh:   MustNewMesh("t", rows, cols, DefaultMeshLink(), 3000),
 		inject: map[int]*sim.Port[*Packet]{},
 		eject:  map[int]*sim.Port[*Packet]{},
 	}

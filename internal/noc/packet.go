@@ -81,7 +81,16 @@ type MemResp struct {
 	Thread int
 	Write  bool
 	// Blob carries read data wider than 8 bytes (DMA chunks, line fills).
+	// On write acks under RAS it instead carries the overwritten bytes of
+	// oversized (blob) writes.
 	Blob []byte
+	// PreImage and Order support the RAS undo log (core-failure rollback):
+	// when fault injection with core kills is active, a write ack carries
+	// the overwritten value (PreImage, little-endian over Size bytes) and
+	// the memory controller's serve-order stamp (Order, strictly positive).
+	// Zero Order means no pre-image was captured (RAS off, or an SPM write).
+	PreImage uint64
+	Order    uint64
 }
 
 // BatchReq is the payload of MACT-batched packets: one 64-byte-aligned line
@@ -94,13 +103,18 @@ type BatchReq struct {
 	Write    bool
 }
 
-// BatchResp returns a batched line to the issuing MACT.
+// BatchResp returns a batched line to the issuing MACT. For read batches
+// Data carries the line contents. For write batches under RAS, Data carries
+// the pre-image of the dirty bytes (what the batch overwrote) and Order the
+// controller's serve-order stamp, so the MACT can scatter per-store undo
+// information back to the requesting cores.
 type BatchResp struct {
 	ID       uint64
 	LineAddr uint64
 	Bitmap   uint64
 	Data     [64]byte
 	Write    bool
+	Order    uint64
 }
 
 // DMAReq is one chunk of a DMA transfer (engine-level, ≤64 bytes).

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"smarco/internal/fault"
 	"smarco/internal/sim"
 )
 
@@ -20,9 +21,9 @@ type Ring struct {
 
 // NewRing builds a ring with the given number of stops. keyBase must be
 // unique per ring so port commit ordering stays globally deterministic.
-func NewRing(name string, stops int, cfg LinkConfig, keyBase uint64) *Ring {
+func NewRing(name string, stops int, cfg LinkConfig, keyBase uint64) (*Ring, error) {
 	if stops < 2 {
-		panic(fmt.Sprintf("noc: ring %q needs at least 2 stops", name))
+		return nil, fmt.Errorf("noc: ring %q needs at least 2 stops, got %d", name, stops)
 	}
 	r := &Ring{
 		Name:    name,
@@ -33,7 +34,24 @@ func NewRing(name string, stops int, cfg LinkConfig, keyBase uint64) *Ring {
 	for i := 0; i < stops; i++ {
 		r.routers = append(r.routers, newRouter(r, i, keyBase+uint64(i)))
 	}
+	return r, nil
+}
+
+// MustNewRing is NewRing for statically known-good configurations.
+func MustNewRing(name string, stops int, cfg LinkConfig, keyBase uint64) *Ring {
+	r, err := NewRing(name, stops, cfg, keyBase)
+	if err != nil {
+		panic(err)
+	}
 	return r
+}
+
+// SetFaultInjector installs a fault injector on every router of the ring
+// (nil disables injection).
+func (r *Ring) SetFaultInjector(inj *fault.Injector) {
+	for _, rt := range r.routers {
+		rt.flt.inj = inj
+	}
 }
 
 // SetResolver installs the destination resolver.

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"fmt"
+
 	"smarco/internal/sim"
 	"smarco/internal/stats"
 )
@@ -85,6 +87,8 @@ type Router struct {
 	busy    [2]int
 	pending [2]*Packet
 
+	flt linkFaultState
+
 	seq   uint64
 	Stats RouterStats
 }
@@ -112,6 +116,20 @@ func (r *Router) Commit(uint64) {}
 // Tick advances the router one cycle.
 func (r *Router) Tick(now uint64) {
 	r.finishInflight(now)
+	r.flt.tickRetries(now, r.key,
+		func(dir int) bool {
+			if ok := r.downstreamAccepts(dir); !ok {
+				r.Stats.StallFull.Inc()
+				return false
+			}
+			return true
+		},
+		func(dir int, p *Packet) {
+			p.Hops++
+			r.ring.neighborIn(r.pos, dir).Send(r.key, r.nextSeq(), p)
+			r.Stats.Forwarded.Inc()
+			r.Stats.BytesSent.Add(uint64(p.Size))
+		})
 	// Fast path: a completely idle router (the common case on a lightly
 	// loaded 290-router chip) does nothing further this cycle.
 	if r.inCW.Empty() && r.inCCW.Empty() && r.inject.Empty() &&
@@ -296,11 +314,16 @@ func (r *Router) downstreamAccepts(dir int) bool {
 }
 
 // deliver hands a packet to the downstream router. Returns false if the
-// downstream buffer is full (caller retries next cycle).
+// downstream buffer is full (caller retries next cycle). A traversal may be
+// faulted by the injector, in which case the packet moves to the retry
+// queue and the link cycle is still consumed.
 func (r *Router) deliver(now uint64, dir int, p *Packet) bool {
 	in := r.ring.neighborIn(r.pos, dir)
 	if !in.CanAccept(1) {
 		return false
+	}
+	if r.flt.decide(now, r.key, dir, p) {
+		return true
 	}
 	p.Hops++
 	in.Send(r.key, r.nextSeq(), p)
@@ -312,4 +335,24 @@ func (r *Router) deliver(now uint64, dir int, p *Packet) bool {
 func (r *Router) nextSeq() uint64 {
 	r.seq++
 	return r.seq
+}
+
+// String names the router for diagnostics ("sub3.r2").
+func (r *Router) String() string { return fmt.Sprintf("%s.r%d", r.ring.Name, r.pos) }
+
+// Progress implements sim.ProgressReporter: packets moved.
+func (r *Router) Progress() uint64 {
+	return r.Stats.Forwarded.Value() + r.Stats.Ejected.Value()
+}
+
+// Health implements sim.HealthReporter: non-empty while traffic pends.
+func (r *Router) Health() string {
+	queued := r.inCW.Len() + r.inCCW.Len() + r.inject.Len()
+	inflight := 0
+	for d := 0; d < 2; d++ {
+		if r.pending[d] != nil || r.busy[d] > 0 {
+			inflight++
+		}
+	}
+	return routerHealth(queued, r.flt.pendingRetries(), inflight)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"smarco/internal/cpu"
@@ -21,6 +22,7 @@ type MainScheduler struct {
 	creditP []*sim.Port[int]
 	rr      int
 	seq     uint64
+	now     uint64 // last ticked cycle, for health reporting
 
 	Stats struct {
 		Accepted   stats.Counter
@@ -72,6 +74,7 @@ func (m *MainScheduler) Commit(uint64) {}
 // Tick collects credits and pushes released tasks to the sub-ring with the
 // most available credits.
 func (m *MainScheduler) Tick(now uint64) {
+	m.now = now
 	for i, p := range m.creditP {
 		for {
 			_, ok := p.Pop()
@@ -108,4 +111,26 @@ func (m *MainScheduler) Tick(now uint64) {
 		m.subs[best].InPort().Send(m.key, m.seq, w)
 		m.Stats.Dispatched.Inc()
 	}
+}
+
+// String names the scheduler for diagnostics.
+func (m *MainScheduler) String() string { return "main-sched" }
+
+// Progress implements sim.ProgressReporter.
+func (m *MainScheduler) Progress() uint64 { return m.Stats.Dispatched.Value() }
+
+// Health implements sim.HealthReporter. Tasks waiting on a future release
+// cycle are idleness, not a stall, so they do not count.
+func (m *MainScheduler) Health() string {
+	releasable := 0
+	for _, w := range m.pending {
+		if w.ReleaseCycle > m.now {
+			break // pending is sorted by release cycle
+		}
+		releasable++
+	}
+	if releasable == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d released tasks undispatched (no credits)", releasable)
 }

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"smarco/internal/cpu"
+	"smarco/internal/fault"
+)
+
+// A hard core failure mid-run must not lose or duplicate tasks: in-flight
+// work migrates off the dead core and everything completes on the survivor.
+func TestKilledCoreTasksMigrateAndComplete(t *testing.T) {
+	r := newSchedRig(t, 2, DefaultHW())
+	inj, err := fault.NewInjector(fault.Config{Seed: 7, KillCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sub.SetFaultInjector(inj)
+	r.sub.ScheduleKill(1_000, 0)
+
+	for i := 0; i < 40; i++ {
+		r.main.Submit(mkWork(i+1, 0, 300, false))
+	}
+	r.runUntil(t, 40, 500_000)
+
+	seen := map[int]bool{}
+	afterKill := 0
+	for _, res := range r.sub.Results {
+		if seen[res.TaskID] {
+			t.Fatalf("task %d completed twice", res.TaskID)
+		}
+		seen[res.TaskID] = true
+		if res.Core == r.cores[0].ID && res.Done > 1_000 {
+			afterKill++
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("distinct completions = %d, want 40", len(seen))
+	}
+	// The dead core may finish completions already on the wire at the kill,
+	// but must not run anything afterwards.
+	if afterKill > 1 {
+		t.Fatalf("dead core produced %d completions after the kill", afterKill)
+	}
+	if !r.cores[0].Dead() {
+		t.Fatal("core 0 not marked dead")
+	}
+	if inj.Stats.CoreKills.Load() != 1 {
+		t.Fatalf("CoreKills = %d", inj.Stats.CoreKills.Load())
+	}
+	if inj.Stats.TasksMigrated.Load() == 0 {
+		t.Fatal("no tasks migrated — the kill hit an idle core, move the kill cycle")
+	}
+	if got := r.sub.Stats.Migrated.Value(); got != inj.Stats.TasksMigrated.Load() {
+		t.Fatalf("scheduler Migrated (%d) disagrees with injector (%d)",
+			got, inj.Stats.TasksMigrated.Load())
+	}
+	// The surviving core's contexts must all come back.
+	if free := r.sub.freeCtx[1]; free != r.cores[1].ThreadSlots() {
+		t.Fatalf("survivor leaked contexts: %d of %d free", free, r.cores[1].ThreadSlots())
+	}
+}
+
+// A completion from a core this scheduler does not own is counted, not a
+// crash (the seed panicked at a map miss here).
+func TestForeignCompletionCounted(t *testing.T) {
+	r := newSchedRig(t, 1, DefaultHW())
+	inj, _ := fault.NewInjector(fault.Config{Seed: 1, KillCores: 1})
+	r.sub.SetFaultInjector(inj)
+	r.sub.done.Send(12345, 1, cpu.Completion{Core: 999, TaskID: 7, Cycle: 0})
+	for i := 0; i < 3; i++ {
+		r.eng.Step()
+	}
+	if got := r.sub.Stats.Foreign.Value(); got != 1 {
+		t.Fatalf("Foreign = %d, want 1", got)
+	}
+	if got := inj.Stats.ForeignComplete.Load(); got != 1 {
+		t.Fatalf("injector ForeignComplete = %d, want 1", got)
+	}
+	if len(r.sub.Results) != 0 {
+		t.Fatal("foreign completion recorded a result")
+	}
+}
+
+func TestScheduleKillIsIdempotent(t *testing.T) {
+	r := newSchedRig(t, 2, DefaultHW())
+	r.sub.ScheduleKill(10, 0)
+	r.sub.ScheduleKill(10, 0) // duplicate victim, same cycle
+	for i := 0; i < 20; i++ {
+		r.eng.Step()
+	}
+	if !r.cores[0].Dead() || r.cores[1].Dead() {
+		t.Fatal("wrong core state after duplicate kill")
+	}
+	if r.sub.FreeContexts() != r.cores[1].ThreadSlots() {
+		t.Fatalf("free contexts = %d, want the survivor's %d",
+			r.sub.FreeContexts(), r.cores[1].ThreadSlots())
+	}
+}

@@ -7,9 +7,11 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 
 	"smarco/internal/cpu"
+	"smarco/internal/fault"
 	"smarco/internal/sim"
 	"smarco/internal/stats"
 )
@@ -77,6 +79,8 @@ type Stats struct {
 	Dispatched stats.Counter
 	Completed  stats.Counter
 	Misses     stats.Counter // deadline misses
+	Migrated   stats.Counter // tasks re-queued from failed cores
+	Foreign    stats.Counter // completions from cores outside this sub-ring
 	QueueWait  stats.Histogram
 }
 
@@ -86,11 +90,15 @@ type SubScheduler struct {
 	cfg  Config
 	key  uint64
 
-	in   *sim.Port[cpu.Work]       // tasks from the main scheduler
-	done *sim.Port[cpu.Completion] // completions from the cores
+	in     *sim.Port[cpu.Work]       // tasks from the main scheduler
+	done   *sim.Port[cpu.Completion] // completions from the cores
+	orphan *sim.Port[cpu.Work]       // tasks drained from failed cores
 
 	cores    []*cpu.Core
 	freeCtx  []int // free thread contexts per core (null chain table)
+	dead     []bool
+	kills    map[uint64][]int // cycle -> local core indices to fail
+	inj      *fault.Injector
 	high     []entry
 	normal   []entry
 	overhead int
@@ -112,15 +120,18 @@ type entry struct {
 // the cores were constructed with.
 func NewSub(ring int, cfg Config, cores []*cpu.Core, done *sim.Port[cpu.Completion], key uint64) *SubScheduler {
 	s := &SubScheduler{
-		Ring:  ring,
-		cfg:   cfg,
-		key:   key,
-		in:    sim.NewPort[cpu.Work](0),
-		done:  done,
-		cores: cores,
+		Ring:   ring,
+		cfg:    cfg,
+		key:    key,
+		in:     sim.NewPort[cpu.Work](0),
+		done:   done,
+		orphan: sim.NewPort[cpu.Work](0),
+		cores:  cores,
+		dead:   make([]bool, len(cores)),
 	}
 	for _, c := range cores {
 		s.freeCtx = append(s.freeCtx, c.ThreadSlots())
+		c.SetOrphanPort(s.orphan)
 	}
 	return s
 }
@@ -133,7 +144,19 @@ func (s *SubScheduler) SetCreditPort(p *sim.Port[int]) { s.credit = p }
 
 // Ports returns ports owned by the sub-scheduler.
 func (s *SubScheduler) Ports() []interface{ Commit(uint64) } {
-	return []interface{ Commit(uint64) }{s.in, s.done}
+	return []interface{ Commit(uint64) }{s.in, s.done, s.orphan}
+}
+
+// SetFaultInjector connects the RAS counters.
+func (s *SubScheduler) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
+
+// ScheduleKill arranges a hard failure of the local core at index i (within
+// this sub-ring) at the given cycle.
+func (s *SubScheduler) ScheduleKill(cycle uint64, i int) {
+	if s.kills == nil {
+		s.kills = map[uint64][]int{}
+	}
+	s.kills[cycle] = append(s.kills[cycle], i)
 }
 
 // Capacity returns total thread contexts under this scheduler.
@@ -157,8 +180,26 @@ func (s *SubScheduler) FreeContexts() int {
 // Commit implements sim.Ticker.
 func (s *SubScheduler) Commit(uint64) {}
 
-// Tick processes completions and dispatches queued tasks.
+// Tick processes scheduled core failures, completions, intake (including
+// tasks migrating off failed cores), and dispatch.
 func (s *SubScheduler) Tick(now uint64) {
+	// Hard core failures fire first, so everything below already sees the
+	// reduced machine.
+	if victims, ok := s.kills[now]; ok {
+		delete(s.kills, now)
+		for _, i := range victims {
+			if s.dead[i] {
+				continue
+			}
+			s.dead[i] = true
+			s.freeCtx[i] = 0
+			s.cores[i].Kill(now)
+			if s.inj != nil {
+				s.inj.Stats.CoreKills.Add(1)
+			}
+		}
+	}
+
 	// Completions: free contexts, record results, return credits.
 	for {
 		comp, ok := s.done.Pop()
@@ -166,7 +207,20 @@ func (s *SubScheduler) Tick(now uint64) {
 			break
 		}
 		core := s.coreIndex(comp.Core)
-		s.freeCtx[core]++
+		if core < 0 {
+			// A completion this scheduler never dispatched — only possible
+			// under fault injection; count it rather than crash the chip.
+			s.Stats.Foreign.Inc()
+			if s.inj != nil {
+				s.inj.Stats.ForeignComplete.Add(1)
+			}
+			continue
+		}
+		if !s.dead[core] {
+			// A failed core's context slots are gone; its completions that
+			// raced the kill still record results and return credits.
+			s.freeCtx[core]++
+		}
 		s.Stats.Completed.Inc()
 		var deadline uint64
 		if t, ok := s.deadlines[comp.TaskID]; ok {
@@ -190,18 +244,20 @@ func (s *SubScheduler) Tick(now uint64) {
 		if !ok {
 			break
 		}
-		e := entry{work: w, queued: now, arrival: w.ReleaseCycle}
-		if w.Priority {
-			s.high = append(s.high, e)
-		} else {
-			s.normal = append(s.normal, e)
+		s.enqueue(w, now)
+	}
+
+	// Tasks drained from failed cores re-enter the chain tables.
+	for {
+		w, ok := s.orphan.Pop()
+		if !ok {
+			break
 		}
-		if w.Deadline != 0 {
-			if s.deadlines == nil {
-				s.deadlines = map[int]uint64{}
-			}
-			s.deadlines[w.TaskID] = w.Deadline
+		s.Stats.Migrated.Inc()
+		if s.inj != nil {
+			s.inj.Stats.TasksMigrated.Add(1)
 		}
+		s.enqueue(w, now)
 	}
 
 	// Dispatch.
@@ -224,13 +280,31 @@ func (s *SubScheduler) Tick(now uint64) {
 	}
 }
 
+// enqueue appends a task to its chain table and registers its deadline.
+func (s *SubScheduler) enqueue(w cpu.Work, now uint64) {
+	e := entry{work: w, queued: now, arrival: w.ReleaseCycle}
+	if w.Priority {
+		s.high = append(s.high, e)
+	} else {
+		s.normal = append(s.normal, e)
+	}
+	if w.Deadline != 0 {
+		if s.deadlines == nil {
+			s.deadlines = map[int]uint64{}
+		}
+		s.deadlines[w.TaskID] = w.Deadline
+	}
+}
+
+// coreIndex maps a chip-wide core ID to the local index, or -1 when the
+// core is not under this scheduler.
 func (s *SubScheduler) coreIndex(coreID int) int {
 	for i, c := range s.cores {
 		if c.ID == coreID {
 			return i
 		}
 	}
-	panic("sched: completion from a core outside this sub-ring")
+	return -1
 }
 
 // dispatchOne picks a task by policy and sends it to the least-loaded core
@@ -308,3 +382,20 @@ func laxity(w cpu.Work, now uint64) int64 {
 
 // QueueLen returns queued (not yet dispatched) tasks.
 func (s *SubScheduler) QueueLen() int { return len(s.high) + len(s.normal) }
+
+// String names the scheduler for diagnostics.
+func (s *SubScheduler) String() string { return fmt.Sprintf("sub%d-sched", s.Ring) }
+
+// Progress implements sim.ProgressReporter.
+func (s *SubScheduler) Progress() uint64 {
+	return s.Stats.Dispatched.Value() + s.Stats.Completed.Value()
+}
+
+// Health implements sim.HealthReporter: non-empty while tasks queue.
+func (s *SubScheduler) Health() string {
+	queued := s.QueueLen()
+	if queued == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d tasks queued, %d contexts free", queued, s.FreeContexts())
+}

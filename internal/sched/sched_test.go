@@ -24,13 +24,13 @@ func newSchedRig(t *testing.T, nCores int, cfg Config) *schedRig {
 	t.Helper()
 	r := &schedRig{eng: sim.NewEngine(), store: mem.NewSparse()}
 	done := sim.NewPort[cpu.Completion](0)
-	ring := noc.NewRing("t", nCores+1, noc.DefaultSubRing(), 20_000)
+	ring := noc.MustNewRing("t", nCores+1, noc.DefaultSubRing(), 20_000)
 	mcFor := func(addr uint64) noc.NodeID { return noc.MCNode(0) }
 	coreCfg := cpu.DefaultConfig()
 	coreCfg.MemCores = nCores
 	for i := 0; i < nCores; i++ {
 		inj, ej := ring.Attach(i, noc.CoreNode(i))
-		core := cpu.New(i, coreCfg, r.store, inj, ej, done, mcFor, uint64(100+i))
+		core := cpu.MustNew(i, coreCfg, r.store, inj, ej, done, mcFor, uint64(100+i))
 		r.cores = append(r.cores, core)
 		r.eng.Add(core)
 		for _, p := range core.Ports() {

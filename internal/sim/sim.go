@@ -18,6 +18,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -32,6 +34,28 @@ type Ticker interface {
 	Commit(now uint64)
 }
 
+// ProgressReporter is optionally implemented by components that perform
+// observable work. The engine's watchdog sums Progress across all reporters;
+// an interval with no change anywhere, while some component still holds
+// pending work, means the simulation is wedged.
+type ProgressReporter interface {
+	// Progress returns a monotonically non-decreasing work counter.
+	Progress() uint64
+}
+
+// HealthReporter is optionally implemented by components that can describe
+// what they are waiting on. Health returns "" when the component is
+// quiescent (nothing pending — a legitimate idle), or a short diagnostic
+// ("4 queued, 0 free contexts") when it holds unfinished work.
+type HealthReporter interface {
+	Health() string
+}
+
+// DefaultWatchdogCycles is the default zero-progress observation interval.
+// The watchdog needs two consecutive stuck intervals to fire, so the
+// effective detection latency is twice this.
+const DefaultWatchdogCycles = 10_000
+
 // Engine drives a set of components cycle by cycle.
 type Engine struct {
 	partitions [][]Ticker
@@ -39,6 +63,24 @@ type Engine struct {
 	now        uint64
 	parallel   bool
 	wg         sync.WaitGroup
+
+	// Watchdog state.
+	watchEvery uint64
+	reporters  []ProgressReporter
+	lastSum    uint64
+	lastCheck  uint64
+	stuck      int
+
+	// First panic recovered from a parallel partition goroutine.
+	errMu sync.Mutex
+	errs  []partitionErr
+}
+
+// partitionErr records a panic recovered in one partition goroutine.
+type partitionErr struct {
+	partition int
+	component Ticker
+	value     any
 }
 
 // committer is the commit half of Ticker, implemented by Port so the engine
@@ -60,7 +102,20 @@ func (e *Engine) SetParallel(p bool) { e.parallel = p }
 // staged state; port-based communication is always safe across partitions.
 func (e *Engine) AddPartition(components ...Ticker) {
 	e.partitions = append(e.partitions, components)
+	for _, t := range components {
+		if pr, ok := t.(ProgressReporter); ok {
+			e.reporters = append(e.reporters, pr)
+		}
+	}
 }
+
+// SetWatchdog sets the zero-progress observation interval in cycles
+// (0 disables the watchdog). The watchdog is evaluated inside Run: when the
+// summed component progress does not change over two consecutive intervals
+// while at least one component reports pending work, Run returns a
+// diagnostic error naming the stalled components instead of silently
+// burning the remaining cycle budget.
+func (e *Engine) SetWatchdog(cycles uint64) { e.watchEvery = cycles }
 
 // Add registers components into the default (first) partition.
 func (e *Engine) Add(components ...Ticker) {
@@ -68,6 +123,11 @@ func (e *Engine) Add(components ...Ticker) {
 		e.partitions = append(e.partitions, nil)
 	}
 	e.partitions[0] = append(e.partitions[0], components...)
+	for _, t := range components {
+		if pr, ok := t.(ProgressReporter); ok {
+			e.reporters = append(e.reporters, pr)
+		}
+	}
 }
 
 // AddPort registers a port to be flushed between the tick and commit phases.
@@ -80,8 +140,13 @@ func (e *Engine) AddPort(p committer) { e.ports = append(e.ports, p) }
 // Now returns the current cycle number (the number of completed cycles).
 func (e *Engine) Now() uint64 { return e.now }
 
-// Step advances the simulation by exactly one cycle.
+// Step advances the simulation by exactly one cycle. After a component
+// panic has been recovered in parallel mode (see Err), Step is a no-op:
+// the faulting partition's state is no longer trustworthy.
 func (e *Engine) Step() {
+	if len(e.errs) > 0 {
+		return
+	}
 	if e.parallel && len(e.partitions) > 1 {
 		e.phaseParallel(func(t Ticker) { t.Tick(e.now) })
 		e.commitPorts()
@@ -110,11 +175,24 @@ func (e *Engine) commitPorts() {
 
 func (e *Engine) phaseParallel(f func(Ticker)) {
 	e.wg.Add(len(e.partitions))
-	for _, part := range e.partitions {
-		part := part
+	for pi, part := range e.partitions {
+		pi, part := pi, part
 		go func() {
-			defer e.wg.Done()
+			// A panicking component must not kill the process mid-barrier:
+			// record which component blew up and let Run surface it as an
+			// error. cur tracks the component under f so the recover can
+			// name it.
+			var cur Ticker
+			defer func() {
+				if r := recover(); r != nil {
+					e.errMu.Lock()
+					e.errs = append(e.errs, partitionErr{partition: pi, component: cur, value: r})
+					e.errMu.Unlock()
+				}
+				e.wg.Done()
+			}()
 			for _, t := range part {
+				cur = t
 				f(t)
 			}
 		}()
@@ -122,8 +200,101 @@ func (e *Engine) phaseParallel(f func(Ticker)) {
 	e.wg.Wait()
 }
 
+// Err returns the error from the first component panic recovered in
+// parallel mode, or nil. When several partitions panicked in the same
+// cycle, the lowest partition index wins so the report is deterministic.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if len(e.errs) == 0 {
+		return nil
+	}
+	sort.Slice(e.errs, func(i, j int) bool { return e.errs[i].partition < e.errs[j].partition })
+	pe := e.errs[0]
+	name := fmt.Sprintf("%T", pe.component)
+	if s, ok := pe.component.(fmt.Stringer); ok {
+		name = fmt.Sprintf("%s (%T)", s.String(), pe.component)
+	}
+	return fmt.Errorf("sim: component %s panicked at cycle %d: %v", name, e.now, pe.value)
+}
+
+// progressSum totals the registered components' work counters.
+func (e *Engine) progressSum() uint64 {
+	var sum uint64
+	for _, r := range e.reporters {
+		sum += r.Progress()
+	}
+	return sum
+}
+
+// maxWatchdogReports bounds the component list in a watchdog error.
+const maxWatchdogReports = 8
+
+// stalledReport collects the non-empty Health strings of registered
+// components, in registration order.
+func (e *Engine) stalledReport() string {
+	var parts []string
+	extra := 0
+	for _, part := range e.partitions {
+		for _, t := range part {
+			hr, ok := t.(HealthReporter)
+			if !ok {
+				continue
+			}
+			h := hr.Health()
+			if h == "" {
+				continue
+			}
+			if len(parts) >= maxWatchdogReports {
+				extra++
+				continue
+			}
+			name := fmt.Sprintf("%T", t)
+			if s, ok := t.(fmt.Stringer); ok {
+				name = s.String()
+			}
+			parts = append(parts, name+": "+h)
+		}
+	}
+	if extra > 0 {
+		parts = append(parts, fmt.Sprintf("(+%d more)", extra))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// checkWatchdog evaluates the zero-progress watchdog; a non-nil return is
+// the diagnostic error Run should stop with.
+func (e *Engine) checkWatchdog() error {
+	if e.watchEvery == 0 || e.now-e.lastCheck < e.watchEvery {
+		return nil
+	}
+	e.lastCheck = e.now
+	sum := e.progressSum()
+	if sum != e.lastSum {
+		e.lastSum = sum
+		e.stuck = 0
+		return nil
+	}
+	// No progress over a full interval. Only a wedge if some component
+	// still holds work — an all-quiescent chip is legitimately idle
+	// (e.g. waiting on future task release cycles).
+	report := e.stalledReport()
+	if report == "" {
+		e.stuck = 0
+		return nil
+	}
+	e.stuck++
+	if e.stuck < 2 {
+		return nil
+	}
+	return fmt.Errorf("sim: watchdog: no progress for %d cycles at cycle %d; stalled: %s",
+		2*e.watchEvery, e.now, report)
+}
+
 // Run advances until done returns true or the cycle budget is exhausted. It
-// returns the cycle count at stop and an error when the budget ran out.
+// returns the cycle count at stop and an error when the budget ran out, a
+// component panicked in parallel mode, or the progress watchdog detected a
+// wedged simulation.
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	start := e.now
 	for e.now-start < maxCycles {
@@ -131,6 +302,12 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			return e.now, nil
 		}
 		e.Step()
+		if err := e.Err(); err != nil {
+			return e.now, err
+		}
+		if err := e.checkWatchdog(); err != nil {
+			return e.now, err
+		}
 	}
 	if done != nil && done() {
 		return e.now, nil

@@ -24,6 +24,7 @@ import (
 	"smarco/internal/chip"
 	"smarco/internal/conv"
 	"smarco/internal/experiments"
+	"smarco/internal/fault"
 	"smarco/internal/kernels"
 	"smarco/internal/mapreduce"
 	"smarco/internal/mem"
@@ -88,7 +89,16 @@ func DefaultChip() ChipConfig { return chip.DefaultConfig() }
 func SmallChip() ChipConfig { return chip.SmallConfig() }
 
 // NewChip builds a chip over the given memory image (nil for a fresh one).
+// It panics on an invalid configuration; use BuildChip to handle the error.
 func NewChip(cfg ChipConfig, store *Memory) *Chip { return chip.New(cfg, store) }
+
+// BuildChip builds a chip over the given memory image, returning an error
+// on invalid configuration (bad NoC geometry, bad fault rates, ...).
+func BuildChip(cfg ChipConfig, store *Memory) (*Chip, error) { return chip.Build(cfg, store) }
+
+// FaultConfig enables deterministic fault injection on a chip; set it as
+// ChipConfig.Fault. See internal/fault for the model.
+type FaultConfig = fault.Config
 
 // NewMemory returns an empty memory image.
 func NewMemory() *Memory { return mem.NewSparse() }
@@ -127,7 +137,7 @@ func RunMapReduce(c *Chip, job MapReduceJob, budgetPerPhase uint64) (mapreduce.S
 }
 
 // NewCard builds a PCIe accelerator card over the given memory image.
-func NewCard(cfg CardConfig, store *Memory) *Card { return card.New(cfg, store) }
+func NewCard(cfg CardConfig, store *Memory) (*Card, error) { return card.New(cfg, store) }
 
 // DefaultPCIe returns a Gen3 x8-class link model.
 func DefaultPCIe() card.PCIeConfig { return card.DefaultPCIe() }

@@ -85,7 +85,10 @@ func TestPublicAPIStaging(t *testing.T) {
 func TestPublicAPICard(t *testing.T) {
 	w := NewWorkload("rnc", WorkloadConfig{Seed: 8, Tasks: 8, StageSPM: true})
 	cfg := CardConfig{Processors: 2, Chip: SmallChip(), PCIe: DefaultPCIe()}
-	c := NewCard(cfg, w.Mem)
+	c, err := NewCard(cfg, w.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cycles, err := c.Run(w.Tasks, 20_000_000)
 	if err != nil {
 		t.Fatal(err)
