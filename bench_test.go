@@ -206,6 +206,32 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSerial and BenchmarkEngineParallel measure raw cycle-engine
+// throughput (simulated cycles per wall-clock second) on the reference
+// workload, with allocation counts. BENCH_engine.json records past snapshots;
+// regenerate it with `go run ./cmd/smarcobench -engine` after engine work.
+func BenchmarkEngineSerial(b *testing.B)   { benchmarkEngine(b, false) }
+func BenchmarkEngineParallel(b *testing.B) { benchmarkEngine(b, true) }
+
+func benchmarkEngine(b *testing.B, parallel bool) {
+	for _, config := range experiments.EngineBenchConfigs {
+		b.Run(config, func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles uint64
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.MeasureEngine(config, parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+				wall += r.WallSeconds
+			}
+			b.ReportMetric(float64(cycles)/wall, "cycles/sec")
+		})
+	}
+}
+
 func BenchmarkFig26_Prototype(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results, err := experiments.Fig26Prototype(benchScale(), benchSeed)

@@ -6,12 +6,15 @@
 //	smarcobench                      # every experiment at small scale
 //	smarcobench -scale paper         # paper-sized configurations (slow)
 //	smarcobench -only fig17,fig22    # a subset
+//	smarcobench -engine              # engine throughput -> BENCH_engine.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -130,6 +133,51 @@ var order = []string{
 	"ablations", "topology", "nearmem",
 }
 
+// engineSnapshot is the BENCH_engine.json schema: one entry per engine
+// version, oldest first, so the perf trajectory reads top to bottom.
+type engineSnapshot struct {
+	Workload string        `json:"workload"`
+	Entries  []engineEntry `json:"entries"`
+}
+
+type engineEntry struct {
+	Label string                  `json:"label"`
+	Date  string                  `json:"date"`
+	Runs  []experiments.EngineRun `json:"runs"`
+}
+
+// benchEngine measures engine throughput on every config/executor pair and
+// appends the results to the snapshot file, preserving earlier entries.
+func benchEngine(path, label string) error {
+	var snap engineSnapshot
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	snap.Workload = experiments.EngineBenchWorkload
+	entry := engineEntry{Label: label, Date: time.Now().Format("2006-01-02")}
+	for _, config := range experiments.EngineBenchConfigs {
+		for _, parallel := range []bool{false, true} {
+			r, err := experiments.MeasureEngine(config, parallel)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s parallel=%-5v cycles=%-10d cycles/sec=%.0f\n",
+				r.Config, r.Parallel, r.Cycles, r.CyclesPerSec)
+			entry.Runs = append(entry.Runs, r)
+		}
+	}
+	snap.Entries = append(snap.Entries, entry)
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smarcobench: ")
@@ -137,7 +185,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. fig17,fig22)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	engine := flag.Bool("engine", false, "measure engine throughput and append to -engine-out")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine snapshot file")
+	engineLabel := flag.String("engine-label", "engine snapshot", "label for the new snapshot entry")
 	flag.Parse()
+
+	if *engine {
+		if err := benchEngine(*engineOut, *engineLabel); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		names := make([]string, 0, len(all))

@@ -297,7 +297,6 @@ func (c *Chip) build() error {
 		})
 
 		done := sim.NewPort[cpu.Completion](0)
-		c.eng.AddPort(done)
 		var subCores []*cpu.Core
 		for k := 0; k < cfg.CoresPerSub; k++ {
 			id := lo + k
@@ -335,7 +334,10 @@ func (c *Chip) build() error {
 	c.Main = sched.NewMain(c.Subs, 500_000)
 
 	// Engine registration: one partition per sub-ring, one for the chip
-	// uncore (main ring, MCs, main scheduler, direct links).
+	// uncore (main ring, MCs, main scheduler, direct links). Every port is
+	// registered against the component that drains it, so a delivery
+	// re-arms a quiesced owner and commit work runs on the owner's
+	// partition (see sim.Engine.AddPortFor).
 	for s := 0; s < cfg.SubRings; s++ {
 		var parts []sim.Ticker
 		for _, rt := range c.SubRings[s].Routers() {
@@ -347,17 +349,19 @@ func (c *Chip) build() error {
 		}
 		parts = append(parts, c.Hubs[s], c.Subs[s])
 		c.eng.AddPartition(parts...)
-		for _, p := range c.SubRings[s].Ports() {
-			c.eng.AddPort(p)
-		}
-		for k := 0; k < cfg.CoresPerSub; k++ {
-			for _, p := range c.Cores[lo+k].Ports() {
-				c.eng.AddPort(p)
+		for k, rt := range c.SubRings[s].Routers() {
+			c.eng.AddPortFor(rt, rt.InPorts()...)
+			// Stop k's eject feeds core lo+k; the last stop feeds the hub.
+			if k < cfg.CoresPerSub {
+				c.eng.AddPortFor(c.Cores[lo+k], rt.EjectPort())
+			} else {
+				c.eng.AddPortFor(c.Hubs[s], rt.EjectPort())
 			}
 		}
-		for _, p := range c.Subs[s].Ports() {
-			c.eng.AddPort(p)
+		for k := 0; k < cfg.CoresPerSub; k++ {
+			c.eng.AddPortFor(c.Cores[lo+k], c.Cores[lo+k].Ports()...)
 		}
+		c.eng.AddPortFor(c.Subs[s], c.Subs[s].Ports()...)
 	}
 	var uncore []sim.Ticker
 	for _, rt := range c.MainRing.Routers() {
@@ -368,18 +372,32 @@ func (c *Chip) build() error {
 	}
 	for _, dl := range directLinks {
 		uncore = append(uncore, dl)
-		for _, p := range dl.Ports() {
-			c.eng.AddPort(p)
-		}
 	}
 	uncore = append(uncore, c.Main)
 	c.eng.AddPartition(uncore...)
-	for _, p := range c.MainRing.Ports() {
-		c.eng.AddPort(p)
+	for i, st := range layout {
+		rt := c.MainRing.Router(i)
+		c.eng.AddPortFor(rt, rt.InPorts()...)
+		ej := rt.EjectPort()
+		switch {
+		case st.node.IsHub():
+			c.eng.AddPortFor(c.Hubs[st.node.HubIndex()], ej)
+		case st.node.IsMC():
+			c.eng.AddPortFor(c.MCs[st.node.MCIndex()], ej)
+		default:
+			// The host eject is drained by harness code between steps, not
+			// by a registered component: unowned.
+			c.eng.AddPort(ej)
+		}
 	}
-	for _, p := range c.Main.Ports() {
-		c.eng.AddPort(p)
+	for i, dl := range directLinks {
+		c.eng.AddPortFor(dl, dl.InPorts()...)
+		_, recvA := dl.EndA()
+		_, recvB := dl.EndB()
+		c.eng.AddPortFor(c.Hubs[i], recvA)
+		c.eng.AddPortFor(c.MCs[i%len(c.MCs)], recvB)
 	}
+	c.eng.AddPortFor(c.Main, c.Main.Ports()...)
 	return nil
 }
 

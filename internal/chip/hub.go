@@ -59,6 +59,11 @@ func (h *hub) Commit(uint64) {}
 
 // Tick moves packets between the rings and runs the MACT.
 func (h *hub) Tick(now uint64) {
+	// Pad the occupancy integral over cycles skipped while quiescent: the
+	// line population was constant (no arrivals, no expired deadlines).
+	if v := h.MACT.Stats.OccupancyTicks.Value(); v < now {
+		h.MACT.PadIdle(now - v)
+	}
 	// Outbound: packets leaving the sub-ring.
 	if !h.subEject.Empty() {
 		h.scratch = h.subEject.DrainInto(h.scratch[:0], 0)
@@ -86,6 +91,30 @@ func (h *hub) Tick(now uint64) {
 			h.moved++
 			h.inbound(now, p)
 		}
+	}
+}
+
+// Quiescent implements sim.Quiescer: idle when no packets wait on any
+// input and, if MACT lines are collecting, sleeping exactly until the
+// earliest flush deadline. Before sleeping the hub pads the MACT occupancy
+// integral — the live-line population cannot change while it sleeps.
+func (h *hub) Quiescent(now uint64) (bool, uint64) {
+	if !h.subEject.Empty() || !h.mainEj.Empty() ||
+		(h.directRecv != nil && !h.directRecv.Empty()) {
+		return false, 0
+	}
+	if dl, ok := h.MACT.NextDeadline(); ok {
+		return true, dl
+	}
+	return true, sim.WakeNever
+}
+
+// CatchUp implements sim.CatchUpper: extend the MACT occupancy statistics
+// over cycles the engine skipped. Expire increments OccupancyTicks once per
+// executed Tick, so the gap to now is exactly the number of skipped cycles.
+func (h *hub) CatchUp(now uint64) {
+	if v := h.MACT.Stats.OccupancyTicks.Value(); v < now {
+		h.MACT.PadIdle(now - v)
 	}
 }
 

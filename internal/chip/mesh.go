@@ -57,7 +57,6 @@ func (c *Chip) buildMesh() error {
 	}
 
 	done := sim.NewPort[cpu.Completion](0)
-	c.eng.AddPort(done)
 	for i := 0; i < cfg.Cores(); i++ {
 		p := ports[noc.CoreNode(i)]
 		core, err := cpu.New(i, cfg.Core, c.store, p[0], p[1], done, c.mcFor, uint64(100_000+i))
@@ -77,23 +76,35 @@ func (c *Chip) buildMesh() error {
 	}
 	for _, core := range c.Cores {
 		parts = append(parts, core)
-		for _, p := range core.Ports() {
-			c.eng.AddPort(p)
-		}
 	}
 	for _, mc := range c.MCs {
 		parts = append(parts, mc)
 	}
 	parts = append(parts, sub, c.Main)
 	c.eng.AddPartition(parts...)
-	for _, p := range c.Mesh.Ports() {
-		c.eng.AddPort(p)
+	// Routers are laid out row-major, so router i carries places[i] when a
+	// node is attached there; trailing routers are unattached fillers.
+	for i, rt := range c.Mesh.Routers() {
+		c.eng.AddPortFor(rt, rt.InPorts()...)
+		ej := rt.EjectPort()
+		if i >= len(places) {
+			c.eng.AddPort(ej)
+			continue
+		}
+		switch node := places[i]; {
+		case node.IsCore():
+			c.eng.AddPortFor(c.Cores[node.CoreIndex()], ej)
+		case node.IsMC():
+			c.eng.AddPortFor(c.MCs[node.MCIndex()], ej)
+		default:
+			// The host eject is drained by harness code between steps.
+			c.eng.AddPort(ej)
+		}
 	}
-	for _, p := range sub.Ports() {
-		c.eng.AddPort(p)
+	for _, core := range c.Cores {
+		c.eng.AddPortFor(core, core.Ports()...)
 	}
-	for _, p := range c.Main.Ports() {
-		c.eng.AddPort(p)
-	}
+	c.eng.AddPortFor(sub, sub.Ports()...)
+	c.eng.AddPortFor(c.Main, c.Main.Ports()...)
 	return nil
 }

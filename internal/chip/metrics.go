@@ -59,6 +59,9 @@ type Metrics struct {
 
 // Metrics gathers the current counter values.
 func (c *Chip) Metrics() Metrics {
+	// Pad per-cycle statistics of components that are currently asleep so
+	// cycle-normalized metrics see the full elapsed time.
+	c.eng.Settle()
 	var m Metrics
 	m.Cycles = c.eng.Now()
 	var loadLat stats.Histogram

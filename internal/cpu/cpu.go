@@ -228,6 +228,7 @@ type Core struct {
 	dead       bool
 	dying      *dyingState
 	handled    uint64 // packets/DMA chunks processed (progress reporting)
+	wake       func() // engine wake callback (see SetWake)
 
 	Stats Stats
 }
@@ -328,12 +329,71 @@ func (c *Core) Idle() bool {
 // Commit implements sim.Ticker.
 func (c *Core) Commit(uint64) {}
 
+// SetWake implements sim.Wakeable: the engine installs the callback that
+// re-arms a quiescent core. Kill uses it — a hard failure arrives from the
+// scheduler outside the port system, so a sleeping victim must be woken
+// explicitly to run its drain/rollback state machine.
+func (c *Core) SetWake(f func()) { c.wake = f }
+
+// Quiescent implements sim.Quiescer. A live core is idle when no thread can
+// issue, the DMA engine cannot start or issue a chunk, and all its input
+// ports and the backpressured output queue are empty; every blocked thread
+// is then waiting on a NoC delivery (load/store/ifetch response, DMA chunk)
+// that re-arms the core via its eject or work port. A dead core is idle
+// once its output queue drained: the dying state machine and remote-SPM
+// service advance only on eject deliveries.
+func (c *Core) Quiescent(now uint64) (bool, uint64) {
+	if len(c.outQ) > 0 || !c.eject.Empty() || !c.workPort.Empty() {
+		return false, 0
+	}
+	if c.dead {
+		return true, sim.WakeNever
+	}
+	for _, th := range c.threads {
+		switch th.state {
+		case TReady:
+			return false, 0
+		case THalted:
+			// Reaped this very tick unless posted writes are pending —
+			// and those retire on eject deliveries.
+			if len(th.stores) == 0 {
+				return false, 0
+			}
+		}
+	}
+	if !c.dma.sleepable() {
+		return false, 0
+	}
+	return true, sim.WakeNever
+}
+
+// CatchUp implements sim.CatchUpper: pad the cycle counters of a core that
+// is asleep when metrics are read. Dead cores stop counting cycles, as in
+// the always-ticked engine.
+func (c *Core) CatchUp(now uint64) {
+	if !c.dead {
+		c.padIdleCycles(now)
+	}
+}
+
+// padIdleCycles accounts cycles the engine skipped while the core was
+// quiescent: they were by definition all-lanes-idle, so padding Cycles and
+// LaneIdle keeps IPC and idle ratios identical to a never-skipped run.
+func (c *Core) padIdleCycles(now uint64) {
+	if v := c.Stats.Cycles.Value(); v < now {
+		d := now - v
+		c.Stats.Cycles.Add(d)
+		c.Stats.LaneIdle.Add(d * uint64(len(c.lanes)))
+	}
+}
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
 	if c.dead {
 		c.tickDead(now)
 		return
 	}
+	c.padIdleCycles(now)
 	c.Stats.Cycles.Inc()
 	c.drainOutQ()
 	c.acceptWork(now)
@@ -352,7 +412,7 @@ func (c *Core) send(p *noc.Packet) {
 }
 
 func (c *Core) drainOutQ() {
-	for len(c.outQ) > 0 && c.inject.CanAccept(1) {
+	for len(c.outQ) > 0 && c.inject.CanAcceptFrom(c.key, 1) {
 		c.sendSeq++
 		c.inject.Send(c.key, c.sendSeq, c.outQ[0])
 		c.outQ = c.outQ[1:]

@@ -32,9 +32,6 @@ func newRig(t *testing.T, nCores int, cfg Config) *rig {
 		core := MustNew(i, cfg, r.store, inj, ej, r.done, mcFor, uint64(100+i))
 		r.cores = append(r.cores, core)
 		r.eng.Add(core)
-		for _, p := range core.Ports() {
-			r.eng.AddPort(p)
-		}
 	}
 	mcInj, mcEj := ring.Attach(nCores, noc.MCNode(0))
 	r.ctl = dram.New(noc.MCNode(0), dram.DDR4(), r.store, mcInj, mcEj, 99)
@@ -42,9 +39,20 @@ func newRig(t *testing.T, nCores int, cfg Config) *rig {
 	for _, rt := range ring.Routers() {
 		r.eng.Add(rt)
 	}
-	for _, p := range ring.Ports() {
-		r.eng.AddPort(p)
+	// Register ports against their draining component so deliveries re-arm
+	// quiesced owners.
+	for i, rt := range ring.Routers() {
+		r.eng.AddPortFor(rt, rt.InPorts()...)
+		if i < nCores {
+			r.eng.AddPortFor(r.cores[i], rt.EjectPort())
+		} else {
+			r.eng.AddPortFor(r.ctl, rt.EjectPort())
+		}
 	}
+	for _, core := range r.cores {
+		r.eng.AddPortFor(core, core.Ports()...)
+	}
+	// done is drained by the test harness, not a component: unowned.
 	r.eng.AddPort(r.done)
 	return r
 }

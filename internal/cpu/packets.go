@@ -201,6 +201,16 @@ const dmaMaxOutstanding = 4
 
 func (d *dmaEngine) idle() bool { return !d.active && len(d.queue) == 0 }
 
+// sleepable reports whether tick would be a no-op until a response arrives:
+// nothing queued, or the active transfer has issued everything (or hit the
+// outstanding-chunk cap) and is waiting on NoC replies.
+func (d *dmaEngine) sleepable() bool {
+	if !d.active {
+		return len(d.queue) == 0
+	}
+	return d.issued >= d.req.Len || d.outstanding >= dmaMaxOutstanding
+}
+
 // enqueue schedules a runtime-initiated transfer on behalf of owner.
 func (d *dmaEngine) enqueue(req spm.DMARequest, owner *thread, onDone func(now uint64)) {
 	d.queue = append(d.queue, dmaXfer{req: req, onDone: onDone, owner: owner})

@@ -71,6 +71,13 @@ func (c *Core) Kill(now uint64) {
 	if c.dead {
 		return
 	}
+	// The victim may be quiescent (skipped by the engine): re-arm it so the
+	// drain/rollback state machine runs, and close out its cycle counters —
+	// a dead core stops counting.
+	if c.wake != nil {
+		c.wake()
+	}
+	c.padIdleCycles(now)
 	c.dead = true
 	d := &dyingState{await: map[uint64]struct{}{}}
 	c.dying = d

@@ -62,7 +62,10 @@ type bank struct {
 }
 
 type queued struct {
-	pkt     *noc.Packet
+	pkt *noc.Packet
+	// addr caches addrOf(pkt): the FR-FCFS scan touches it several times a
+	// cycle and the payload type switch is too hot to repeat.
+	addr    uint64
 	arrived uint64
 	direct  int // direct-link index it arrived on, or -1 for the ring
 	// eccRetried marks a read whose first service hit an uncorrectable
@@ -168,7 +171,7 @@ func (c *Controller) Tick(now uint64) {
 			c.offerMatch(p, now, -1)
 			continue
 		}
-		c.queue = append(c.queue, queued{pkt: p, arrived: now, direct: -1})
+		c.queue = append(c.queue, queued{pkt: p, addr: c.addrOf(p), arrived: now, direct: -1})
 	}
 	for i, in := range c.directIn {
 		c.scratch = in.DrainInto(c.scratch[:0], 0)
@@ -177,7 +180,7 @@ func (c *Controller) Tick(now uint64) {
 				c.offerMatch(p, now, i)
 				continue
 			}
-			c.queue = append(c.queue, queued{pkt: p, arrived: now, direct: i})
+			c.queue = append(c.queue, queued{pkt: p, addr: c.addrOf(p), arrived: now, direct: i})
 		}
 	}
 	c.tickMatch(now)
@@ -196,8 +199,8 @@ func (c *Controller) Tick(now uint64) {
 				window = len(c.queue)
 			}
 			for i := 0; i < window; i++ {
-				q := c.queue[i]
-				b := c.bankOf(c.addrOf(q.pkt))
+				q := &c.queue[i]
+				b := c.bankOf(q.addr)
 				if c.banks[b].busyUntil > now {
 					continue
 				}
@@ -207,7 +210,7 @@ func (c *Controller) Tick(now uint64) {
 						continue
 					}
 				case 1:
-					if !c.banks[b].hasRow || c.banks[b].openRow != c.rowOf(c.addrOf(q.pkt)) {
+					if !c.banks[b].hasRow || c.banks[b].openRow != c.rowOf(q.addr) {
 						continue
 					}
 				}
@@ -266,7 +269,7 @@ func (c *Controller) dataBytes(p *noc.Packet) int {
 
 // service starts a request on its bank and schedules its completion.
 func (c *Controller) service(now uint64, q queued) {
-	addr := c.addrOf(q.pkt)
+	addr := q.addr
 	b := c.bankOf(addr)
 	row := c.rowOf(addr)
 	lat := c.cfg.RowMissCycles
@@ -396,6 +399,37 @@ func (c *Controller) complete(now uint64, q queued) {
 		return
 	}
 	c.inject.Send(c.key, c.seq, resp)
+}
+
+// Quiescent implements sim.Quiescer: idle when no requests wait on any
+// input, the FR-FCFS queue is empty (queued requests poll bank readiness
+// every cycle, so they keep the controller awake), and the only future work
+// is timer-driven — completions in the done heap or an in-flight
+// near-memory match. The wake cycle is the earliest such event.
+func (c *Controller) Quiescent(now uint64) (bool, uint64) {
+	if !c.eject.Empty() {
+		return false, 0
+	}
+	for _, in := range c.directIn {
+		if !in.Empty() {
+			return false, 0
+		}
+	}
+	if len(c.queue) > 0 {
+		return false, 0
+	}
+	mu := &c.match
+	if mu.current == nil && len(mu.queue) > 0 {
+		return false, 0
+	}
+	wake := uint64(sim.WakeNever)
+	if mu.current != nil && mu.busyUntil < wake {
+		wake = mu.busyUntil
+	}
+	if c.done.Len() > 0 && c.done[0].due < wake {
+		wake = c.done[0].due
+	}
+	return true, wake
 }
 
 // QueueLen returns the number of waiting requests (for congestion metrics).

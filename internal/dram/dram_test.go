@@ -23,7 +23,7 @@ func newHarness(cfg Config) *harness {
 	// inject = responses out (fromMC), eject = requests in (toMC).
 	h.ctl = New(noc.MCNode(0), cfg, h.store, h.fromMC, h.toMC, 1)
 	h.eng.Add(h.ctl)
-	h.eng.AddPort(h.toMC)
+	h.eng.AddPortFor(h.ctl, h.toMC)
 	h.eng.AddPort(h.fromMC)
 	return h
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+)
+
+// EngineBenchBudget caps each engine-throughput run. The reference workload
+// finishes well inside it at every scale, so the budget only matters when
+// the engine deadlocks.
+const EngineBenchBudget = 50_000_000
+
+// EngineBenchConfigs names the chip configurations the engine benchmarks
+// sweep, smallest first.
+var EngineBenchConfigs = []string{"small", "medium"}
+
+// EngineChipConfig returns the chip configuration for an engine-throughput
+// scale: "small" is the 4x4 test chip, "medium" an 8-sub-ring, 64-core chip
+// large enough that per-cycle engine overhead dominates wall time.
+func EngineChipConfig(name string) (chip.Config, error) {
+	switch name {
+	case "small":
+		return chip.SmallConfig(), nil
+	case "medium":
+		cfg := chip.DefaultConfig()
+		cfg.SubRings = 8
+		cfg.CoresPerSub = 8
+		cfg.MCs = 4
+		return cfg, nil
+	}
+	return chip.Config{}, fmt.Errorf("unknown engine bench config %q (want one of %v)", name, EngineBenchConfigs)
+}
+
+// EngineRun is one engine-throughput measurement. CyclesPerSec is the
+// engine's headline metric: simulated cycles per wall-clock second.
+type EngineRun struct {
+	Config       string  `json:"config"`
+	Parallel     bool    `json:"parallel"`
+	Cycles       uint64  `json:"cycles"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// EngineBenchWorkload describes the fixed reference workload so snapshots
+// from different engine versions stay comparable.
+const EngineBenchWorkload = "kmp seed=1 tasks=2*cores scale=512 budget=50M"
+
+// MeasureEngine runs the reference workload (kmp, two tasks per core,
+// scale 512, seed 1 — memory-bound and chip-wide, so every component class
+// participates) on the named configuration and times the simulation loop.
+// The simulated cycle count is deterministic; only wall time varies.
+func MeasureEngine(config string, parallel bool) (EngineRun, error) {
+	cfg, err := EngineChipConfig(config)
+	if err != nil {
+		return EngineRun{}, err
+	}
+	cfg.Parallel = parallel
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 1, Tasks: 2 * cfg.Cores(), Scale: 512})
+	c, err := chip.Build(cfg, w.Mem)
+	if err != nil {
+		return EngineRun{}, err
+	}
+	c.Submit(w.Tasks)
+	start := time.Now()
+	cycles, err := c.Run(EngineBenchBudget)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return EngineRun{}, err
+	}
+	if err := w.Check(); err != nil {
+		return EngineRun{}, fmt.Errorf("engine bench %s: %w", config, err)
+	}
+	return EngineRun{
+		Config:       config,
+		Parallel:     parallel,
+		Cycles:       cycles,
+		WallSeconds:  wall,
+		CyclesPerSec: float64(cycles) / wall,
+	}, nil
+}

@@ -299,6 +299,41 @@ func (t *Table) flush(l *line, now uint64, mcFor func(addr uint64) noc.NodeID) *
 	return pkt
 }
 
+// Live returns the number of valid lines.
+func (t *Table) Live() int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline returns the earliest flush deadline among valid lines, or
+// ok=false when the table is empty.
+func (t *Table) NextDeadline() (uint64, bool) {
+	min, ok := ^uint64(0), false
+	for i := range t.lines {
+		l := &t.lines[i]
+		if l.valid && l.deadline < min {
+			min, ok = l.deadline, true
+		}
+	}
+	return min, ok
+}
+
+// PadIdle accounts cycles the hosting hub slept through: the live-line
+// population is constant while no requests arrive and no deadline passes,
+// so the occupancy integral extends linearly.
+func (t *Table) PadIdle(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	t.Stats.OccupancySum.Add(cycles * uint64(t.Live()))
+	t.Stats.OccupancyTicks.Add(cycles)
+}
+
 // MeanOccupancy returns the average number of live lines per cycle.
 func (t *Table) MeanOccupancy() float64 {
 	return stats.Ratio(t.Stats.OccupancySum.Value(), t.Stats.OccupancyTicks.Value())

@@ -71,6 +71,29 @@ func (d *DirectLink) Ports() []interface{ Commit(uint64) } {
 	return []interface{ Commit(uint64) }{d.inA, d.inB, d.outA, d.outB}
 }
 
+// InPorts returns the ports the link itself consumes (the two send sides).
+// The receive sides (outA/outB) are inputs of the attached hub and memory
+// controller and should be registered against those owners.
+func (d *DirectLink) InPorts() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{d.inA, d.inB}
+}
+
+// Quiescent implements sim.Quiescer: idle when nothing waits for admission
+// and, if packets are in flight, sleeping until the earliest delivery.
+func (d *DirectLink) Quiescent(now uint64) (bool, uint64) {
+	if !d.inA.Empty() || !d.inB.Empty() {
+		return false, 0
+	}
+	wake := uint64(sim.WakeNever)
+	if len(d.flightA) > 0 {
+		wake = d.flightA[0].due
+	}
+	if len(d.flightB) > 0 && d.flightB[0].due < wake {
+		wake = d.flightB[0].due
+	}
+	return true, wake
+}
+
 // Tick moves packets: admits up to the byte budget from each input into the
 // delay pipe, and delivers due packets.
 func (d *DirectLink) Tick(now uint64) {

@@ -106,6 +106,18 @@ func (s *linkFaultState) tickRetries(now uint64, key uint64,
 // pendingRetries returns queued retransmissions (for health reporting).
 func (s *linkFaultState) pendingRetries() int { return len(s.retry) }
 
+// nextDue returns the earliest retransmission deadline. Only meaningful
+// when pendingRetries() > 0.
+func (s *linkFaultState) nextDue() uint64 {
+	min := ^uint64(0)
+	for _, e := range s.retry {
+		if e.due < min {
+			min = e.due
+		}
+	}
+	return min
+}
+
 // healthString formats a router health diagnostic, "" when nothing pends.
 func routerHealth(queued, retries int, inflight int) string {
 	if queued == 0 && retries == 0 && inflight == 0 {

@@ -217,7 +217,7 @@ func (r *MeshRouter) Tick(now uint64) {
 	}
 	r.flt.tickRetries(now, r.key,
 		func(dir int) bool {
-			if !r.mesh.neighborIn(r, dir).CanAccept(1) {
+			if !r.mesh.neighborIn(r, dir).CanAcceptFrom(r.key, 1) {
 				r.Stats.StallFull.Inc()
 				return false
 			}
@@ -252,6 +252,32 @@ func (r *MeshRouter) allEmpty() bool {
 		}
 	}
 	return r.inject.Empty() && r.flt.pendingRetries() == 0
+}
+
+// InPorts returns the router's own input queues for engine registration.
+func (r *MeshRouter) InPorts() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{r.in[0], r.in[1], r.in[2], r.in[3], r.inject}
+}
+
+// EjectPort returns the local delivery port (an input of the attached
+// component).
+func (r *MeshRouter) EjectPort() *sim.Port[*Packet] { return r.eject }
+
+// Quiescent implements sim.Quiescer; see Router.Quiescent for the retry
+// timer semantics.
+func (r *MeshRouter) Quiescent(now uint64) (bool, uint64) {
+	for d := 0; d < 4; d++ {
+		if !r.in[d].Empty() || r.pending[d] != nil || r.busy[d] != 0 {
+			return false, 0
+		}
+	}
+	if !r.inject.Empty() {
+		return false, 0
+	}
+	if r.flt.pendingRetries() == 0 {
+		return true, sim.WakeNever
+	}
+	return true, r.flt.nextDue()
 }
 
 // String names the router for diagnostics ("mesh.r5").
@@ -327,7 +353,7 @@ func (r *MeshRouter) transmit(now uint64, dir int) bool {
 			r.Stats.BytesSpent.Add(uint64(((cost + width - 1) / width) * width))
 			return true
 		}
-		if !r.mesh.neighborIn(r, dir).CanAccept(1) {
+		if !r.mesh.neighborIn(r, dir).CanAcceptFrom(r.key, 1) {
 			r.Stats.StallFull.Inc()
 			return false
 		}
@@ -343,7 +369,7 @@ func (r *MeshRouter) transmit(now uint64, dir int) bool {
 // injector, moving the packet to the retry queue instead.
 func (r *MeshRouter) deliverAt(now uint64, dir int, p *Packet) bool {
 	in := r.mesh.neighborIn(r, dir)
-	if !in.CanAccept(1) {
+	if !in.CanAcceptFrom(r.key, 1) {
 		return false
 	}
 	if r.flt.decide(now, r.key, dir, p) {

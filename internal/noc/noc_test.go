@@ -26,8 +26,9 @@ func newTestNet(stops int, cfg LinkConfig) *testNet {
 	for _, rt := range n.ring.Routers() {
 		n.eng.Add(rt)
 	}
-	for _, p := range n.ring.Ports() {
-		n.eng.AddPort(p)
+	for _, rt := range n.ring.Routers() {
+		n.eng.AddPortFor(rt, rt.InPorts()...)
+		n.eng.AddPort(rt.EjectPort())
 	}
 	return n
 }
@@ -259,8 +260,9 @@ func TestResolverRouting(t *testing.T) {
 	for _, rt := range ring.Routers() {
 		eng.Add(rt)
 	}
-	for _, p := range ring.Ports() {
-		eng.AddPort(p)
+	for _, rt := range ring.Routers() {
+		eng.AddPortFor(rt, rt.InPorts()...)
+		eng.AddPort(rt.EjectPort())
 	}
 	// Packet for core 37 (sub-ring 2) injected at hub 0.
 	injects[0].Send(0, 1, &Packet{ID: 9, Dst: CoreNode(37), Size: 8})
@@ -276,9 +278,7 @@ func TestDirectLinkDelayAndOrder(t *testing.T) {
 	d := NewDirectLink(1, 4, 8)
 	eng := sim.NewEngine()
 	eng.Add(d)
-	for _, p := range d.Ports() {
-		eng.AddPort(p)
-	}
+	eng.AddPortFor(d, d.Ports()...)
 	sendA, recvA := d.EndA()
 	_, recvB := d.EndB()
 	sendA.Send(0, 1, &Packet{ID: 1, Size: 8})
@@ -308,9 +308,7 @@ func TestDirectLinkBandwidthLimit(t *testing.T) {
 	d := NewDirectLink(1, 1, 8)
 	eng := sim.NewEngine()
 	eng.Add(d)
-	for _, p := range d.Ports() {
-		eng.AddPort(p)
-	}
+	eng.AddPortFor(d, d.Ports()...)
 	sendA, _ := d.EndA()
 	_, recvB := d.EndB()
 	for i := 0; i < 10; i++ {
@@ -402,8 +400,9 @@ func newMeshNet(rows, cols int) *meshNet {
 	for _, rt := range n.mesh.Routers() {
 		n.eng.Add(rt)
 	}
-	for _, p := range n.mesh.Ports() {
-		n.eng.AddPort(p)
+	for _, rt := range n.mesh.Routers() {
+		n.eng.AddPortFor(rt, rt.InPorts()...)
+		n.eng.AddPort(rt.EjectPort())
 	}
 	return n
 }

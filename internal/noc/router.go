@@ -310,7 +310,10 @@ func (r *Router) findPriority(in *sim.Port[*Packet], dir int) (int, *Packet, boo
 }
 
 func (r *Router) downstreamAccepts(dir int) bool {
-	return r.ring.neighborIn(r.pos, dir).CanAccept(1)
+	// Committed occupancy plus this router's own sends this cycle: staged
+	// traffic from other routers must not influence the decision, or the
+	// outcome would depend on tick order under the parallel executor.
+	return r.ring.neighborIn(r.pos, dir).CanAcceptFrom(r.key, 1)
 }
 
 // deliver hands a packet to the downstream router. Returns false if the
@@ -319,7 +322,7 @@ func (r *Router) downstreamAccepts(dir int) bool {
 // queue and the link cycle is still consumed.
 func (r *Router) deliver(now uint64, dir int, p *Packet) bool {
 	in := r.ring.neighborIn(r.pos, dir)
-	if !in.CanAccept(1) {
+	if !in.CanAcceptFrom(r.key, 1) {
 		return false
 	}
 	if r.flt.decide(now, r.key, dir, p) {
@@ -335,6 +338,34 @@ func (r *Router) deliver(now uint64, dir int, p *Packet) bool {
 func (r *Router) nextSeq() uint64 {
 	r.seq++
 	return r.seq
+}
+
+// InPorts returns the router's own input queues (ring directions + local
+// inject) for engine registration: a delivery on any of them re-arms a
+// quiescent router.
+func (r *Router) InPorts() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{r.inCW, r.inCCW, r.inject}
+}
+
+// EjectPort returns the local delivery port; it is an input of the attached
+// component (core, hub, memory controller), which should own it.
+func (r *Router) EjectPort() *sim.Port[*Packet] { return r.eject }
+
+// Quiescent implements sim.Quiescer: idle when the fast-path condition in
+// Tick holds (no queued input, no in-flight serialization) and no
+// retransmissions are queued. Pending retransmissions keep the router
+// sleepable but schedule a timed wake at the earliest due cycle; a due
+// retransmission stalled on a full downstream buffer yields wakeAt <= now,
+// which the engine treats as "stay awake" (it must poll the neighbour).
+func (r *Router) Quiescent(now uint64) (bool, uint64) {
+	if !r.inCW.Empty() || !r.inCCW.Empty() || !r.inject.Empty() ||
+		r.busy[0] != 0 || r.busy[1] != 0 || r.pending[0] != nil || r.pending[1] != nil {
+		return false, 0
+	}
+	if r.flt.pendingRetries() == 0 {
+		return true, sim.WakeNever
+	}
+	return true, r.flt.nextDue()
 }
 
 // String names the router for diagnostics ("sub3.r2").

@@ -23,6 +23,7 @@ type MainScheduler struct {
 	rr      int
 	seq     uint64
 	now     uint64 // last ticked cycle, for health reporting
+	wake    func() // engine wake callback (see SetWake)
 
 	Stats struct {
 		Accepted   stats.Counter
@@ -52,8 +53,40 @@ func (m *MainScheduler) Ports() []interface{ Commit(uint64) } {
 	return out
 }
 
+// SetWake implements sim.Wakeable: Submit can arrive while the scheduler is
+// quiescent (nothing pending, all credits out), so it must re-arm itself.
+func (m *MainScheduler) SetWake(f func()) { m.wake = f }
+
+// Quiescent implements sim.Quiescer. Idle when no credits are arriving and
+// either nothing is pending (wake on credit/Submit), the head task is not
+// yet released (timed wake at its release cycle), or released work exists
+// but every sub-ring is out of credits (a returning credit re-arms us via
+// the credit ports).
+func (m *MainScheduler) Quiescent(now uint64) (bool, uint64) {
+	for _, p := range m.creditP {
+		if !p.Empty() {
+			return false, 0
+		}
+	}
+	if len(m.pending) == 0 {
+		return true, sim.WakeNever
+	}
+	if rel := m.pending[0].ReleaseCycle; rel > now {
+		return true, rel
+	}
+	for _, c := range m.credits {
+		if c > 0 {
+			return false, 0
+		}
+	}
+	return true, sim.WakeNever
+}
+
 // Submit queues tasks for execution. Tasks may carry future ReleaseCycles.
 func (m *MainScheduler) Submit(work ...cpu.Work) {
+	if m.wake != nil {
+		m.wake()
+	}
 	m.pending = append(m.pending, work...)
 	sort.SliceStable(m.pending, func(i, j int) bool {
 		if m.pending[i].ReleaseCycle != m.pending[j].ReleaseCycle {

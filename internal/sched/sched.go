@@ -180,6 +180,27 @@ func (s *SubScheduler) FreeContexts() int {
 // Commit implements sim.Ticker.
 func (s *SubScheduler) Commit(uint64) {}
 
+// Quiescent implements sim.Quiescer. Not idle while messages queue on the
+// in/done/orphan ports, a software-overhead countdown runs, or queued tasks
+// could dispatch to a free context. Scheduled core kills force a timed wake
+// at their exact cycle (Tick matches s.kills[now] exactly); queued tasks
+// with no free contexts sleep until a completion arrives on the done port.
+func (s *SubScheduler) Quiescent(now uint64) (bool, uint64) {
+	if !s.in.Empty() || !s.done.Empty() || !s.orphan.Empty() || s.overhead > 0 {
+		return false, 0
+	}
+	if s.QueueLen() > 0 && s.FreeContexts() > 0 {
+		return false, 0
+	}
+	wake := uint64(sim.WakeNever)
+	for cyc := range s.kills {
+		if cyc < wake {
+			wake = cyc
+		}
+	}
+	return true, wake
+}
+
 // Tick processes scheduled core failures, completions, intake (including
 // tasks migrating off failed cores), and dispatch.
 func (s *SubScheduler) Tick(now uint64) {

@@ -33,9 +33,6 @@ func newSchedRig(t *testing.T, nCores int, cfg Config) *schedRig {
 		core := cpu.MustNew(i, coreCfg, r.store, inj, ej, done, mcFor, uint64(100+i))
 		r.cores = append(r.cores, core)
 		r.eng.Add(core)
-		for _, p := range core.Ports() {
-			r.eng.AddPort(p)
-		}
 	}
 	mcInj, mcEj := ring.Attach(nCores, noc.MCNode(0))
 	ctl := dram.New(noc.MCNode(0), dram.DDR4(), r.store, mcInj, mcEj, 99)
@@ -43,20 +40,25 @@ func newSchedRig(t *testing.T, nCores int, cfg Config) *schedRig {
 	for _, rt := range ring.Routers() {
 		r.eng.Add(rt)
 	}
-	for _, p := range ring.Ports() {
-		r.eng.AddPort(p)
-	}
-	r.eng.AddPort(done)
-
 	r.sub = NewSub(0, cfg, r.cores, done, 5000)
 	r.main = NewMain([]*SubScheduler{r.sub}, 6000)
 	r.eng.Add(r.sub, r.main)
-	for _, p := range r.sub.Ports() {
-		r.eng.AddPort(p)
+
+	// Register ports against their draining component so deliveries re-arm
+	// quiesced owners (done is drained by the sub-scheduler via Ports()).
+	for i, rt := range ring.Routers() {
+		r.eng.AddPortFor(rt, rt.InPorts()...)
+		if i < nCores {
+			r.eng.AddPortFor(r.cores[i], rt.EjectPort())
+		} else {
+			r.eng.AddPortFor(ctl, rt.EjectPort())
+		}
 	}
-	for _, p := range r.main.Ports() {
-		r.eng.AddPort(p)
+	for _, core := range r.cores {
+		r.eng.AddPortFor(core, core.Ports()...)
 	}
+	r.eng.AddPortFor(r.sub, r.sub.Ports()...)
+	r.eng.AddPortFor(r.main, r.main.Ports()...)
 	return r
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -20,9 +19,21 @@ type Port[T any] struct {
 	staged []envelope[T]
 	queue  []T
 	cap    int // 0 = unbounded
-	// visLen mirrors len(queue) so hot paths can test emptiness without
-	// taking the mutex (simulators poll hundreds of ports per cycle).
+	// visLen mirrors len(queue) so hot paths can test emptiness and apply
+	// flow control without taking the mutex (simulators poll hundreds of
+	// ports per cycle).
 	visLen atomic.Int32
+	// dirty is set by the first Send of a cycle and cleared by Commit. An
+	// idle port is never visited by the engine at all: the transition to
+	// dirty fires onDirty, which enqueues the port on its partition's
+	// commit list.
+	dirty atomic.Bool
+	// onDirty, when set, fires on the clean→dirty transition (at most once
+	// per cycle). The engine uses it to schedule the port for commit.
+	onDirty func()
+	// onDeliver, when set, fires after Commit publishes at least one new
+	// message. The engine uses it to re-arm a quiesced consumer.
+	onDeliver func()
 }
 
 type envelope[T any] struct {
@@ -37,6 +48,23 @@ func NewPort[T any](capacity int) *Port[T] {
 	return &Port[T]{cap: capacity}
 }
 
+// SetOnDeliver installs a callback fired from Commit whenever new messages
+// become visible. It must be set during wiring, before the simulation runs;
+// the callback must be safe to call from any partition's goroutine (the
+// engine installs an atomic flag set).
+func (p *Port[T]) SetOnDeliver(f func()) { p.onDeliver = f }
+
+// SetOnDirty installs the clean→dirty callback (see Engine registration).
+// Like SetOnDeliver it must be set during wiring and be safe to call from
+// any goroutine that may Send. A port that was sent to before registration
+// is already dirty, so the callback fires immediately to schedule it.
+func (p *Port[T]) SetOnDirty(f func()) {
+	p.onDirty = f
+	if p.dirty.Load() {
+		f()
+	}
+}
+
 // Send stages msg for delivery at the end of the current cycle. key orders
 // concurrent senders (use a globally unique sender ID); seq orders multiple
 // messages from one sender within one cycle.
@@ -44,50 +72,105 @@ func (p *Port[T]) Send(key, seq uint64, msg T) {
 	p.mu.Lock()
 	p.staged = append(p.staged, envelope[T]{key: key, seq: seq, msg: msg})
 	p.mu.Unlock()
+	if p.dirty.CompareAndSwap(false, true) && p.onDirty != nil {
+		p.onDirty()
+	}
 }
 
-// CanAccept reports whether the visible queue has room for n more messages,
-// counting messages already staged this cycle. It is a heuristic for
-// credit-style flow control; the port never rejects a Send.
+// CanAccept reports whether the committed queue has room for n more
+// messages. It deliberately ignores messages staged by other senders this
+// cycle: counting them would make credit decisions depend on tick order,
+// which diverges under the parallel executor. A sender that issues several
+// messages in one tick should use CanAcceptFrom to count its own staged
+// traffic. The port never rejects a Send; this is a flow-control hint.
 func (p *Port[T]) CanAccept(n int) bool {
 	if p.cap <= 0 {
 		return true
 	}
+	return int(p.visLen.Load())+n <= p.cap
+}
+
+// CanAcceptFrom reports whether the committed queue plus the caller's own
+// staged messages leave room for n more. The result depends only on
+// committed state and on what the caller itself already sent this cycle,
+// so it is deterministic regardless of partition interleaving.
+func (p *Port[T]) CanAcceptFrom(key uint64, n int) bool {
+	if p.cap <= 0 {
+		return true
+	}
+	room := p.cap - int(p.visLen.Load()) - n
+	if room < 0 {
+		return false
+	}
+	if !p.dirty.Load() {
+		return true
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)+len(p.staged)+n <= p.cap
+	own := 0
+	for i := range p.staged {
+		if p.staged[i].key == key {
+			own++
+		}
+	}
+	p.mu.Unlock()
+	return own <= room
 }
 
 // Commit publishes staged messages in deterministic order. The engine calls
-// this between the tick and commit phases.
+// this between the tick and commit phases. It is a cheap no-op (one atomic
+// load) when nothing was staged this cycle.
 func (p *Port[T]) Commit(uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.staged) == 0 {
+	if !p.dirty.Load() {
 		return
 	}
-	sort.SliceStable(p.staged, func(i, j int) bool {
-		if p.staged[i].key != p.staged[j].key {
-			return p.staged[i].key < p.staged[j].key
-		}
-		return p.staged[i].seq < p.staged[j].seq
-	})
-	for _, env := range p.staged {
-		p.queue = append(p.queue, env.msg)
+	p.mu.Lock()
+	p.dirty.Store(false)
+	if len(p.staged) == 0 {
+		p.mu.Unlock()
+		return
 	}
+	// Stable insertion sort by (key, seq). Staged batches are tiny (usually
+	// 1-2 envelopes) and often already ordered, and unlike sort.SliceStable
+	// this allocates nothing.
+	for i := 1; i < len(p.staged); i++ {
+		for j := i; j > 0 && envLess(&p.staged[j], &p.staged[j-1]); j-- {
+			p.staged[j], p.staged[j-1] = p.staged[j-1], p.staged[j]
+		}
+	}
+	for i := range p.staged {
+		p.queue = append(p.queue, p.staged[i].msg)
+	}
+	clearEnvelopes(p.staged)
 	p.staged = p.staged[:0]
 	p.visLen.Store(int32(len(p.queue)))
+	cb := p.onDeliver
+	p.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+func envLess[T any](a, b *envelope[T]) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// clearEnvelopes zeroes the reused staged slice so pointer-carrying messages
+// do not keep dead objects alive across cycles.
+func clearEnvelopes[T any](s []envelope[T]) {
+	var zero envelope[T]
+	for i := range s {
+		s[i] = zero
+	}
 }
 
 // Empty reports whether no committed messages are visible, without locking.
 func (p *Port[T]) Empty() bool { return p.visLen.Load() == 0 }
 
 // Len returns the number of visible (committed) messages.
-func (p *Port[T]) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
-}
+func (p *Port[T]) Len() int { return int(p.visLen.Load()) }
 
 // Peek returns the head message without removing it.
 func (p *Port[T]) Peek() (T, bool) {

@@ -1,26 +1,39 @@
 // Package sim provides the deterministic cycle-level simulation kernel that
 // every SmarCo component is built on.
 //
-// The engine advances a single global cycle counter. Each cycle has two
-// phases: every component's Tick is called (compute phase: read state that
-// was committed at the end of the previous cycle, stage new outputs), then
-// every component's Commit is called (staged outputs become visible). Because
-// Tick never observes another component's same-cycle writes, the order in
-// which components are ticked does not affect results, which is what makes
-// both the serial and the parallel executors produce identical histories.
+// The engine advances a single global cycle counter. Each cycle has three
+// phases: every active component's Tick is called (compute phase: read state
+// that was committed at the end of the previous cycle, stage new outputs),
+// dirty ports are committed (staged messages become visible in deterministic
+// order), then every active component's Commit is called. Because Tick never
+// observes another component's same-cycle writes, the order in which
+// components are ticked does not affect results, which is what makes both
+// the serial and the parallel executors produce identical histories.
+//
+// Components may implement Quiescer to be skipped while idle: a quiescent
+// component is removed from its partition's active list and re-armed by a
+// port delivery (via the port's deliver callback) or by a self-declared
+// wake-up cycle (a per-partition timer heap). The active list is kept in
+// registration order, so skipping is invisible to the simulated history —
+// see DESIGN.md for the protocol a component must follow to be skippable.
 //
 // The parallel executor reproduces the conservative synchronous PDES scheme
 // the paper's simulation framework uses: components are grouped into
 // partitions (one per sub-ring in the chip model), partitions tick
 // concurrently, and a barrier at each phase boundary provides the one-cycle
-// lookahead that makes the synchronization safe.
+// lookahead that makes the synchronization safe. Ports are committed by the
+// partition that owns the receiving component, so commit work parallelizes
+// with the rest of the cycle.
 package sim
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Ticker is implemented by every simulated component.
@@ -32,6 +45,43 @@ import (
 type Ticker interface {
 	Tick(now uint64)
 	Commit(now uint64)
+}
+
+// WakeNever means a quiescent component has no self-scheduled wake-up: only
+// a port delivery (or an explicit wake) re-arms it.
+const WakeNever = ^uint64(0)
+
+// Quiescer is optionally implemented by components that can be skipped while
+// idle. The engine calls Quiescent after the component's Commit; returning
+// idle=true promises that, absent new port deliveries, every future Tick
+// before wakeAt would be a no-op (no state change, no sends, no stats).
+// wakeAt is the first cycle the component must tick again on its own
+// (WakeNever when only deliveries matter); wakeAt <= now keeps it awake.
+//
+// The contract a quiescent component accepts: it is NOT ticked again until
+// one of its registered input ports (see Engine.AddPortFor) delivers a
+// message, its wakeAt cycle arrives, or another component wakes it through
+// the Wakeable callback. Reporting idle while holding undelivered input or
+// internal work silently freezes that work.
+type Quiescer interface {
+	Quiescent(now uint64) (idle bool, wakeAt uint64)
+}
+
+// CatchUpper is optionally implemented by components that account per-cycle
+// statistics (cycle counts, occupancy integrals). Engine.Settle calls
+// CatchUp so a component that slept through the tail of a run can pad its
+// counters up to the current cycle before metrics are read.
+type CatchUpper interface {
+	CatchUp(now uint64)
+}
+
+// Wakeable is optionally implemented by components that can be mutated
+// outside the port system (e.g. a scheduler hard-killing a core). The
+// engine installs a wake callback at registration; the component must
+// invoke it whenever such a mutation gives it new work, or the engine may
+// never tick it again.
+type Wakeable interface {
+	SetWake(func())
 }
 
 // ProgressReporter is optionally implemented by components that perform
@@ -56,13 +106,70 @@ type HealthReporter interface {
 // effective detection latency is twice this.
 const DefaultWatchdogCycles = 10_000
 
+// committer is the commit half of Ticker, implemented by Port so the engine
+// can flush staged messages between the two phases.
+type committer interface {
+	Commit(now uint64)
+}
+
+// deliverNotifier is implemented by Port: the engine installs a callback so
+// a delivery re-arms the quiesced owner.
+type deliverNotifier interface {
+	SetOnDeliver(func())
+}
+
+// dirtyNotifier is implemented by Port: the engine installs a callback fired
+// on the clean→dirty transition (the first Send of a cycle), which enqueues
+// the port on its partition's commit list. The port-commit phase then visits
+// only ports that were actually sent to, instead of every registered port.
+type dirtyNotifier interface {
+	SetOnDirty(func())
+}
+
+// compState tracks one registered component. woken is written by port
+// deliver callbacks (any partition's goroutine, port-commit phase) and read
+// by the owning partition's wake scan (tick phase); the phase barrier
+// orders the two, the atomic keeps the race detector satisfied.
+type compState struct {
+	t      Ticker
+	q      Quiescer
+	asleep bool
+	woken  atomic.Bool
+}
+
+// partition is one unit of parallelism: a set of components plus the ports
+// their inputs arrive on, committed by this partition's goroutine.
+type partition struct {
+	comps  []*compState
+	active []int32 // indices into comps, ascending (registration order)
+	timers timerHeap
+	// ports holds registered committers that do not support the dirty-queue
+	// protocol (anything that is not a *Port); they are committed every
+	// cycle. *Port registrations instead self-enqueue on dirtyPorts via
+	// their onDirty hook, so clean ports cost nothing per cycle.
+	ports      []committer
+	dirtyMu    sync.Mutex
+	dirtyPorts []committer
+	spareDirty []committer // double buffer reused by portPhase
+	asleep     int         // number of comps with asleep set
+	cur        Ticker      // component under execution, for panic diagnostics
+}
+
+// markDirty enqueues a port for commit at this partition's next port phase.
+// Called from any goroutine that may Send (phase barriers keep it out of
+// portPhase itself).
+func (p *partition) markDirty(pt committer) {
+	p.dirtyMu.Lock()
+	p.dirtyPorts = append(p.dirtyPorts, pt)
+	p.dirtyMu.Unlock()
+}
+
 // Engine drives a set of components cycle by cycle.
 type Engine struct {
-	partitions [][]Ticker
-	ports      []committer
-	now        uint64
-	parallel   bool
-	wg         sync.WaitGroup
+	parts    []*partition
+	owners   map[Ticker]compRef
+	now      uint64
+	parallel bool
 
 	// Watchdog state.
 	watchEvery uint64
@@ -71,26 +178,33 @@ type Engine struct {
 	lastCheck  uint64
 	stuck      int
 
-	// First panic recovered from a parallel partition goroutine.
+	// First panic recovered from a partition phase.
 	errMu sync.Mutex
 	errs  []partitionErr
+
+	// Persistent phase workers (parallel mode inside Run). One buffered
+	// channel per partition plus a single completion channel replaces the
+	// per-phase goroutine spawn + WaitGroup of the old executor.
+	workCh    []chan uint8
+	doneCh    chan struct{}
+	pending   atomic.Int32
+	workersOn bool
 }
 
-// partitionErr records a panic recovered in one partition goroutine.
+type compRef struct {
+	part int
+	idx  int32
+}
+
+// partitionErr records a panic recovered in one partition phase.
 type partitionErr struct {
 	partition int
 	component Ticker
 	value     any
 }
 
-// committer is the commit half of Ticker, implemented by Port so the engine
-// can flush staged messages between the two phases.
-type committer interface {
-	Commit(now uint64)
-}
-
 // NewEngine returns an empty serial engine.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{owners: map[Ticker]compRef{}} }
 
 // SetParallel switches the engine between the serial executor and the
 // partition-parallel executor. Results are identical either way.
@@ -101,11 +215,87 @@ func (e *Engine) SetParallel(p bool) { e.parallel = p }
 // (within the same cycle) must share a partition only if they also share
 // staged state; port-based communication is always safe across partitions.
 func (e *Engine) AddPartition(components ...Ticker) {
-	e.partitions = append(e.partitions, components)
+	e.parts = append(e.parts, &partition{})
+	e.addTo(len(e.parts)-1, components...)
+}
+
+// Add registers components into the default (first) partition.
+func (e *Engine) Add(components ...Ticker) {
+	if len(e.parts) == 0 {
+		e.parts = append(e.parts, &partition{})
+	}
+	e.addTo(0, components...)
+}
+
+func (e *Engine) addTo(pi int, components ...Ticker) {
+	p := e.parts[pi]
 	for _, t := range components {
+		cs := &compState{t: t}
+		cs.q, _ = t.(Quiescer)
+		idx := int32(len(p.comps))
+		p.comps = append(p.comps, cs)
+		p.active = append(p.active, idx)
+		if comparableTicker(t) {
+			e.owners[t] = compRef{part: pi, idx: idx}
+		}
+		if w, ok := t.(Wakeable); ok {
+			w.SetWake(func() { cs.woken.Store(true) })
+		}
 		if pr, ok := t.(ProgressReporter); ok {
 			e.reporters = append(e.reporters, pr)
 		}
+	}
+}
+
+// comparableTicker guards the owner map against dynamic types that would
+// panic as map keys (components are normally pointers, which are fine).
+func comparableTicker(t Ticker) bool {
+	return t != nil && reflect.TypeOf(t).Comparable()
+}
+
+// AddPort registers a port with no owning component: it is flushed between
+// the tick and commit phases but delivers no wake-up. Use AddPortFor for
+// ports feeding a component that quiesces.
+func (e *Engine) AddPort(p committer) {
+	if len(e.parts) == 0 {
+		e.parts = append(e.parts, &partition{})
+	}
+	registerPort(e.parts[0], p)
+}
+
+// registerPort wires p for commit by part: via the dirty-queue hook when the
+// committer supports it, or on the always-commit list otherwise.
+func registerPort(part *partition, p committer) {
+	if dn, ok := p.(dirtyNotifier); ok {
+		dn.SetOnDirty(func() { part.markDirty(p) })
+		return
+	}
+	part.ports = append(part.ports, p)
+}
+
+// AddPortFor registers input ports of owner: they are committed by the
+// owner's partition (parallelizing commit work) and a delivery on any of
+// them re-arms the owner if it has quiesced. Falls back to unowned
+// registration when owner was never registered. The parameter type is the
+// anonymous form of committer so component Ports() slices pass through.
+func (e *Engine) AddPortFor(owner Ticker, ports ...interface{ Commit(now uint64) }) {
+	ref, ok := compRef{}, false
+	if comparableTicker(owner) {
+		ref, ok = e.owners[owner]
+	}
+	if !ok {
+		for _, p := range ports {
+			e.AddPort(p)
+		}
+		return
+	}
+	part := e.parts[ref.part]
+	cs := part.comps[ref.idx]
+	for _, p := range ports {
+		if dn, ok := p.(deliverNotifier); ok {
+			dn.SetOnDeliver(func() { cs.woken.Store(true) })
+		}
+		registerPort(part, p)
 	}
 }
 
@@ -117,26 +307,6 @@ func (e *Engine) AddPartition(components ...Ticker) {
 // burning the remaining cycle budget.
 func (e *Engine) SetWatchdog(cycles uint64) { e.watchEvery = cycles }
 
-// Add registers components into the default (first) partition.
-func (e *Engine) Add(components ...Ticker) {
-	if len(e.partitions) == 0 {
-		e.partitions = append(e.partitions, nil)
-	}
-	e.partitions[0] = append(e.partitions[0], components...)
-	for _, t := range components {
-		if pr, ok := t.(ProgressReporter); ok {
-			e.reporters = append(e.reporters, pr)
-		}
-	}
-}
-
-// AddPort registers a port to be flushed between the tick and commit phases.
-// Ports registered here have their staged messages sorted and published
-// before component Commit runs, so a component's Commit can already see
-// messages sent to it during the same cycle's Tick phase, one cycle before
-// its next Tick observes them.
-func (e *Engine) AddPort(p committer) { e.ports = append(e.ports, p) }
-
 // Now returns the current cycle number (the number of completed cycles).
 func (e *Engine) Now() uint64 { return e.now }
 
@@ -147,57 +317,218 @@ func (e *Engine) Step() {
 	if len(e.errs) > 0 {
 		return
 	}
-	if e.parallel && len(e.partitions) > 1 {
-		e.phaseParallel(func(t Ticker) { t.Tick(e.now) })
-		e.commitPorts()
-		e.phaseParallel(func(t Ticker) { t.Commit(e.now) })
-	} else {
-		for _, part := range e.partitions {
-			for _, t := range part {
-				t.Tick(e.now)
-			}
+	switch {
+	case !e.parallel || len(e.parts) <= 1:
+		for _, p := range e.parts {
+			p.tickPhase(e.now)
 		}
-		e.commitPorts()
-		for _, part := range e.partitions {
-			for _, t := range part {
-				t.Commit(e.now)
-			}
+		for _, p := range e.parts {
+			p.portPhase(e.now)
 		}
+		for _, p := range e.parts {
+			p.commitPhase(e.now)
+		}
+	case e.workersOn:
+		e.stepWorkers()
+	default:
+		e.stepInline()
 	}
 	e.now++
 }
 
-func (e *Engine) commitPorts() {
-	for _, p := range e.ports {
-		p.Commit(e.now)
+// tickPhase wakes due and delivered-to components, then ticks the active
+// list in registration order.
+func (p *partition) tickPhase(now uint64) {
+	woke := false
+	for len(p.timers) > 0 && p.timers[0].at <= now {
+		idx := p.timers.pop()
+		cs := p.comps[idx]
+		if cs.asleep {
+			cs.asleep = false
+			cs.woken.Store(false)
+			p.asleep--
+			p.active = append(p.active, idx)
+			woke = true
+		}
+	}
+	if p.asleep > 0 {
+		for i, cs := range p.comps {
+			if cs.asleep && cs.woken.Load() {
+				cs.asleep = false
+				cs.woken.Store(false)
+				p.asleep--
+				p.active = append(p.active, int32(i))
+				woke = true
+			}
+		}
+	}
+	if woke {
+		sortActive(p.active)
+	}
+	for _, idx := range p.active {
+		cs := p.comps[idx]
+		p.cur = cs.t
+		cs.t.Tick(now)
+	}
+	p.cur = nil
+}
+
+// portPhase commits the ports that were sent to since the last port phase
+// (self-enqueued via markDirty), plus any legacy always-commit registrants.
+func (p *partition) portPhase(now uint64) {
+	for _, pt := range p.ports {
+		pt.Commit(now)
+	}
+	p.dirtyMu.Lock()
+	dirty := p.dirtyPorts
+	p.dirtyPorts = p.spareDirty[:0]
+	p.dirtyMu.Unlock()
+	for i, pt := range dirty {
+		pt.Commit(now)
+		dirty[i] = nil
+	}
+	p.spareDirty = dirty[:0]
+}
+
+// commitPhase commits active components, then lets each declare itself
+// quiescent. The quiesce check runs after the port phase, so a component
+// that just received a message sees the non-empty input and stays awake.
+func (p *partition) commitPhase(now uint64) {
+	for _, idx := range p.active {
+		cs := p.comps[idx]
+		p.cur = cs.t
+		cs.t.Commit(now)
+	}
+	p.cur = nil
+	keep := p.active[:0]
+	for _, idx := range p.active {
+		cs := p.comps[idx]
+		if cs.q != nil {
+			p.cur = cs.t
+			if idle, wakeAt := cs.q.Quiescent(now); idle && wakeAt > now {
+				// Deliveries up to this cycle are already visible, so any
+				// prior wake mark is stale: clear it alongside.
+				cs.woken.Store(false)
+				cs.asleep = true
+				p.asleep++
+				if wakeAt != WakeNever {
+					p.timers.push(timerEntry{at: wakeAt, idx: idx})
+				}
+				continue
+			}
+		}
+		keep = append(keep, idx)
+	}
+	p.cur = nil
+	p.active = keep
+}
+
+// sortActive restores ascending registration order after wake-ups appended
+// out of place. The list is almost sorted, so insertion sort beats
+// sort.Slice and allocates nothing.
+func sortActive(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 
-func (e *Engine) phaseParallel(f func(Ticker)) {
-	e.wg.Add(len(e.partitions))
-	for pi, part := range e.partitions {
-		pi, part := pi, part
-		go func() {
-			// A panicking component must not kill the process mid-barrier:
-			// record which component blew up and let Run surface it as an
-			// error. cur tracks the component under f so the recover can
-			// name it.
-			var cur Ticker
-			defer func() {
-				if r := recover(); r != nil {
-					e.errMu.Lock()
-					e.errs = append(e.errs, partitionErr{partition: pi, component: cur, value: r})
-					e.errMu.Unlock()
-				}
-				e.wg.Done()
-			}()
-			for _, t := range part {
-				cur = t
-				f(t)
-			}
-		}()
+// stepInline runs the parallel executor's phases on the calling goroutine:
+// used when workers are not running (Step outside Run, or a single CPU),
+// preserving the panic-recovery semantics of parallel mode.
+func (e *Engine) stepInline() {
+	for ph := 0; ph < 3; ph++ {
+		for pi := range e.parts {
+			e.runPhase(pi, ph)
+		}
 	}
-	e.wg.Wait()
+}
+
+// runPhase executes one phase of one partition, converting a component
+// panic into a recorded error (parallel-mode semantics).
+func (e *Engine) runPhase(pi, ph int) {
+	p := e.parts[pi]
+	defer func() {
+		if r := recover(); r != nil {
+			e.errMu.Lock()
+			e.errs = append(e.errs, partitionErr{partition: pi, component: p.cur, value: r})
+			e.errMu.Unlock()
+		}
+	}()
+	switch ph {
+	case 0:
+		p.tickPhase(e.now)
+	case 1:
+		p.portPhase(e.now)
+	case 2:
+		p.commitPhase(e.now)
+	}
+}
+
+// stepWorkers drives the persistent workers through the three phases. The
+// barrier per phase is one atomic decrement per partition plus a single
+// channel receive — no goroutine spawns, no WaitGroup.
+func (e *Engine) stepWorkers() {
+	for ph := uint8(0); ph < 3; ph++ {
+		e.pending.Store(int32(len(e.parts)))
+		for _, ch := range e.workCh {
+			ch <- ph
+		}
+		<-e.doneCh
+	}
+}
+
+func (e *Engine) workerLoop(pi int, ch <-chan uint8) {
+	for ph := range ch {
+		e.runPhase(pi, int(ph))
+		if e.pending.Add(-1) == 0 {
+			e.doneCh <- struct{}{}
+		}
+	}
+}
+
+// startWorkers launches one goroutine per partition. They are stopped by
+// stopWorkers when Run returns, so an engine that is built, run, and
+// dropped (the experiment harnesses build dozens) leaks nothing.
+func (e *Engine) startWorkers() {
+	if e.workersOn {
+		return
+	}
+	e.workersOn = true
+	if e.doneCh == nil {
+		e.doneCh = make(chan struct{}, 1)
+	}
+	e.workCh = make([]chan uint8, len(e.parts))
+	for i := range e.parts {
+		ch := make(chan uint8, 1)
+		e.workCh[i] = ch
+		go e.workerLoop(i, ch)
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	if !e.workersOn {
+		return
+	}
+	for _, ch := range e.workCh {
+		close(ch)
+	}
+	e.workCh = nil
+	e.workersOn = false
+}
+
+// Settle pads per-cycle statistics of components that are currently asleep
+// (see CatchUpper). Call before reading metrics mid-run or after Run; it
+// must not run concurrently with Step.
+func (e *Engine) Settle() {
+	for _, p := range e.parts {
+		for _, cs := range p.comps {
+			if cu, ok := cs.t.(CatchUpper); ok {
+				cu.CatchUp(e.now)
+			}
+		}
+	}
 }
 
 // Err returns the error from the first component panic recovered in
@@ -235,9 +566,9 @@ const maxWatchdogReports = 8
 func (e *Engine) stalledReport() string {
 	var parts []string
 	extra := 0
-	for _, part := range e.partitions {
-		for _, t := range part {
-			hr, ok := t.(HealthReporter)
+	for _, p := range e.parts {
+		for _, cs := range p.comps {
+			hr, ok := cs.t.(HealthReporter)
 			if !ok {
 				continue
 			}
@@ -249,8 +580,8 @@ func (e *Engine) stalledReport() string {
 				extra++
 				continue
 			}
-			name := fmt.Sprintf("%T", t)
-			if s, ok := t.(fmt.Stringer); ok {
+			name := fmt.Sprintf("%T", cs.t)
+			if s, ok := cs.t.(fmt.Stringer); ok {
 				name = s.String()
 			}
 			parts = append(parts, name+": "+h)
@@ -294,8 +625,14 @@ func (e *Engine) checkWatchdog() error {
 // Run advances until done returns true or the cycle budget is exhausted. It
 // returns the cycle count at stop and an error when the budget ran out, a
 // component panicked in parallel mode, or the progress watchdog detected a
-// wedged simulation.
+// wedged simulation. In parallel mode Run starts the persistent phase
+// workers for its duration (unless the process has a single CPU, where the
+// inline executor is strictly faster).
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	if e.parallel && len(e.parts) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		e.startWorkers()
+		defer e.stopWorkers()
+	}
 	start := e.now
 	for e.now-start < maxCycles {
 		if done != nil && done() {
@@ -313,4 +650,60 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 		return e.now, nil
 	}
 	return e.now, fmt.Errorf("sim: cycle budget of %d exhausted at cycle %d", maxCycles, e.now)
+}
+
+// timerEntry schedules the wake-up of comps[idx] at cycle at.
+type timerEntry struct {
+	at  uint64
+	idx int32
+}
+
+// timerHeap is a binary min-heap ordered by (at, idx); the idx tie-break
+// keeps wake order deterministic.
+type timerHeap []timerEntry
+
+func timerLess(a, b timerEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.idx < b.idx
+}
+
+func (h *timerHeap) push(e timerEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !timerLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the index of the earliest entry.
+func (h *timerHeap) pop() int32 {
+	old := *h
+	idx := old[0].idx
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && timerLess(old[l], old[smallest]) {
+			smallest = l
+		}
+		if r < n && timerLess(old[r], old[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return idx
 }

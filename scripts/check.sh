@@ -1,12 +1,31 @@
 #!/bin/sh
-# Pre-merge checks: vet, build, and the race-enabled RAS test suites.
-# The full suite (go test ./...) takes minutes; this is the fast gate.
+# Pre-merge checks.
+#
+#   scripts/check.sh        # fast gate: vet, build, race-enabled core suites
+#   scripts/check.sh full   # fast gate + the whole suite without -short,
+#                           # each package under its own timeout
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./internal/sim/... ./internal/fault/...
+# The engine, fault, and chip suites run under the race detector: the
+# parallel executor shares ports, wake flags, and stat counters across
+# partition goroutines, so these packages are where a torn read would live
+# (see DESIGN.md "Quiescence and the wake protocol").
+go test -race ./internal/sim/... ./internal/fault/... ./internal/chip/...
 go test ./internal/noc/... ./internal/dram/... ./internal/cpu/... \
-    ./internal/sched/... ./internal/cache/... ./internal/chip/...
+    ./internal/sched/... ./internal/cache/...
+
+if [ "${1:-fast}" = "full" ]; then
+    # Full suite, no -short: per-package timeouts so one hung package fails
+    # fast instead of absorbing the whole budget. The experiments package
+    # runs whole-chip sweeps (the ablation study included) and needs more.
+    for pkg in $(go list ./...); do
+        case "$pkg" in
+        */internal/experiments) go test -timeout 8m "$pkg" ;;
+        *) go test -timeout 3m "$pkg" ;;
+        esac
+    done
+fi
