@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"smarco/internal/isa"
 	"smarco/internal/kernels"
@@ -37,7 +38,19 @@ func main() {
 	out := flag.String("out", "", "output file (default: stdout listing)")
 	disasm := flag.Bool("d", false, "disassemble a binary instead of assembling")
 	dump := flag.String("dump", "", "print a built-in kernel and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *dump != "" {
 		prog, ok := builtins[*dump]

@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
+	"smarco/internal/chip"
 	"smarco/internal/experiments"
 )
 
@@ -148,7 +150,9 @@ type engineEntry struct {
 
 // benchEngine measures engine throughput on every config/executor pair and
 // appends the results to the snapshot file, preserving earlier entries.
-func benchEngine(path, label string) error {
+// With jsonPath it also writes each run's unified metrics snapshot (the
+// same chip.Snapshot schema smarcosim -json emits) as a JSON array.
+func benchEngine(path, label, jsonPath string) error {
 	var snap engineSnapshot
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &snap); err != nil {
@@ -159,15 +163,17 @@ func benchEngine(path, label string) error {
 	}
 	snap.Workload = experiments.EngineBenchWorkload
 	entry := engineEntry{Label: label, Date: time.Now().Format("2006-01-02")}
+	var snapshots []chip.Snapshot
 	for _, config := range experiments.EngineBenchConfigs {
 		for _, parallel := range []bool{false, true} {
-			r, err := experiments.MeasureEngine(config, parallel)
+			r, s, err := experiments.MeasureEngineSnapshot(config, parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%-8s parallel=%-5v cycles=%-10d cycles/sec=%.0f\n",
 				r.Config, r.Parallel, r.Cycles, r.CyclesPerSec)
 			entry.Runs = append(entry.Runs, r)
+			snapshots = append(snapshots, s)
 		}
 	}
 	snap.Entries = append(snap.Entries, entry)
@@ -175,7 +181,19 @@ func benchEngine(path, label string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		raw, err := json.MarshalIndent(snapshots, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -188,10 +206,23 @@ func main() {
 	engine := flag.Bool("engine", false, "measure engine throughput and append to -engine-out")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine snapshot file")
 	engineLabel := flag.String("engine-label", "engine snapshot", "label for the new snapshot entry")
+	jsonOut := flag.String("json", "", "with -engine: write unified metrics snapshots (chip.Snapshot array) to FILE")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if *engine {
-		if err := benchEngine(*engineOut, *engineLabel); err != nil {
+		if err := benchEngine(*engineOut, *engineLabel, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"smarco/internal/chip"
@@ -51,6 +52,11 @@ func main() {
 	showPower := flag.Bool("power", false, "print the power/area estimate for this configuration")
 	timeline := flag.String("timeline", "", "write a per-interval metrics CSV to this file")
 	interval := flag.Uint64("interval", 2000, "timeline sampling interval in cycles")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto)")
+	traceEvents := flag.Int("trace-events", 0, "max trace events per partition (0 = default)")
+	profile := flag.Bool("profile", false, "print the engine's per-partition wall-time attribution")
+	jsonOut := flag.String("json", "", "write the unified JSON metrics snapshot to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a Go pprof CPU profile of the simulator to this file")
 	flag.Parse()
 
 	cfg := chip.SmallConfig()
@@ -103,6 +109,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *traceOut != "" {
+		c.EnableTrace(*traceEvents)
+	}
+	if *profile || *jsonOut != "" {
+		c.EnableProfile()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	c.Submit(w.Tasks)
 	var cycles uint64
 	if *timeline != "" {
@@ -133,6 +155,42 @@ func main() {
 		log.Fatalf("OUTPUT CHECK FAILED: %v", err)
 	}
 	fmt.Println("output check: PASSED (bit-identical to the Go reference)")
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("cpu profile -> %s\n", *cpuprofile)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace -> %s\n", *traceOut)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(c.Profile().String())
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := c.Snapshot(*bench, fmt.Sprintf("%s tasks=%d seed=%d scale=%d", w.Name, len(w.Tasks), *seed, *scale))
+		if err := snap.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot -> %s\n", *jsonOut)
+	}
 
 	m := c.Metrics()
 	fmt.Printf(`

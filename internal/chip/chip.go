@@ -124,6 +124,10 @@ type Chip struct {
 	hostInject *sim.Port[*noc.Packet]
 	hostEject  *sim.Port[*noc.Packet]
 	hostSeq    uint64
+
+	// Observability (see observe.go); nil unless enabled.
+	trace *sim.Trace
+	prof  *sim.Profile
 }
 
 // Build constructs a chip over the given backing store (typically a

@@ -64,7 +64,7 @@ func (c *Chip) Metrics() Metrics {
 	c.eng.Settle()
 	var m Metrics
 	m.Cycles = c.eng.Now()
-	var loadLat stats.Histogram
+	var loadLat stats.StreamHist
 	for _, core := range c.Cores {
 		s := &core.Stats
 		m.Instructions += s.Issued.Value()
@@ -75,9 +75,7 @@ func (c *Chip) Metrics() Metrics {
 		m.RemoteSPM += s.RemoteSPM.Value()
 		m.IFMisses += s.IFMisses.Value()
 		m.IPCPerCore += s.IPC()
-		for _, v := range s.LoadLat.Samples() {
-			loadLat.Observe(v)
-		}
+		loadLat.Merge(&s.LoadLat)
 	}
 	m.IPCPerCore /= float64(len(c.Cores))
 	if m.Cycles > 0 {

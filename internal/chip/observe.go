@@ -1,0 +1,159 @@
+// Observability: event tracing, wall-time profiling, and the unified JSON
+// metrics snapshot. See DESIGN.md §8 for the mid-run snapshot (Settle)
+// contract these build on.
+package chip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smarco/internal/sim"
+)
+
+// EnableTrace installs an event trace over the whole chip: engine-level
+// activity/sleep spans, wake causes and port deliveries for every
+// component, plus domain events from the cores (task start/done), the
+// sub-schedulers (dispatches), the MACTs (batch flushes), the memory
+// controllers (batch service), and the ring routers (backpressure stalls).
+// limit caps the recorded events per partition (<= 0 selects
+// sim.DefaultTraceEvents). Call before running; export with WriteTrace.
+//
+// Tracing never perturbs the simulation: cycle counts and all metrics are
+// bit-identical with tracing on or off.
+func (c *Chip) EnableTrace(limit int) *sim.Trace {
+	t := sim.NewTrace(limit)
+	c.eng.SetTrace(t)
+	c.labelPartitions(t.LabelPartition)
+	emit := sim.TraceFn(t.Emit)
+	for _, core := range c.Cores {
+		core.SetTracer(emit)
+	}
+	for _, s := range c.Subs {
+		s.SetTracer(emit)
+	}
+	for _, mc := range c.MCs {
+		mc.SetTracer(emit)
+	}
+	for _, h := range c.Hubs {
+		h.MACT.SetTracer(emit)
+	}
+	for _, r := range c.SubRings {
+		for _, rt := range r.Routers() {
+			rt.SetTracer(emit)
+		}
+	}
+	if c.MainRing != nil {
+		for _, rt := range c.MainRing.Routers() {
+			rt.SetTracer(emit)
+		}
+	}
+	c.trace = t
+	return t
+}
+
+// WriteTrace exports the trace installed by EnableTrace as Chrome
+// trace-event JSON (open in chrome://tracing or Perfetto).
+func (c *Chip) WriteTrace(w io.Writer) error {
+	if c.trace == nil {
+		return fmt.Errorf("chip: tracing not enabled (call EnableTrace before running)")
+	}
+	return c.eng.WriteTrace(w)
+}
+
+// EnableProfile installs the engine's per-partition wall-time profiler
+// (tick/port/commit attribution under either executor). Call before
+// running; read the result with Profile.
+func (c *Chip) EnableProfile() *sim.Profile {
+	p := sim.NewProfile()
+	c.eng.SetProfile(p)
+	c.labelPartitions(p.LabelPartition)
+	c.prof = p
+	return p
+}
+
+// Profile returns the profiler installed by EnableProfile (nil without
+// one).
+func (c *Chip) Profile() *sim.Profile { return c.prof }
+
+// labelPartitions names the engine partitions the way build laid them out:
+// one per sub-ring plus the uncore, or a single partition for the mesh
+// baseline.
+func (c *Chip) labelPartitions(label func(pi int, name string)) {
+	if c.Mesh != nil {
+		label(0, "mesh")
+		return
+	}
+	for s := range c.SubRings {
+		label(s, fmt.Sprintf("sub%d", s))
+	}
+	label(len(c.SubRings), "uncore")
+}
+
+// SnapshotChip summarizes the configuration a snapshot was taken on.
+type SnapshotChip struct {
+	SubRings    int     `json:"sub_rings"`
+	CoresPerSub int     `json:"cores_per_sub"`
+	Cores       int     `json:"cores"`
+	Threads     int     `json:"threads"`
+	MCs         int     `json:"mcs"`
+	Topology    string  `json:"topology"`
+	Parallel    bool    `json:"parallel"`
+	ClockHz     float64 `json:"clock_hz"`
+}
+
+// Snapshot is the unified JSON metrics export shared by smarcosim and
+// smarcobench: one schema whether the run came from a benchmark binary, an
+// experiment harness, or a mid-run sample. Metrics are settled (see
+// Chip.Metrics) at capture time.
+type Snapshot struct {
+	Label    string                 `json:"label,omitempty"`
+	Workload string                 `json:"workload,omitempty"`
+	Cycles   uint64                 `json:"cycles"`
+	Seconds  float64                `json:"seconds"` // simulated time at ClockHz
+	Chip     SnapshotChip           `json:"chip"`
+	Metrics  Metrics                `json:"metrics"`
+	Profile  []sim.PartitionProfile `json:"profile,omitempty"`
+	// TraceDropped counts trace events lost to the buffer cap (only
+	// meaningful with tracing enabled; 0 means the trace is complete).
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+}
+
+// Snapshot captures the chip's current metrics under the unified schema.
+func (c *Chip) Snapshot(label, workload string) Snapshot {
+	topo := c.Config.Topology
+	if topo == "" {
+		topo = "ring"
+	}
+	s := Snapshot{
+		Label:    label,
+		Workload: workload,
+		Cycles:   c.Now(),
+		Seconds:  c.Seconds(c.Now()),
+		Chip: SnapshotChip{
+			SubRings:    c.Config.SubRings,
+			CoresPerSub: c.Config.CoresPerSub,
+			Cores:       c.Config.Cores(),
+			Threads:     c.Config.Threads(),
+			MCs:         c.Config.MCs,
+			Topology:    topo,
+			Parallel:    c.Config.Parallel,
+			ClockHz:     c.Config.ClockHz,
+		},
+		Metrics: c.Metrics(),
+	}
+	if c.prof != nil {
+		s.Profile = c.prof.Partitions()
+	}
+	if c.trace != nil {
+		s.TraceDropped = c.trace.Dropped()
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,137 @@
+package chip
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smarco/internal/kernels"
+)
+
+// TestTracingIsObservationOnly: enabling the full observability stack
+// (event trace + wall-time profile) must not change what the simulation
+// computes — cycle counts and metrics stay bit-identical.
+func TestTracingIsObservationOnly(t *testing.T) {
+	run := func(observe bool) (*Chip, Metrics) {
+		w := kernels.MustNew("kmp", kernels.Config{Seed: 61, Tasks: 8, Scale: 512})
+		c := New(SmallConfig(), w.Mem)
+		if observe {
+			c.EnableTrace(0)
+			c.EnableProfile()
+		}
+		c.Submit(w.Tasks)
+		if _, err := c.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return c, c.Metrics()
+	}
+	plain, mPlain := run(false)
+	traced, mTraced := run(true)
+	if plain.Now() != traced.Now() {
+		t.Fatalf("tracing changed the cycle count: %d vs %d", plain.Now(), traced.Now())
+	}
+	if mPlain != mTraced {
+		t.Fatalf("tracing changed the metrics:\nplain:  %+v\ntraced: %+v", mPlain, mTraced)
+	}
+}
+
+// TestChipTraceExportsValidChromeJSON validates the end-to-end trace: a
+// real workload's export parses as Chrome trace-event JSON and contains
+// engine spans, partition labels, and component-emitted domain events.
+func TestChipTraceExportsValidChromeJSON(t *testing.T) {
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 67, Tasks: 4, Scale: 256})
+	c := New(SmallConfig(), w.Mem)
+	tr := c.EnableTrace(0)
+	c.Submit(w.Tasks)
+	if _, err := c.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	cats := map[string]bool{}
+	var labels []string
+	for _, ev := range got.TraceEvents {
+		names[ev.Name] = true
+		cats[ev.Cat] = true
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			labels = append(labels, string(ev.Args))
+		}
+	}
+	for _, want := range []string{"active", "sleep", "deliver"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q engine events", want)
+		}
+	}
+	// Domain events from at least the cores and schedulers must be present
+	// on a task-running workload.
+	for _, want := range []string{"task", "sched"} {
+		if !cats[want] {
+			t.Fatalf("trace missing %q domain events (cats: %v)", want, cats)
+		}
+	}
+	joined := strings.Join(labels, " ")
+	if !strings.Contains(joined, "sub0") || !strings.Contains(joined, "uncore") {
+		t.Fatalf("partition labels missing: %s", joined)
+	}
+	if tr.Dropped() != 0 {
+		t.Logf("note: %d events dropped under default cap", tr.Dropped())
+	}
+}
+
+// TestSnapshotJSONRoundTrips: the unified snapshot renders as valid JSON
+// carrying the run's headline metrics and the profiler's attribution.
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	w := kernels.MustNew("rnc", kernels.Config{Seed: 71, Tasks: 8})
+	c := New(SmallConfig(), w.Mem)
+	c.EnableProfile()
+	c.Submit(w.Tasks)
+	if _, err := c.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot("unit-test", "rnc seed=71 tasks=8")
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Label != "unit-test" || back.Cycles != c.Now() || back.Cycles == 0 {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+	if back.Chip.Cores != 16 || back.Chip.Topology != "ring" {
+		t.Fatalf("chip summary wrong: %+v", back.Chip)
+	}
+	if back.Metrics.TasksDone != 8 || back.Metrics.Instructions == 0 {
+		t.Fatalf("metrics missing from snapshot: %+v", back.Metrics)
+	}
+	if len(back.Profile) != len(c.SubRings)+1 {
+		t.Fatalf("profile has %d partitions, want %d", len(back.Profile), len(c.SubRings)+1)
+	}
+	var share float64
+	for _, pp := range back.Profile {
+		share += pp.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("profile shares sum to %v", share)
+	}
+}

@@ -1,8 +1,11 @@
 package chip
 
 import (
+	"errors"
 	"fmt"
 	"io"
+
+	"smarco/internal/sim"
 )
 
 // Sample is one timeline interval: the delta of the cumulative metrics over
@@ -19,45 +22,64 @@ type Sample struct {
 }
 
 // RunWithTimeline runs like Run but records one Sample per interval cycles.
+//
+// maxCycles bounds the TOTAL cycles executed (not cycles since the last
+// sample), and each interval executes under Engine.Run, so the progress
+// watchdog, panic recovery, and the parallel executor all work exactly as
+// they do in a plain Run: a wedged workload stops with the watchdog's
+// stalled-component diagnostic instead of sampling forever. Every snapshot
+// goes through Chip.Metrics, which settles quiescence-skipped components
+// first, so a sample describes precisely the cycle range it claims.
 func (c *Chip) RunWithTimeline(maxCycles, interval uint64) ([]Sample, uint64, error) {
 	if interval == 0 {
 		interval = 1000
 	}
+	start := c.Now()
 	var samples []Sample
 	prev := c.Metrics()
 	prevCycle := c.Now()
 	done := func() bool { return c.CompletedTasks() >= c.submitted }
 
-	for c.Now()-prevCycle < maxCycles {
+	for {
 		if done() {
-			break
+			return samples, c.Now(), nil
 		}
-		target := c.Now() + interval
-		for c.Now() < target && !done() {
-			c.eng.Step()
+		elapsed := c.Now() - start
+		if elapsed >= maxCycles {
+			return samples, c.Now(), fmt.Errorf(
+				"chip: timeline: %w: budget of %d at cycle %d", sim.ErrBudget, maxCycles, c.Now())
 		}
-		cur := c.Metrics()
-		queued := c.Main.PendingLen()
-		for _, s := range c.Subs {
-			queued += s.QueueLen()
+		step := interval
+		if rem := maxCycles - elapsed; rem < step {
+			step = rem
 		}
-		samples = append(samples, Sample{
-			Start:        prevCycle,
-			End:          c.Now(),
-			Instructions: cur.Instructions - prev.Instructions,
-			IPC:          float64(cur.Instructions-prev.Instructions) / float64(c.Now()-prevCycle),
-			MemRequests:  cur.MemRequests - prev.MemRequests,
-			NoCBytes:     cur.SubRingBytes + cur.MainRingBytes - prev.SubRingBytes - prev.MainRingBytes,
-			TasksDone:    cur.TasksDone - prev.TasksDone,
-			QueuedTasks:  queued,
-		})
-		prev = cur
-		prevCycle = c.Now()
+		_, err := c.eng.Run(step, done)
+		if c.Now() > prevCycle {
+			cur := c.Metrics()
+			queued := c.Main.PendingLen()
+			for _, s := range c.Subs {
+				queued += s.QueueLen()
+			}
+			samples = append(samples, Sample{
+				Start:        prevCycle,
+				End:          c.Now(),
+				Instructions: cur.Instructions - prev.Instructions,
+				IPC:          float64(cur.Instructions-prev.Instructions) / float64(c.Now()-prevCycle),
+				MemRequests:  cur.MemRequests - prev.MemRequests,
+				NoCBytes:     cur.SubRingBytes + cur.MainRingBytes - prev.SubRingBytes - prev.MainRingBytes,
+				TasksDone:    cur.TasksDone - prev.TasksDone,
+				QueuedTasks:  queued,
+			})
+			prev = cur
+			prevCycle = c.Now()
+		}
+		// An interval ending on its per-interval budget is the normal
+		// sampling cadence; anything else (watchdog stall, component
+		// panic) aborts the timeline with that diagnostic.
+		if err != nil && !errors.Is(err, sim.ErrBudget) {
+			return samples, c.Now(), err
+		}
 	}
-	if !done() {
-		return samples, c.Now(), fmt.Errorf("chip: timeline budget exhausted at cycle %d", c.Now())
-	}
-	return samples, c.Now(), nil
 }
 
 // WriteTimelineCSV renders samples as CSV for plotting.

@@ -179,8 +179,10 @@ type Stats struct {
 	StoreStall     stats.Counter // cycles threads waited on store drain
 	PrefetchIssued stats.Counter
 	PrefetchHits   stats.Counter
-	LoadLat        stats.Histogram
-	TaskLat        stats.Histogram // release-to-completion latency
+	// LoadLat and TaskLat are bounded streaming histograms: a week-long
+	// run observes billions of latencies without growing memory.
+	LoadLat stats.StreamHist
+	TaskLat stats.StreamHist // release-to-completion latency
 }
 
 // IPC returns issued instructions per cycle.
@@ -227,11 +229,16 @@ type Core struct {
 	orphanPort *sim.Port[Work]
 	dead       bool
 	dying      *dyingState
-	handled    uint64 // packets/DMA chunks processed (progress reporting)
-	wake       func() // engine wake callback (see SetWake)
+	handled    uint64      // packets/DMA chunks processed (progress reporting)
+	wake       func()      // engine wake callback (see SetWake)
+	trace      sim.TraceFn // nil unless a trace is wired in
 
 	Stats Stats
 }
+
+// SetTracer installs a domain-event tracer; task installs and completions
+// emit "task" events.
+func (c *Core) SetTracer(fn sim.TraceFn) { c.trace = fn }
 
 // New builds a core. inject/eject are the ports from attaching the core to
 // its sub-ring; mcFor maps a DRAM address to its memory controller node.
@@ -438,6 +445,9 @@ func (c *Core) acceptWork(now uint64) {
 		c.freeSlot = c.freeSlot[1:]
 		th := c.threads[slot]
 		*th = thread{slot: slot, state: TReady, work: w, assigned: now}
+		if c.trace != nil {
+			c.trace("task", fmt.Sprintf("start task=%d core=%d", w.TaskID, c.ID), now)
+		}
 		for i, v := range w.Args {
 			th.regs.Set(uint8(10+i), v)
 		}
@@ -554,6 +564,9 @@ func (c *Core) reapHalted(now uint64) {
 		c.sendSeq++
 		c.donePort.Send(c.key, c.sendSeq, comp)
 		c.Stats.TaskLat.Observe(now - th.assigned)
+		if c.trace != nil {
+			c.trace("task", fmt.Sprintf("done task=%d core=%d", th.work.TaskID, c.ID), now)
+		}
 		th.state = TIdle
 		th.undo = nil // the task is committed; its writes are permanent
 		c.freeSlot = append(c.freeSlot, th.slot)

@@ -52,7 +52,7 @@ type Stats struct {
 	BytesBus  stats.Counter // data bytes moved
 	RowHits   stats.Counter
 	RowMisses stats.Counter
-	QueueLat  stats.Histogram // cycles from arrival to service start
+	QueueLat  stats.StreamHist // cycles from arrival to service start (bounded memory)
 }
 
 type bank struct {
@@ -126,7 +126,12 @@ type Controller struct {
 	order  uint64
 
 	Stats Stats
+	trace sim.TraceFn // nil unless a trace is wired in
 }
+
+// SetTracer installs a domain-event tracer; served MACT batches emit
+// "dram" events.
+func (c *Controller) SetTracer(fn sim.TraceFn) { c.trace = fn }
 
 // SetFaultInjector installs the DRAM bit-flip / RAS injector.
 func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
@@ -369,6 +374,9 @@ func (c *Controller) complete(now uint64, q queued) {
 		}
 	case noc.BatchReq:
 		c.Stats.Batches.Inc()
+		if c.trace != nil {
+			c.trace("dram", fmt.Sprintf("batch line=%#x mc=%d", pl.LineAddr, c.Node.MCIndex()), now)
+		}
 		r := noc.BatchResp{ID: pl.ID, LineAddr: pl.LineAddr, Bitmap: pl.Bitmap, Write: pl.Write}
 		if pl.Write {
 			c.Stats.Writes.Inc()

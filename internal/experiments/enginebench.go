@@ -53,31 +53,44 @@ const EngineBenchWorkload = "kmp seed=1 tasks=2*cores scale=512 budget=50M"
 // participates) on the named configuration and times the simulation loop.
 // The simulated cycle count is deterministic; only wall time varies.
 func MeasureEngine(config string, parallel bool) (EngineRun, error) {
+	run, _, err := MeasureEngineSnapshot(config, parallel)
+	return run, err
+}
+
+// MeasureEngineSnapshot is MeasureEngine plus the run's unified JSON
+// metrics snapshot (see chip.Snapshot). It deliberately does NOT enable
+// the engine's wall-time profiler: CyclesPerSec is the headline
+// throughput number tracked in BENCH_engine.json, and profiling taxes
+// the hot loop with two clock reads per partition per phase. Attribution
+// profiles come from runs that opt in (smarcosim -profile).
+func MeasureEngineSnapshot(config string, parallel bool) (EngineRun, chip.Snapshot, error) {
 	cfg, err := EngineChipConfig(config)
 	if err != nil {
-		return EngineRun{}, err
+		return EngineRun{}, chip.Snapshot{}, err
 	}
 	cfg.Parallel = parallel
 	w := kernels.MustNew("kmp", kernels.Config{Seed: 1, Tasks: 2 * cfg.Cores(), Scale: 512})
 	c, err := chip.Build(cfg, w.Mem)
 	if err != nil {
-		return EngineRun{}, err
+		return EngineRun{}, chip.Snapshot{}, err
 	}
 	c.Submit(w.Tasks)
 	start := time.Now()
 	cycles, err := c.Run(EngineBenchBudget)
 	wall := time.Since(start).Seconds()
 	if err != nil {
-		return EngineRun{}, err
+		return EngineRun{}, chip.Snapshot{}, err
 	}
 	if err := w.Check(); err != nil {
-		return EngineRun{}, fmt.Errorf("engine bench %s: %w", config, err)
+		return EngineRun{}, chip.Snapshot{}, fmt.Errorf("engine bench %s: %w", config, err)
 	}
-	return EngineRun{
+	run := EngineRun{
 		Config:       config,
 		Parallel:     parallel,
 		Cycles:       cycles,
 		WallSeconds:  wall,
 		CyclesPerSec: float64(cycles) / wall,
-	}, nil
+	}
+	label := fmt.Sprintf("engine %s parallel=%v", config, parallel)
+	return run, c.Snapshot(label, EngineBenchWorkload), nil
 }

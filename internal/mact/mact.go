@@ -12,7 +12,10 @@
 package mact
 
 import (
+	"fmt"
+
 	"smarco/internal/noc"
+	"smarco/internal/sim"
 	"smarco/internal/stats"
 )
 
@@ -44,6 +47,11 @@ type Stats struct {
 	Scattered      stats.Counter // individual responses produced
 	OccupancySum   stats.Counter // sum of live lines per Tick (for mean occupancy)
 	OccupancyTicks stats.Counter
+	// BatchFill and LineAge are bounded streaming histograms: accesses
+	// merged into each flushed batch (collection efficiency) and cycles a
+	// line lived before flushing (latency cost of batching).
+	BatchFill stats.StreamHist
+	LineAge   stats.StreamHist
 }
 
 type pend struct {
@@ -74,7 +82,11 @@ type Table struct {
 	seq      uint64
 	inflight map[batchKey][]pend // emitted batches awaiting responses
 	Stats    Stats
+	trace    sim.TraceFn // nil unless a trace is wired in
 }
+
+// SetTracer installs a domain-event tracer; flushes emit "mact" events.
+func (t *Table) SetTracer(fn sim.TraceFn) { t.trace = fn }
 
 // New builds a table hosted at node.
 func New(node noc.NodeID, cfg Config) *Table {
@@ -282,6 +294,11 @@ func (t *Table) allocOrFind(lineAddr uint64, write bool, now uint64, mcFor func(
 func (t *Table) flush(l *line, now uint64, mcFor func(addr uint64) noc.NodeID) *noc.Packet {
 	t.seq++
 	t.Stats.Batches.Inc()
+	t.Stats.BatchFill.Observe(uint64(len(l.pend)))
+	t.Stats.LineAge.Observe(now - l.created)
+	if t.trace != nil {
+		t.trace("mact", fmt.Sprintf("flush line=%#x n=%d", l.lineAddr, len(l.pend)), now)
+	}
 	req := noc.BatchReq{
 		ID:       t.seq,
 		LineAddr: l.lineAddr,

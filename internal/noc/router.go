@@ -91,7 +91,12 @@ type Router struct {
 
 	seq   uint64
 	Stats RouterStats
+	trace sim.TraceFn // nil unless a trace is wired in
 }
+
+// SetTracer installs a domain-event tracer; backpressure stalls emit "noc"
+// events (a router deferring a transmission on a full downstream buffer).
+func (r *Router) SetTracer(fn sim.TraceFn) { r.trace = fn }
 
 func newRouter(ring *Ring, pos int, key uint64) *Router {
 	depth := ring.cfg.BufferDepth
@@ -162,6 +167,9 @@ func (r *Router) finishInflight(now uint64) {
 				r.pending[dir] = nil
 			} else {
 				r.Stats.StallFull.Inc()
+				if r.trace != nil {
+					r.trace("noc", "stall "+r.String(), now)
+				}
 			}
 		}
 	}

@@ -78,10 +78,10 @@ func (r Result) Missed() bool { return r.Deadline != 0 && r.Done > r.Deadline }
 type Stats struct {
 	Dispatched stats.Counter
 	Completed  stats.Counter
-	Misses     stats.Counter // deadline misses
-	Migrated   stats.Counter // tasks re-queued from failed cores
-	Foreign    stats.Counter // completions from cores outside this sub-ring
-	QueueWait  stats.Histogram
+	Misses     stats.Counter    // deadline misses
+	Migrated   stats.Counter    // tasks re-queued from failed cores
+	Foreign    stats.Counter    // completions from cores outside this sub-ring
+	QueueWait  stats.StreamHist // bounded memory for long runs
 }
 
 // SubScheduler dispatches tasks to the cores of one sub-ring.
@@ -108,7 +108,11 @@ type SubScheduler struct {
 	deadlines map[int]uint64 // task ID -> deadline, for result records
 	Results   []Result
 	Stats     Stats
+	trace     sim.TraceFn // nil unless a trace is wired in
 }
+
+// SetTracer installs a domain-event tracer; dispatches emit "sched" events.
+func (s *SubScheduler) SetTracer(fn sim.TraceFn) { s.trace = fn }
 
 type entry struct {
 	work    cpu.Work
@@ -351,6 +355,9 @@ func (s *SubScheduler) dispatchOne(now uint64) bool {
 	s.freeCtx[core]--
 	s.Stats.Dispatched.Inc()
 	s.Stats.QueueWait.Observe(now - e.queued)
+	if s.trace != nil {
+		s.trace("sched", fmt.Sprintf("dispatch task=%d ring=%d", e.work.TaskID, s.Ring), now)
+	}
 	s.seq++
 	s.cores[core].WorkPort().Send(s.key, s.seq, e.work)
 	return true

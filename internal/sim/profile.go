@@ -1,0 +1,123 @@
+// Per-partition wall-time attribution for the engine's executors. A
+// Profile accumulates, for every partition, the host wall time spent in
+// each of the three cycle phases (tick, port commit, component commit),
+// under both the serial and the parallel executor. Comparing partition
+// totals exposes load imbalance — the single most important input when
+// repartitioning a chip for the PDES executor.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PartitionProfile is one partition's attribution, exported for JSON
+// snapshots.
+type PartitionProfile struct {
+	Partition     int     `json:"partition"`
+	Label         string  `json:"label"`
+	Components    int     `json:"components"`
+	TickSeconds   float64 `json:"tick_seconds"`
+	PortSeconds   float64 `json:"port_seconds"`
+	CommitSeconds float64 `json:"commit_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	Share         float64 `json:"share"` // of the summed partition time
+}
+
+// Profile accumulates per-partition phase timings. Install with
+// Engine.SetProfile before running; read with Partitions or String after.
+// Each partition's slot is written only by the goroutine executing that
+// partition, so the parallel executor profiles without locks.
+type Profile struct {
+	labels []string
+	comps  []int
+	acc    [][3]time.Duration
+	steps  uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// SetProfile installs (or, with nil, removes) a wall-time profiler.
+func (e *Engine) SetProfile(p *Profile) {
+	e.prof = p
+	if p == nil {
+		return
+	}
+	p.acc = make([][3]time.Duration, len(e.parts))
+	p.labels = make([]string, len(e.parts))
+	p.comps = make([]int, len(e.parts))
+	for pi, part := range e.parts {
+		p.labels[pi] = fmt.Sprintf("partition %d", pi)
+		p.comps[pi] = len(part.comps)
+	}
+}
+
+// LabelPartition names a partition in reports (e.g. "sub3", "uncore").
+// Call after Engine.SetProfile.
+func (p *Profile) LabelPartition(pi int, label string) {
+	if pi >= 0 && pi < len(p.labels) {
+		p.labels[pi] = label
+	}
+}
+
+// add accumulates one phase execution.
+func (p *Profile) add(pi, ph int, d time.Duration) { p.acc[pi][ph] += d }
+
+// Steps returns the number of engine cycles executed while profiling.
+func (p *Profile) Steps() uint64 { return p.steps }
+
+// Partitions returns the per-partition attribution, with Share computed
+// over the summed partition time.
+func (p *Profile) Partitions() []PartitionProfile {
+	var total time.Duration
+	for _, a := range p.acc {
+		total += a[0] + a[1] + a[2]
+	}
+	out := make([]PartitionProfile, len(p.acc))
+	for pi, a := range p.acc {
+		t := a[0] + a[1] + a[2]
+		pp := PartitionProfile{
+			Partition:     pi,
+			Label:         p.labels[pi],
+			Components:    p.comps[pi],
+			TickSeconds:   a[0].Seconds(),
+			PortSeconds:   a[1].Seconds(),
+			CommitSeconds: a[2].Seconds(),
+			TotalSeconds:  t.Seconds(),
+		}
+		if total > 0 {
+			pp.Share = float64(t) / float64(total)
+		}
+		out[pi] = pp
+	}
+	return out
+}
+
+// String renders the attribution as an aligned text report, ending with the
+// load-imbalance factor (slowest partition over the mean — 1.0 is a
+// perfectly balanced chip).
+func (p *Profile) String() string {
+	parts := p.Partitions()
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine wall-time attribution (%d cycles)\n", p.steps)
+	fmt.Fprintf(&b, "%-14s %5s %10s %10s %10s %10s %6s\n",
+		"partition", "comps", "tick ms", "port ms", "commit ms", "total ms", "share")
+	var max, sum float64
+	for _, pp := range parts {
+		fmt.Fprintf(&b, "%-14s %5d %10.2f %10.2f %10.2f %10.2f %5.1f%%\n",
+			pp.Label, pp.Components,
+			pp.TickSeconds*1e3, pp.PortSeconds*1e3, pp.CommitSeconds*1e3,
+			pp.TotalSeconds*1e3, pp.Share*100)
+		sum += pp.TotalSeconds
+		if pp.TotalSeconds > max {
+			max = pp.TotalSeconds
+		}
+	}
+	if len(parts) > 0 && sum > 0 {
+		mean := sum / float64(len(parts))
+		fmt.Fprintf(&b, "load imbalance: %.2fx (max/mean partition time)\n", max/mean)
+	}
+	return b.String()
+}

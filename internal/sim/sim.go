@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -34,7 +35,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrBudget is wrapped by Run's error when the cycle budget ran out before
+// the done condition held; test with errors.Is.
+var ErrBudget = errors.New("cycle budget exhausted")
+
+// ErrStalled is wrapped by Run's error when the progress watchdog detected
+// a wedged simulation; test with errors.Is.
+var ErrStalled = errors.New("no progress (wedged)")
 
 // Ticker is implemented by every simulated component.
 //
@@ -153,6 +163,12 @@ type partition struct {
 	spareDirty []committer // double buffer reused by portPhase
 	asleep     int         // number of comps with asleep set
 	cur        Ticker      // component under execution, for panic diagnostics
+
+	// Observability (nil / zero when disabled). tr mirrors Engine.trace so
+	// the phase methods need no engine pointer; pi is this partition's
+	// index, used to address the trace's per-partition buffers.
+	pi int
+	tr *Trace
 }
 
 // markDirty enqueues a port for commit at this partition's next port phase.
@@ -189,7 +205,16 @@ type Engine struct {
 	doneCh    chan struct{}
 	pending   atomic.Int32
 	workersOn bool
+
+	// Observability hooks; both nil unless installed (SetTrace/SetProfile).
+	trace *Trace
+	prof  *Profile
 }
+
+// TraceFn records a component-domain trace event (category, name, cycle).
+// Components hold one as a nil-checked field so emitting costs nothing
+// until a trace is wired in; see Trace.Emit.
+type TraceFn func(cat, name string, cycle uint64)
 
 type compRef struct {
 	part int
@@ -291,9 +316,18 @@ func (e *Engine) AddPortFor(owner Ticker, ports ...interface{ Commit(now uint64)
 	}
 	part := e.parts[ref.part]
 	cs := part.comps[ref.idx]
+	pi, ci := ref.part, ref.idx
 	for _, p := range ports {
 		if dn, ok := p.(deliverNotifier); ok {
-			dn.SetOnDeliver(func() { cs.woken.Store(true) })
+			// The callback fires from Port.Commit during the owner
+			// partition's port phase, so the trace write below lands in
+			// that partition's buffer without synchronization.
+			dn.SetOnDeliver(func() {
+				cs.woken.Store(true)
+				if t := e.trace; t != nil {
+					t.deliver(pi, ci, e.now)
+				}
+			})
 		}
 		registerPort(part, p)
 	}
@@ -319,6 +353,10 @@ func (e *Engine) Step() {
 	}
 	switch {
 	case !e.parallel || len(e.parts) <= 1:
+		if e.prof != nil {
+			e.stepSerialProfiled()
+			break
+		}
 		for _, p := range e.parts {
 			p.tickPhase(e.now)
 		}
@@ -333,7 +371,31 @@ func (e *Engine) Step() {
 	default:
 		e.stepInline()
 	}
+	if e.prof != nil {
+		e.prof.steps++
+	}
 	e.now++
+}
+
+// stepSerialProfiled is the serial executor with per-partition, per-phase
+// wall-time attribution. Kept apart from the unprofiled loop so profiling
+// costs nothing when disabled.
+func (e *Engine) stepSerialProfiled() {
+	for pi, p := range e.parts {
+		t0 := time.Now()
+		p.tickPhase(e.now)
+		e.prof.add(pi, 0, time.Since(t0))
+	}
+	for pi, p := range e.parts {
+		t0 := time.Now()
+		p.portPhase(e.now)
+		e.prof.add(pi, 1, time.Since(t0))
+	}
+	for pi, p := range e.parts {
+		t0 := time.Now()
+		p.commitPhase(e.now)
+		e.prof.add(pi, 2, time.Since(t0))
+	}
 }
 
 // tickPhase wakes due and delivered-to components, then ticks the active
@@ -349,6 +411,9 @@ func (p *partition) tickPhase(now uint64) {
 			p.asleep--
 			p.active = append(p.active, idx)
 			woke = true
+			if p.tr != nil {
+				p.tr.wake(p.pi, idx, now, true)
+			}
 		}
 	}
 	if p.asleep > 0 {
@@ -359,6 +424,9 @@ func (p *partition) tickPhase(now uint64) {
 				p.asleep--
 				p.active = append(p.active, int32(i))
 				woke = true
+				if p.tr != nil {
+					p.tr.wake(p.pi, int32(i), now, false)
+				}
 			}
 		}
 	}
@@ -414,6 +482,9 @@ func (p *partition) commitPhase(now uint64) {
 				if wakeAt != WakeNever {
 					p.timers.push(timerEntry{at: wakeAt, idx: idx})
 				}
+				if p.tr != nil {
+					p.tr.sleep(p.pi, idx, now+1)
+				}
 				continue
 			}
 		}
@@ -456,6 +527,10 @@ func (e *Engine) runPhase(pi, ph int) {
 			e.errMu.Unlock()
 		}
 	}()
+	var t0 time.Time
+	if e.prof != nil {
+		t0 = time.Now()
+	}
 	switch ph {
 	case 0:
 		p.tickPhase(e.now)
@@ -463,6 +538,9 @@ func (e *Engine) runPhase(pi, ph int) {
 		p.portPhase(e.now)
 	case 2:
 		p.commitPhase(e.now)
+	}
+	if e.prof != nil {
+		e.prof.add(pi, ph, time.Since(t0))
 	}
 }
 
@@ -618,8 +696,11 @@ func (e *Engine) checkWatchdog() error {
 	if e.stuck < 2 {
 		return nil
 	}
-	return fmt.Errorf("sim: watchdog: no progress for %d cycles at cycle %d; stalled: %s",
-		2*e.watchEvery, e.now, report)
+	// Settle so any metrics read off the wedged simulation (health dumps,
+	// post-mortem snapshots) describe the cycle the diagnostic names.
+	e.Settle()
+	return fmt.Errorf("sim: watchdog: %w for %d cycles at cycle %d; stalled: %s",
+		ErrStalled, 2*e.watchEvery, e.now, report)
 }
 
 // Run advances until done returns true or the cycle budget is exhausted. It
@@ -649,7 +730,7 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	if done != nil && done() {
 		return e.now, nil
 	}
-	return e.now, fmt.Errorf("sim: cycle budget of %d exhausted at cycle %d", maxCycles, e.now)
+	return e.now, fmt.Errorf("sim: %w: budget of %d at cycle %d", ErrBudget, maxCycles, e.now)
 }
 
 // timerEntry schedules the wake-up of comps[idx] at cycle at.

@@ -35,18 +35,32 @@ func Ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
-// Histogram accumulates integer samples (typically latencies in cycles).
+// Histogram accumulates integer samples (typically latencies in cycles) and
+// preserves their insertion order: Samples() always returns the values in
+// the order they were observed, regardless of any quantile queries in
+// between. For histograms that must survive week-long runs, use StreamHist,
+// which holds bounded memory.
 type Histogram struct {
 	samples []uint64
 	sum     uint64
-	sorted  bool
+	min     uint64
+	max     uint64
+	// sorted caches an ascending copy of samples for quantile queries so
+	// Percentile never reorders the insertion-ordered samples slice.
+	sorted []uint64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
+	if len(h.samples) == 0 || v < h.min {
+		h.min = v
+	}
+	if len(h.samples) == 0 || v > h.max {
+		h.max = v
+	}
 	h.samples = append(h.samples, v)
 	h.sum += v
-	h.sorted = false
+	h.sorted = nil
 }
 
 // Count returns the number of samples.
@@ -63,38 +77,30 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(len(h.samples))
 }
 
-// Min returns the smallest sample, or 0 with no samples.
-func (h *Histogram) Min() uint64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	return h.samples[0]
-}
+// Min returns the smallest sample, or 0 with no samples. O(1): tracked at
+// Observe time.
+func (h *Histogram) Min() uint64 { return h.min }
 
-// Max returns the largest sample, or 0 with no samples.
-func (h *Histogram) Max() uint64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sort()
-	return h.samples[len(h.samples)-1]
-}
+// Max returns the largest sample, or 0 with no samples. O(1): tracked at
+// Observe time.
+func (h *Histogram) Max() uint64 { return h.max }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+// It quantiles over a sorted copy, so the insertion order reported by
+// Samples is never disturbed.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
 	h.sort()
-	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(h.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(h.samples) {
-		rank = len(h.samples) - 1
+	if rank >= len(h.sorted) {
+		rank = len(h.sorted) - 1
 	}
-	return h.samples[rank]
+	return h.sorted[rank]
 }
 
 // Stddev returns the population standard deviation of the samples.
@@ -120,9 +126,10 @@ func (h *Histogram) Samples() []uint64 {
 }
 
 func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+	if h.sorted == nil {
+		h.sorted = make([]uint64, len(h.samples))
+		copy(h.sorted, h.samples)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
 	}
 }
 
@@ -156,15 +163,23 @@ func (t *Table) AddRow(cells ...any) {
 // Rows returns the formatted rows.
 func (t *Table) Rows() [][]string { return t.rows }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows longer than the
+// header grow extra (unnamed) columns; shorter rows are padded with empty
+// cells, so a mismatched AddRow renders instead of panicking.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Columns))
+	ncols := len(t.Columns)
+	for _, row := range t.rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -105,6 +105,46 @@ func TestHistogramSamplesCopy(t *testing.T) {
 	}
 }
 
+func TestHistogramSamplesPreserveInsertionOrder(t *testing.T) {
+	// Percentile used to sort the samples slice in place, so any quantile
+	// query silently destroyed the insertion order Samples() promises.
+	var h Histogram
+	in := []uint64{5, 1, 9, 3, 7}
+	for _, v := range in {
+		h.Observe(v)
+	}
+	if p := h.Percentile(50); p != 5 {
+		t.Fatalf("p50 = %d, want 5", p)
+	}
+	_ = h.Min()
+	_ = h.Max()
+	got := h.Samples()
+	for i, v := range in {
+		if got[i] != v {
+			t.Fatalf("quantile query reordered samples: got %v, want %v", got, in)
+		}
+	}
+	// Observing after a quantile query must invalidate the sorted cache.
+	h.Observe(0)
+	if p := h.Percentile(0); p != 0 {
+		t.Fatalf("p0 after late observe = %d, want 0", p)
+	}
+}
+
+func TestTableOverlongRowDoesNotPanic(t *testing.T) {
+	// A row with more cells than the header used to index past the widths
+	// slice and panic; it must render with extra unnamed columns instead.
+	tab := NewTable("T", "a", "b")
+	tab.AddRow("x", 1, "extra", "more")
+	tab.AddRow("y")
+	out := tab.String()
+	for _, want := range []string{"extra", "more", "x", "y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tab := NewTable("Title", "name", "value")
 	tab.AddRow("a", 1)

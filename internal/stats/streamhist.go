@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// subBits sets the resolution of StreamHist's log-linear buckets: each
+// power-of-two range is split into 2^subBits linear sub-buckets, bounding
+// the relative quantile error at 2^-subBits (6.25%). Values below
+// 2^(subBits+1) are recorded exactly.
+const subBits = 4
+
+// maxBucket is the highest index bucketIndex can produce (v = 2^64-1).
+const maxBucket = (64-1-subBits)<<subBits + (1 << (subBits + 1)) - 1
+
+// StreamHist is a bounded-memory streaming histogram: samples are counted
+// into log-linear buckets (HDR-style), so a week-long run observing
+// billions of latencies holds at most ~1000 counters instead of one slice
+// entry per sample. Min, Max, Count, Sum, and Mean are exact and O(1);
+// Percentile is approximate with relative error <= 1/16 (values < 32 are
+// exact). The zero value is ready to use.
+type StreamHist struct {
+	count   uint64
+	sum     uint64
+	sumSq   float64
+	min     uint64
+	max     uint64
+	buckets []uint64 // grown lazily to the highest observed bucket
+}
+
+// bucketIndex maps a value to its bucket. Values below 2^(subBits+1) map to
+// themselves; larger values map to exp<<subBits + (v>>exp) where exp =
+// bits.Len64(v)-1-subBits, which is monotone and continuous across the
+// power-of-two boundaries.
+func bucketIndex(v uint64) int {
+	if v < 1<<(subBits+1) {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v) - 1 - subBits)
+	return int(uint64(exp)<<subBits + v>>exp)
+}
+
+// bucketUpper returns the largest value that maps to bucket i (the
+// inclusive upper edge), used as the representative for quantile queries so
+// approximate percentiles never under-report.
+func bucketUpper(i int) uint64 {
+	if i < 1<<(subBits+1) {
+		return uint64(i)
+	}
+	// index = exp<<subBits + v>>exp with v>>exp in [16,32), so the high
+	// bits of the index carry exp+1.
+	exp := uint(i>>subBits) - 1
+	m := uint64(i) - uint64(exp)<<subBits // in [1<<subBits, 1<<(subBits+1))
+	return (m+1)<<exp - 1
+}
+
+// Observe records one sample in O(1).
+func (h *StreamHist) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.sumSq += float64(v) * float64(v)
+	i := bucketIndex(v)
+	if i >= len(h.buckets) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of samples.
+func (h *StreamHist) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *StreamHist) Sum() uint64 { return h.sum }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *StreamHist) Min() uint64 { return h.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *StreamHist) Max() uint64 { return h.max }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *StreamHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *StreamHist) Stddev() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	v := h.sumSq/float64(h.count) - mean*mean
+	if v < 0 { // float rounding
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest rank
+// over the buckets. The result is the upper edge of the rank's bucket,
+// clamped to the exact observed Min/Max, so the relative error is bounded
+// by the bucket resolution (1/16).
+func (h *StreamHist) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h, as if every sample observed by other had been
+// observed by h. Used to aggregate per-component histograms into chip-wide
+// metrics without copying sample slices.
+func (h *StreamHist) Merge(other *StreamHist) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	if len(other.buckets) > len(h.buckets) {
+		grown := make([]uint64, len(other.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+}
+
+// Buckets returns the non-empty buckets as (upper-edge, count) pairs, for
+// export or plotting.
+func (h *StreamHist) Buckets() (edges []uint64, counts []uint64) {
+	for i, n := range h.buckets {
+		if n > 0 {
+			edges = append(edges, bucketUpper(i))
+			counts = append(counts, n)
+		}
+	}
+	return edges, counts
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamHistExactBelowLinearRange(t *testing.T) {
+	var h StreamHist
+	for _, v := range []uint64{5, 1, 9, 3, 31, 0} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 49 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	// Values below 2^(subBits+1)=32 land in exact buckets, so percentiles
+	// are exact, matching the sample-keeping Histogram's nearest rank.
+	if p := h.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %d, want 3", p)
+	}
+	if p := h.Percentile(100); p != 31 {
+		t.Fatalf("p100 = %d, want 31", p)
+	}
+	if p := h.Percentile(0); p != 0 {
+		t.Fatalf("p0 = %d, want 0", p)
+	}
+}
+
+func TestStreamHistEmpty(t *testing.T) {
+	var h StreamHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Percentile(99) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty StreamHist should report zeros")
+	}
+}
+
+func TestStreamHistStddev(t *testing.T) {
+	var h StreamHist
+	for _, v := range []uint64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if math.Abs(h.Stddev()-2.0) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", h.Stddev())
+	}
+}
+
+func TestStreamHistBucketRoundTrip(t *testing.T) {
+	// bucketUpper(i) must be the largest value mapping to bucket i, and the
+	// mapping must be monotone across every power-of-two boundary.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64} {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		if v > up {
+			t.Fatalf("v=%d maps to bucket %d with upper edge %d < v", v, i, up)
+		}
+		if bucketIndex(up) != i {
+			t.Fatalf("upper edge %d of bucket %d maps to bucket %d", up, i, bucketIndex(up))
+		}
+		if up < math.MaxUint64 && bucketIndex(up+1) != i+1 {
+			t.Fatalf("value %d just past bucket %d maps to %d, want %d", up+1, i, bucketIndex(up+1), i+1)
+		}
+	}
+	if i := bucketIndex(math.MaxUint64); i != maxBucket {
+		t.Fatalf("maxBucket = %d but bucketIndex(MaxUint64) = %d", maxBucket, i)
+	}
+}
+
+func TestStreamHistPercentileErrorBound(t *testing.T) {
+	if err := quick.Check(func(vals []uint32, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h StreamHist
+		var exact Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			exact.Observe(uint64(v))
+		}
+		pct := float64(p % 101)
+		got := h.Percentile(pct)
+		want := exact.Percentile(pct)
+		if got < h.Min() || got > h.Max() {
+			return false
+		}
+		// The approximate percentile is the bucket upper edge, so it never
+		// under-reports and overshoots by at most the bucket width (1/16
+		// relative), before clamping to Max.
+		return got >= want && float64(got) <= float64(want)*(1+1.0/16)+1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamHistMerge(t *testing.T) {
+	var a, b, whole StreamHist
+	for v := uint64(0); v < 500; v++ {
+		whole.Observe(v * 7)
+		if v%2 == 0 {
+			a.Observe(v * 7)
+		} else {
+			b.Observe(v * 7)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merge lost aggregates: %+v vs %+v", a, whole)
+	}
+	for _, p := range []float64{10, 50, 90, 99, 100} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%.0f: merged %d, whole %d", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+	if math.Abs(a.Stddev()-whole.Stddev()) > 1e-6 {
+		t.Fatalf("stddev diverged: %v vs %v", a.Stddev(), whole.Stddev())
+	}
+	// Merging an empty histogram is a no-op.
+	var empty StreamHist
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestStreamHistBucketsBounded(t *testing.T) {
+	var h StreamHist
+	for v := uint64(1); v != 0 && v < 1<<62; v <<= 1 {
+		h.Observe(v)
+		h.Observe(v + v/3)
+	}
+	if len(h.buckets) > maxBucket+1 {
+		t.Fatalf("bucket slice grew to %d, cap %d", len(h.buckets), maxBucket+1)
+	}
+	edges, counts := h.Buckets()
+	if len(edges) != len(counts) || len(edges) == 0 {
+		t.Fatalf("Buckets() = %d edges, %d counts", len(edges), len(counts))
+	}
+	var n uint64
+	for i, c := range counts {
+		n += c
+		if i > 0 && edges[i] <= edges[i-1] {
+			t.Fatal("bucket edges not increasing")
+		}
+	}
+	if n != h.Count() {
+		t.Fatalf("bucket counts total %d, want %d", n, h.Count())
+	}
+}
