@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 
@@ -57,6 +58,9 @@ func main() {
 	profile := flag.Bool("profile", false, "print the engine's per-partition wall-time attribution")
 	jsonOut := flag.String("json", "", "write the unified JSON metrics snapshot to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go pprof CPU profile of the simulator to this file")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a checkpoint every N cycles (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", ".", "directory for periodic checkpoints")
+	restore := flag.String("restore", "", "resume from this checkpoint file (same config and workload flags required)")
 	flag.Parse()
 
 	cfg := chip.SmallConfig()
@@ -126,7 +130,19 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	c.Submit(w.Tasks)
+	// Restore after Submit: submission rebuilds the code-segment table the
+	// checkpoint's program references resolve against.
+	if *restore != "" {
+		if err := c.RestoreFile(*restore); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored %s: resuming at cycle %d (%d/%d tasks done)\n",
+			*restore, c.Now(), c.CompletedTasks(), len(w.Tasks))
+	}
 	var cycles uint64
+	if *ckptEvery > 0 && *timeline != "" {
+		log.Fatal("-checkpoint-every cannot be combined with -timeline")
+	}
 	if *timeline != "" {
 		samples, end, err := c.RunWithTimeline(*budget, *interval)
 		if err != nil {
@@ -144,6 +160,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("timeline: %d samples -> %s\n", len(samples), *timeline)
+	} else if *ckptEvery > 0 {
+		// Run in checkpoint-sized slices, snapshotting at each boundary.
+		done := func() bool { return c.CompletedTasks() >= len(w.Tasks) }
+		for !done() {
+			if c.Now() >= *budget {
+				log.Fatalf("cycle budget exhausted (completed %d/%d tasks)", c.CompletedTasks(), len(w.Tasks))
+			}
+			next := c.Now() + *ckptEvery
+			if _, err := c.RunUntil(*ckptEvery+1, func() bool { return done() || c.Now() >= next }); err != nil {
+				log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+			}
+			if done() {
+				break
+			}
+			path := filepath.Join(*ckptDir, fmt.Sprintf("ckpt-%010d.snap", c.Now()))
+			if err := c.WriteCheckpoint(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint at cycle %d -> %s\n", c.Now(), path)
+		}
+		cycles = c.Now()
 	} else {
 		cy, err := c.Run(*budget)
 		if err != nil {

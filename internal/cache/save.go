@@ -1,0 +1,52 @@
+package cache
+
+import "smarco/internal/snapshot"
+
+// SaveState implements sim.Saver: the tag array (valid/dirty/tag/LRU
+// timestamp per way), the LRU tick, and the counters. Geometry is
+// configuration and is rebuilt by construction.
+func (c *Cache) SaveState(e *snapshot.Encoder) {
+	e.U64(c.tick)
+	e.U32(uint32(len(c.sets)))
+	for _, set := range c.sets {
+		e.U32(uint32(len(set)))
+		for _, w := range set {
+			e.Bool(w.valid)
+			e.Bool(w.dirty)
+			e.U64(w.tag)
+			e.U64(w.used)
+		}
+	}
+	c.Stats.Accesses.Save(e)
+	c.Stats.Misses.Save(e)
+	c.Stats.Evictions.Save(e)
+	c.Stats.Writeback.Save(e)
+}
+
+// RestoreState implements sim.Restorer.
+func (c *Cache) RestoreState(d *snapshot.Decoder) {
+	c.tick = d.U64()
+	nSets := int(d.U32())
+	if nSets != len(c.sets) {
+		d.Fail("cache: snapshot has %d sets, cache has %d", nSets, len(c.sets))
+		return
+	}
+	for si := range c.sets {
+		nWays := int(d.U32())
+		if nWays != len(c.sets[si]) {
+			d.Fail("cache: snapshot has %d ways, cache has %d", nWays, len(c.sets[si]))
+			return
+		}
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			w.valid = d.Bool()
+			w.dirty = d.Bool()
+			w.tag = d.U64()
+			w.used = d.U64()
+		}
+	}
+	c.Stats.Accesses.Restore(d)
+	c.Stats.Misses.Restore(d)
+	c.Stats.Evictions.Restore(d)
+	c.Stats.Writeback.Restore(d)
+}

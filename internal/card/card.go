@@ -73,19 +73,14 @@ func MustNew(cfg Config, store *mem.Sparse) *Card {
 // Chips exposes the card's processors for metric inspection.
 func (c *Card) Chips() []*chip.Chip { return c.chips }
 
-// Run submits the tasks over PCIe (round-robin across processors, paced by
-// the link) and runs the card until every task completes. It returns the
-// cycle count at completion, measured on the card clock and including the
-// PCIe submission latency.
-func (c *Card) Run(tasks []kernels.Task, maxCycles uint64) (uint64, error) {
-	// Partition tasks across processors.
+// Submit partitions the tasks round-robin across processors and models the
+// PCIe link: the initial latency plus the TasksPerKCycle command-rate cap
+// become release cycles on the tasks themselves.
+func (c *Card) Submit(tasks []kernels.Task) {
 	parts := make([][]kernels.Task, len(c.chips))
 	for i, t := range tasks {
 		parts[i%len(c.chips)] = append(parts[i%len(c.chips)], t)
 	}
-	// Pace submissions: the link delivers TasksPerKCycle tasks per 1000
-	// cycles after the initial latency. Submission is modelled by release
-	// cycles on the tasks themselves.
 	for p := range parts {
 		for i := range parts[p] {
 			delay := c.cfg.PCIe.LatencyCycles +
@@ -96,6 +91,14 @@ func (c *Card) Run(tasks []kernels.Task, maxCycles uint64) (uint64, error) {
 		}
 		c.chips[p].Submit(parts[p])
 	}
+}
+
+// Run submits the tasks over PCIe (round-robin across processors, paced by
+// the link) and runs the card until every task completes. It returns the
+// cycle count at completion, measured on the card clock and including the
+// PCIe submission latency.
+func (c *Card) Run(tasks []kernels.Task, maxCycles uint64) (uint64, error) {
+	c.Submit(tasks)
 	// Each processor simulates independently from cycle 0; the card
 	// completes when the slowest one does.
 	var worst uint64

@@ -80,3 +80,59 @@ func TestPCIePacingDelaysSubmission(t *testing.T) {
 		t.Fatalf("cycles = %d, pacing not applied", cycles)
 	}
 }
+
+// TestCardCheckpointRoundTrip: a dual-processor card checkpointed mid-run
+// and restored into a fresh card must report the identical completion cycle
+// and verified output as the uninterrupted run.
+func TestCardCheckpointRoundTrip(t *testing.T) {
+	cfg := smallCardConfig(2)
+	mk := func() *kernels.Workload {
+		return kernels.MustNew("rnc", kernels.Config{Seed: 3, Tasks: 8})
+	}
+
+	wRef := mk()
+	ref := MustNew(cfg, wRef.Mem)
+	refCycles, err := ref.Run(wRef.Tasks, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wRef.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt both processors shortly after the PCIe release window.
+	mid := cfg.PCIe.LatencyCycles + (refCycles-2*cfg.PCIe.LatencyCycles)/2
+	wInt := mk()
+	intr := MustNew(cfg, wInt.Mem)
+	intr.Submit(wInt.Tasks)
+	for i, ch := range intr.Chips() {
+		ch := ch
+		if _, err := ch.RunUntil(mid+100, func() bool { return ch.Now() >= mid }); err != nil {
+			t.Fatalf("processor %d: %v", i, err)
+		}
+	}
+	file := intr.Checkpoint()
+
+	wRes := mk()
+	res := MustNew(cfg, wRes.Mem)
+	res.Submit(wRes.Tasks)
+	if err := res.Restore(file); err != nil {
+		t.Fatal(err)
+	}
+	var worst uint64
+	for i, ch := range res.Chips() {
+		cy, err := ch.Run(20_000_000)
+		if err != nil {
+			t.Fatalf("processor %d: %v", i, err)
+		}
+		if cy > worst {
+			worst = cy
+		}
+	}
+	if got := worst + cfg.PCIe.LatencyCycles; got != refCycles {
+		t.Fatalf("restored card finished at %d, reference at %d", got, refCycles)
+	}
+	if err := wRes.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

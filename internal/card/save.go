@@ -1,0 +1,60 @@
+// Checkpoint/restore for a whole card: each processor's chip snapshot is
+// merged into one file under a "procN/" section prefix. The restore
+// protocol mirrors the chip's: build the card over the same memory image,
+// Submit the same task list, then Restore.
+package card
+
+import (
+	"fmt"
+	"strings"
+
+	"smarco/internal/snapshot"
+)
+
+// Checkpoint snapshots every processor. Call only between Run slices (the
+// chips must sit at a cycle boundary).
+func (c *Card) Checkpoint() *snapshot.File {
+	f := snapshot.NewFile()
+	for i, ch := range c.chips {
+		sub := ch.Checkpoint()
+		for _, name := range sub.Names() {
+			f.Add(fmt.Sprintf("proc%d/%s", i, name), sub.Section(name))
+		}
+	}
+	return f
+}
+
+// WriteCheckpoint atomically writes a card checkpoint to path.
+func (c *Card) WriteCheckpoint(path string) error {
+	return c.Checkpoint().WriteFile(path)
+}
+
+// Restore loads a card checkpoint taken on an identically configured card
+// with the same workload submitted.
+func (c *Card) Restore(f *snapshot.File) error {
+	for i, ch := range c.chips {
+		prefix := fmt.Sprintf("proc%d/", i)
+		sub := snapshot.NewFile()
+		for _, name := range f.Names() {
+			if strings.HasPrefix(name, prefix) {
+				sub.Add(strings.TrimPrefix(name, prefix), f.Section(name))
+			}
+		}
+		if len(sub.Names()) == 0 {
+			return fmt.Errorf("card: snapshot has no sections for processor %d", i)
+		}
+		if err := ch.Restore(sub); err != nil {
+			return fmt.Errorf("card: processor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RestoreFile reads path and restores it into the card.
+func (c *Card) RestoreFile(path string) error {
+	f, err := snapshot.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return c.Restore(f)
+}

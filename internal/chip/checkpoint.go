@@ -1,0 +1,232 @@
+// Checkpoint/restore for a whole chip (DESIGN.md §9). A checkpoint is a
+// versioned snapshot.File with one named section per component, taken at a
+// cycle boundary; restoring it into a freshly built chip resumes the run so
+// that restore-then-run is bit-identical to the uninterrupted run.
+//
+// The restore protocol mirrors construction: Build the chip over the
+// workload's memory image, Submit the same task list (this re-derives the
+// program -> code-base table that snapshot Work records reference), then
+// Restore the file, which overwrites all architectural and micro-
+// architectural state — including the backing store and the scheduler
+// queues the Submit just filled.
+package chip
+
+import (
+	"fmt"
+
+	"smarco/internal/cpu"
+	"smarco/internal/isa"
+	"smarco/internal/noc"
+	"smarco/internal/sim"
+	"smarco/internal/snapshot"
+)
+
+// component pairs a stable section ID with its serializer. IDs must be
+// identical across runs of the same configuration: they are derived from
+// topology indices only.
+type component struct {
+	id string
+	s  interface {
+		SaveState(*snapshot.Encoder)
+		RestoreState(*snapshot.Decoder)
+	}
+}
+
+// components lists every stateful component in a fixed order.
+func (c *Chip) components() []component {
+	var list []component
+	add := func(id string, s interface {
+		SaveState(*snapshot.Encoder)
+		RestoreState(*snapshot.Decoder)
+	}) {
+		list = append(list, component{id: id, s: s})
+	}
+	if c.Mesh != nil {
+		for i, rt := range c.Mesh.Routers() {
+			add(fmt.Sprintf("mesh.router.%d", i), rt)
+		}
+	} else {
+		for i, rt := range c.MainRing.Routers() {
+			add(fmt.Sprintf("main.router.%d", i), rt)
+		}
+		for s, ring := range c.SubRings {
+			for k, rt := range ring.Routers() {
+				add(fmt.Sprintf("sub.%d.router.%d", s, k), rt)
+			}
+		}
+		for s, h := range c.Hubs {
+			add(fmt.Sprintf("hub.%d", s), h)
+		}
+		for s, dl := range c.directs {
+			add(fmt.Sprintf("direct.%d", s), dl)
+		}
+	}
+	for _, core := range c.Cores {
+		add(fmt.Sprintf("core.%d", core.ID), core)
+	}
+	for _, mc := range c.MCs {
+		add(fmt.Sprintf("mc.%d", mc.Node.MCIndex()), mc)
+	}
+	for s, sub := range c.Subs {
+		add(fmt.Sprintf("sub.%d", s), sub)
+	}
+	add("mainsched", c.Main)
+	return list
+}
+
+// progResolver implements cpu.ProgResolver over the chip's code-segment
+// table, which Submit rebuilds deterministically from the task list.
+type progResolver struct {
+	byProg map[*isa.Program]uint64
+	byKey  map[uint64]*isa.Program
+}
+
+func (r *progResolver) ProgKey(p *isa.Program) (uint64, bool) {
+	k, ok := r.byProg[p]
+	return k, ok
+}
+
+func (r *progResolver) ProgByKey(key uint64) *isa.Program { return r.byKey[key] }
+
+var _ cpu.ProgResolver = (*progResolver)(nil)
+
+func (c *Chip) resolver() *progResolver {
+	r := &progResolver{byProg: c.codeBases, byKey: map[uint64]*isa.Program{}}
+	for p, base := range c.codeBases {
+		r.byKey[base] = p
+	}
+	return r
+}
+
+// saveChipSection holds the chip-level odds and ends: host interface state,
+// submission accounting, and the code-segment allocator.
+func (c *Chip) saveChipSection(e *snapshot.Encoder) {
+	e.U64(c.eng.Now())
+	e.U64(c.hostSeq)
+	e.Int(c.submitted)
+	e.U64(c.nextCode)
+	sim.SavePort(e, c.hostEject, noc.EncodePacket)
+}
+
+func (c *Chip) restoreChipSection(d *snapshot.Decoder) {
+	d.U64() // cycle; informational (the engine section is authoritative)
+	c.hostSeq = d.U64()
+	c.submitted = d.Int()
+	c.nextCode = d.U64()
+	sim.RestorePort(d, c.hostEject, noc.DecodePacket)
+}
+
+// Checkpoint snapshots the full chip state. It must be called between
+// cycles (never from inside a Tick); the port serializers enforce this.
+func (c *Chip) Checkpoint() *snapshot.File {
+	f := snapshot.NewFile()
+	res := c.resolver()
+	enc := func(save func(*snapshot.Encoder)) []byte {
+		e := snapshot.NewEncoder()
+		e.Context = res
+		save(e)
+		return e.Bytes()
+	}
+	f.Add("chip", enc(c.saveChipSection))
+	f.Add("mem", enc(c.store.Save))
+	f.Add("engine", enc(c.eng.SaveState))
+	f.Add("fault", enc(c.inj.SaveState))
+	for _, comp := range c.components() {
+		f.Add(comp.id, enc(comp.s.SaveState))
+	}
+	return f
+}
+
+// WriteCheckpoint atomically writes a checkpoint to path.
+func (c *Chip) WriteCheckpoint(path string) error {
+	return c.Checkpoint().WriteFile(path)
+}
+
+// Restore loads a checkpoint into this chip. The chip must have been built
+// with the same configuration and had the same workload Submitted; section
+// decoders validate structural invariants and fail loudly on mismatch.
+func (c *Chip) Restore(f *snapshot.File) error {
+	res := c.resolver()
+	dec := func(name string, restore func(*snapshot.Decoder)) error {
+		payload := f.Section(name)
+		if payload == nil {
+			return fmt.Errorf("chip: snapshot is missing section %q", name)
+		}
+		d := snapshot.NewDecoder(payload)
+		d.Context = res
+		restore(d)
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("chip: section %q: %w", name, err)
+		}
+		if n := d.Remaining(); n != 0 {
+			return fmt.Errorf("chip: section %q has %d undecoded bytes", name, n)
+		}
+		return nil
+	}
+	if err := dec("chip", c.restoreChipSection); err != nil {
+		return err
+	}
+	if err := dec("mem", c.store.Restore); err != nil {
+		return err
+	}
+	if err := dec("fault", c.inj.RestoreState); err != nil {
+		return err
+	}
+	for _, comp := range c.components() {
+		if err := dec(comp.id, comp.s.RestoreState); err != nil {
+			return err
+		}
+	}
+	// The engine goes last: component restores leave every port with a clean
+	// (non-dirty) staging area, and the engine then re-derives its active
+	// lists from the restored sleep flags.
+	return dec("engine", c.eng.RestoreState)
+}
+
+// RestoreFile reads path and restores it into the chip.
+func (c *Chip) RestoreFile(path string) error {
+	f, err := snapshot.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return c.Restore(f)
+}
+
+// Fingerprint returns per-section checksums of the current state, the unit
+// of comparison for divergence bisection (snapshot.Bisect).
+func (c *Chip) Fingerprint() map[string]uint64 {
+	return snapshot.Fingerprints(c.Checkpoint())
+}
+
+// SaveState implements sim.Saver for the hub: it saves the three ports it
+// drains (sub-ring eject, main-ring eject, direct-link receive), its MACT,
+// and its sequence/progress counters. scratch is a transient drain buffer,
+// always empty between cycles.
+func (h *hub) SaveState(e *snapshot.Encoder) {
+	sim.SavePort(e, h.subEject, noc.EncodePacket)
+	sim.SavePort(e, h.mainEj, noc.EncodePacket)
+	e.Bool(h.directRecv != nil)
+	if h.directRecv != nil {
+		sim.SavePort(e, h.directRecv, noc.EncodePacket)
+	}
+	h.MACT.SaveState(e)
+	e.U64(h.seq)
+	e.U64(h.moved)
+}
+
+// RestoreState implements sim.Restorer.
+func (h *hub) RestoreState(d *snapshot.Decoder) {
+	sim.RestorePort(d, h.subEject, noc.DecodePacket)
+	sim.RestorePort(d, h.mainEj, noc.DecodePacket)
+	hasDirect := d.Bool()
+	if hasDirect != (h.directRecv != nil) {
+		d.Fail("chip: snapshot hub direct=%v, hub has direct=%v", hasDirect, h.directRecv != nil)
+		return
+	}
+	if h.directRecv != nil {
+		sim.RestorePort(d, h.directRecv, noc.DecodePacket)
+	}
+	h.MACT.RestoreState(d)
+	h.seq = d.U64()
+	h.moved = d.U64()
+}

@@ -115,6 +115,7 @@ type Chip struct {
 	MainRing *noc.Ring
 	SubRings []*noc.Ring
 	Mesh     *noc.Mesh // non-nil when Topology == "mesh"
+	directs  []*noc.DirectLink
 
 	codeBases map[*isa.Program]uint64
 	nextCode  uint64
@@ -334,6 +335,7 @@ func (c *Chip) build() error {
 		send, recv := dl.EndB()
 		c.MCs[i%len(c.MCs)].AttachDirect(send, recv)
 	}
+	c.directs = directLinks
 
 	c.Main = sched.NewMain(c.Subs, 500_000)
 

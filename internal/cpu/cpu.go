@@ -486,13 +486,7 @@ func (c *Core) stageIn(now uint64, th *thread) {
 		th.regs.Set(uint8(10+r.Arg), int64(spmAddr))
 		th.stagePend++
 		c.Stats.StageBytes.Add(uint64(r.Bytes))
-		c.dma.enqueue(spm.DMARequest{Src: dramAddr, Dst: spmAddr, Len: uint64(r.Bytes)}, th,
-			func(uint64) {
-				th.stagePend--
-				if th.stagePend == 0 && th.state == TStaging {
-					th.state = TReady
-				}
-			})
+		c.dma.enqueue(spm.DMARequest{Src: dramAddr, Dst: spmAddr, Len: uint64(r.Bytes)}, th, doneStageIn)
 		off += uint64((r.Bytes + 63) &^ 63)
 	}
 }
@@ -509,13 +503,7 @@ func (c *Core) stageOut(now uint64, th *thread) bool {
 		th.stagePend++
 		started = true
 		c.Stats.StageBytes.Add(uint64(r.Bytes))
-		c.dma.enqueue(spm.DMARequest{Src: spmAddr, Dst: uint64(th.stageOrig[r.Arg]), Len: uint64(r.Bytes)}, th,
-			func(uint64) {
-				th.stagePend--
-				if th.stagePend == 0 && th.state == TDraining {
-					th.state = THalted
-				}
-			})
+		c.dma.enqueue(spm.DMARequest{Src: spmAddr, Dst: uint64(th.stageOrig[r.Arg]), Len: uint64(r.Bytes)}, th, doneStageOut)
 	}
 	return started
 }

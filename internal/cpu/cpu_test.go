@@ -20,7 +20,7 @@ type rig struct {
 	done  *sim.Port[Completion]
 }
 
-func newRig(t *testing.T, nCores int, cfg Config) *rig {
+func newRig(t testing.TB, nCores int, cfg Config) *rig {
 	t.Helper()
 	r := &rig{eng: sim.NewEngine(), store: mem.NewSparse()}
 	r.done = sim.NewPort[Completion](0)
@@ -58,7 +58,7 @@ func newRig(t *testing.T, nCores int, cfg Config) *rig {
 }
 
 // runUntilDone steps until n completions arrive or the budget expires.
-func (r *rig) runUntilDone(t *testing.T, n int, budget int) []Completion {
+func (r *rig) runUntilDone(t testing.TB, n int, budget int) []Completion {
 	t.Helper()
 	var comps []Completion
 	for i := 0; i < budget; i++ {

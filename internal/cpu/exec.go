@@ -276,7 +276,13 @@ func (th *thread) searchStores(addr uint64, size int) (hit bool, data uint64, co
 		s := th.stores[i]
 		if addr >= s.addr && addr+uint64(size) <= s.addr+uint64(s.size) {
 			shift := 8 * (addr - s.addr)
-			return true, s.data >> shift, false
+			v := s.data >> shift
+			// Mask to the access size: LoadResult expects a value already
+			// truncated to size bytes, as DRAM replies are.
+			if size < 8 {
+				v &= 1<<(8*uint(size)) - 1
+			}
+			return true, v, false
 		}
 		if addr < s.addr+uint64(s.size) && s.addr < addr+uint64(size) {
 			return false, 0, true

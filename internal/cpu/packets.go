@@ -163,18 +163,28 @@ func (c *Core) serveRemoteSPM(now uint64, p *noc.Packet) {
 	c.send(noc.NewMemRespPacket(req.ID, c.Node, p.Src, resp, p.Priority, now))
 }
 
+// doneKind names a DMA transfer's completion action. It is data rather than
+// a callback so checkpoints can serialize pending completions (see save.go).
+type doneKind uint8
+
+const (
+	doneNone     doneKind = iota // nothing beyond the fromRegs handshake
+	doneStageIn                  // dataset staged in: owner TStaging -> TReady
+	doneStageOut                 // results written back: owner TDraining -> THalted
+)
+
 // dmaEngine executes SPM↔DRAM and SPM↔SPM transfers in 64-byte chunks
 // (§3.5.1). Transfers come from two sources sharing one queue: software
 // writes to the SPM control registers, and the runtime's task staging
 // (dataset placement per §3.6). Each transfer may carry a completion
-// callback.
+// action applied to its owning thread.
 type dmaEngine struct {
 	core *Core
 
 	queue       []dmaXfer
 	active      bool
 	req         spm.DMARequest
-	onDone      func(now uint64)
+	done        doneKind
 	fromRegs    bool
 	owner       *thread // staging thread whose undo log tracks the transfer
 	issued      uint64  // bytes with requests sent
@@ -186,7 +196,7 @@ type dmaEngine struct {
 // dmaXfer is one queued transfer.
 type dmaXfer struct {
 	req      spm.DMARequest
-	onDone   func(now uint64)
+	done     doneKind
 	fromRegs bool
 	owner    *thread
 }
@@ -212,8 +222,8 @@ func (d *dmaEngine) sleepable() bool {
 }
 
 // enqueue schedules a runtime-initiated transfer on behalf of owner.
-func (d *dmaEngine) enqueue(req spm.DMARequest, owner *thread, onDone func(now uint64)) {
-	d.queue = append(d.queue, dmaXfer{req: req, onDone: onDone, owner: owner})
+func (d *dmaEngine) enqueue(req spm.DMARequest, owner *thread, done doneKind) {
+	d.queue = append(d.queue, dmaXfer{req: req, done: done, owner: owner})
 }
 
 // maybeKick checks the SPM control registers after any write that might
@@ -232,12 +242,12 @@ func (d *dmaEngine) start(now uint64) {
 		x := d.queue[0]
 		d.queue = d.queue[1:]
 		if x.req.Len == 0 {
-			d.finish(now, x.fromRegs, x.onDone)
+			d.finish(now, x.fromRegs, x.done, x.owner)
 			continue
 		}
 		d.active = true
 		d.req = x.req
-		d.onDone = x.onDone
+		d.done = x.done
 		d.fromRegs = x.fromRegs
 		d.owner = x.owner
 		d.issued, d.completed, d.outstanding = 0, 0, 0
@@ -247,12 +257,21 @@ func (d *dmaEngine) start(now uint64) {
 	}
 }
 
-func (d *dmaEngine) finish(now uint64, fromRegs bool, onDone func(uint64)) {
+func (d *dmaEngine) finish(now uint64, fromRegs bool, kind doneKind, owner *thread) {
 	if fromRegs {
 		d.core.SPM.CompleteDMA()
 	}
-	if onDone != nil {
-		onDone(now)
+	switch kind {
+	case doneStageIn:
+		owner.stagePend--
+		if owner.stagePend == 0 && owner.state == TStaging {
+			owner.state = TReady
+		}
+	case doneStageOut:
+		owner.stagePend--
+		if owner.stagePend == 0 && owner.state == TDraining {
+			owner.state = THalted
+		}
 	}
 }
 
@@ -376,8 +395,8 @@ func (d *dmaEngine) onAck(now uint64, p *noc.Packet) {
 func (d *dmaEngine) finishIfDone(now uint64) {
 	if d.completed >= d.req.Len {
 		d.active = false
-		d.finish(now, d.fromRegs, d.onDone)
-		d.onDone = nil
+		d.finish(now, d.fromRegs, d.done, d.owner)
+		d.done = doneNone
 		d.start(now)
 	}
 }

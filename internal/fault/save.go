@@ -1,0 +1,47 @@
+package fault
+
+import "smarco/internal/snapshot"
+
+// SaveState implements sim.Saver. The injector's decisions are pure hashes
+// of (seed, site, cycle, sequence) — every sequence counter lives with the
+// component that owns it — so its only dynamic state is the aggregate
+// fault statistics. Safe on a nil receiver (encodes a disabled marker), so
+// the chip can save the section unconditionally.
+func (i *Injector) SaveState(e *snapshot.Encoder) {
+	e.Bool(i != nil)
+	if i == nil {
+		return
+	}
+	e.U64(i.Stats.LinkCorrupt.Load())
+	e.U64(i.Stats.LinkDropped.Load())
+	e.U64(i.Stats.Retransmits.Load())
+	e.U64(i.Stats.PacketsLost.Load())
+	e.U64(i.Stats.ECCCorrected.Load())
+	e.U64(i.Stats.ECCUncorrected.Load())
+	e.U64(i.Stats.CoreKills.Load())
+	e.U64(i.Stats.TasksMigrated.Load())
+	e.U64(i.Stats.RollbackWrites.Load())
+	e.U64(i.Stats.ForeignComplete.Load())
+}
+
+// RestoreState implements sim.Restorer.
+func (i *Injector) RestoreState(d *snapshot.Decoder) {
+	enabled := d.Bool()
+	if enabled != (i != nil) {
+		d.Fail("fault: snapshot injector enabled=%v, chip has enabled=%v", enabled, i != nil)
+		return
+	}
+	if i == nil {
+		return
+	}
+	i.Stats.LinkCorrupt.Store(d.U64())
+	i.Stats.LinkDropped.Store(d.U64())
+	i.Stats.Retransmits.Store(d.U64())
+	i.Stats.PacketsLost.Store(d.U64())
+	i.Stats.ECCCorrected.Store(d.U64())
+	i.Stats.ECCUncorrected.Store(d.U64())
+	i.Stats.CoreKills.Store(d.U64())
+	i.Stats.TasksMigrated.Store(d.U64())
+	i.Stats.RollbackWrites.Store(d.U64())
+	i.Stats.ForeignComplete.Store(d.U64())
+}

@@ -1,0 +1,150 @@
+// Checkpoint serialization for the Memory Access Collection Table: every
+// line (tag, bitmap, data, deadline, pending requesters) plus the in-flight
+// batch map, saved in sorted key order so identical state always encodes to
+// identical bytes.
+package mact
+
+import (
+	"sort"
+
+	"smarco/internal/noc"
+	"smarco/internal/snapshot"
+)
+
+func savePend(e *snapshot.Encoder, p pend) {
+	e.U64(p.id)
+	e.U32(uint32(p.src))
+	e.U64(p.addr)
+	e.Int(p.size)
+	e.Int(p.thread)
+	e.Bool(p.priority)
+}
+
+func restorePend(d *snapshot.Decoder) pend {
+	var p pend
+	p.id = d.U64()
+	p.src = noc.NodeID(d.U32())
+	p.addr = d.U64()
+	p.size = d.Int()
+	p.thread = d.Int()
+	p.priority = d.Bool()
+	return p
+}
+
+func savePends(e *snapshot.Encoder, ps []pend) {
+	e.U32(uint32(len(ps)))
+	for _, p := range ps {
+		savePend(e, p)
+	}
+}
+
+func restorePends(d *snapshot.Decoder) []pend {
+	n := int(d.U32())
+	if n == 0 {
+		return nil
+	}
+	ps := make([]pend, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, restorePend(d))
+	}
+	return ps
+}
+
+// SaveState implements sim.Saver.
+func (t *Table) SaveState(e *snapshot.Encoder) {
+	e.U32(uint32(len(t.lines)))
+	for i := range t.lines {
+		l := &t.lines[i]
+		e.Bool(l.valid)
+		e.Bool(l.write)
+		e.U64(l.lineAddr)
+		e.U64(l.bitmap)
+		e.Blob(l.data[:])
+		e.U64(l.deadline)
+		e.U64(l.created)
+		savePends(e, l.pend)
+	}
+	e.U64(t.seq)
+	keys := make([]batchKey, 0, len(t.inflight))
+	for k := range t.inflight {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.lineAddr != b.lineAddr {
+			return a.lineAddr < b.lineAddr
+		}
+		if a.write != b.write {
+			return !a.write
+		}
+		return a.id < b.id
+	})
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.U64(k.lineAddr)
+		e.Bool(k.write)
+		e.U64(k.id)
+		savePends(e, t.inflight[k])
+	}
+	t.Stats.Collected.Save(e)
+	t.Stats.Forwards.Save(e)
+	t.Stats.Batches.Save(e)
+	t.Stats.FullFlush.Save(e)
+	t.Stats.DeadlineFlush.Save(e)
+	t.Stats.CapacityFlush.Save(e)
+	t.Stats.HazardFlush.Save(e)
+	t.Stats.Bypassed.Save(e)
+	t.Stats.Scattered.Save(e)
+	t.Stats.OccupancySum.Save(e)
+	t.Stats.OccupancyTicks.Save(e)
+	t.Stats.BatchFill.Save(e)
+	t.Stats.LineAge.Save(e)
+}
+
+// RestoreState implements sim.Restorer.
+func (t *Table) RestoreState(d *snapshot.Decoder) {
+	n := int(d.U32())
+	if n != len(t.lines) {
+		d.Fail("mact: snapshot has %d lines, table has %d", n, len(t.lines))
+		return
+	}
+	for i := range t.lines {
+		l := &t.lines[i]
+		l.valid = d.Bool()
+		l.write = d.Bool()
+		l.lineAddr = d.U64()
+		l.bitmap = d.U64()
+		d.BlobInto(l.data[:])
+		l.deadline = d.U64()
+		l.created = d.U64()
+		l.pend = restorePends(d)
+	}
+	t.seq = d.U64()
+	n = int(d.U32())
+	if t.inflight == nil && n > 0 {
+		t.inflight = make(map[batchKey][]pend, n)
+	}
+	for k := range t.inflight {
+		delete(t.inflight, k)
+	}
+	for i := 0; i < n; i++ {
+		var k batchKey
+		k.lineAddr = d.U64()
+		k.write = d.Bool()
+		k.id = d.U64()
+		t.inflight[k] = restorePends(d)
+	}
+	t.Stats.Collected.Restore(d)
+	t.Stats.Forwards.Restore(d)
+	t.Stats.Batches.Restore(d)
+	t.Stats.FullFlush.Restore(d)
+	t.Stats.DeadlineFlush.Restore(d)
+	t.Stats.CapacityFlush.Restore(d)
+	t.Stats.HazardFlush.Restore(d)
+	t.Stats.Bypassed.Restore(d)
+	t.Stats.Scattered.Restore(d)
+	t.Stats.OccupancySum.Restore(d)
+	t.Stats.OccupancyTicks.Restore(d)
+	t.Stats.BatchFill.Restore(d)
+	t.Stats.LineAge.Restore(d)
+}

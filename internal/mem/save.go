@@ -1,0 +1,48 @@
+package mem
+
+import (
+	"sort"
+
+	"smarco/internal/snapshot"
+)
+
+// Save serializes the sparse memory: allocated pages sorted by page key,
+// so identical contents always encode to identical bytes.
+func (s *Sparse) Save(e *snapshot.Encoder) {
+	keys := make([]uint64, 0, len(s.pages))
+	for k := range s.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.U64(k)
+		e.Blob(s.pages[k][:])
+	}
+}
+
+// Restore loads the sparse memory in place: the receiver keeps its
+// identity (closures and components holding the pointer stay valid) but
+// its contents are replaced wholesale, including dropping pages the
+// snapshot does not have.
+func (s *Sparse) Restore(d *snapshot.Decoder) {
+	if s.pages == nil {
+		s.pages = make(map[uint64]*[pageSize]byte)
+	}
+	for k := range s.pages {
+		delete(s.pages, k)
+	}
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		k := d.U64()
+		p := new([pageSize]byte)
+		d.BlobInto(p[:])
+		s.pages[k] = p
+	}
+}
+
+// Save serializes the flat store's contents.
+func (f *Flat) Save(e *snapshot.Encoder) { e.Blob(f.buf) }
+
+// Restore loads the flat store in place; the stored size must match.
+func (f *Flat) Restore(d *snapshot.Decoder) { d.BlobInto(f.buf) }

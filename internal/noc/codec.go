@@ -1,0 +1,196 @@
+package noc
+
+import "smarco/internal/snapshot"
+
+// Packet payload tags for the snapshot codec. Packets are never aliased —
+// Send transfers ownership — so a packet is serialized by value wherever it
+// sits (router queue, delay pipe, retry list) and decoded into a fresh
+// allocation on restore.
+const (
+	payloadNil = uint8(iota)
+	payloadMemReq
+	payloadMemResp
+	payloadBatchReq
+	payloadBatchResp
+	payloadDMAReq
+	payloadCtrl
+	payloadMatchReq
+	payloadMatchResp
+)
+
+// EncodePacket serializes one packet, payload included.
+func EncodePacket(e *snapshot.Encoder, p *Packet) {
+	e.U64(p.ID)
+	e.U8(uint8(p.Kind))
+	e.U32(uint32(p.Src))
+	e.U32(uint32(p.Dst))
+	e.Int(p.Size)
+	e.Bool(p.Priority)
+	e.U64(p.Born)
+	e.Int(p.Hops)
+	switch pl := p.Payload.(type) {
+	case nil:
+		e.U8(payloadNil)
+	case MemReq:
+		e.U8(payloadMemReq)
+		e.U64(pl.ID)
+		e.U64(pl.Addr)
+		e.Int(pl.Size)
+		e.U64(pl.Data)
+		e.Int(pl.Thread)
+		e.Bool(pl.IFetch)
+		e.Bool(pl.Blob != nil)
+		if pl.Blob != nil {
+			e.Blob(pl.Blob)
+		}
+	case MemResp:
+		e.U8(payloadMemResp)
+		e.U64(pl.ID)
+		e.U64(pl.Addr)
+		e.Int(pl.Size)
+		e.U64(pl.Data)
+		e.Int(pl.Thread)
+		e.Bool(pl.Write)
+		e.Bool(pl.Blob != nil)
+		if pl.Blob != nil {
+			e.Blob(pl.Blob)
+		}
+		e.U64(pl.PreImage)
+		e.U64(pl.Order)
+	case BatchReq:
+		e.U8(payloadBatchReq)
+		e.U64(pl.ID)
+		e.U64(pl.LineAddr)
+		e.U64(pl.Bitmap)
+		e.Blob(pl.Data[:])
+		e.Bool(pl.Write)
+	case BatchResp:
+		e.U8(payloadBatchResp)
+		e.U64(pl.ID)
+		e.U64(pl.LineAddr)
+		e.U64(pl.Bitmap)
+		e.Blob(pl.Data[:])
+		e.Bool(pl.Write)
+		e.U64(pl.Order)
+	case DMAReq:
+		e.U8(payloadDMAReq)
+		e.U64(pl.ID)
+		e.U64(pl.SrcAddr)
+		e.U64(pl.DstAddr)
+		e.Int(pl.Bytes)
+		e.Blob(pl.Data[:])
+		e.Bool(pl.Final)
+		e.Bool(pl.ReadSide)
+	case Ctrl:
+		e.U8(payloadCtrl)
+		e.U64(pl.ID)
+		e.String(pl.Op)
+		e.I64(pl.Arg0)
+		e.I64(pl.Arg1)
+	case MatchReq:
+		e.U8(payloadMatchReq)
+		e.U64(pl.ID)
+		e.U64(pl.TextAddr)
+		e.U64(pl.TextLen)
+		e.Blob(pl.Pattern[:])
+		e.Int(pl.PatLen)
+	case MatchResp:
+		e.U8(payloadMatchResp)
+		e.U64(pl.ID)
+		e.U64(pl.Count)
+	default:
+		panic("noc: EncodePacket: unknown payload type")
+	}
+}
+
+// DecodePacket deserializes one packet written by EncodePacket.
+func DecodePacket(d *snapshot.Decoder) *Packet {
+	p := &Packet{}
+	p.ID = d.U64()
+	p.Kind = Kind(d.U8())
+	p.Src = NodeID(d.U32())
+	p.Dst = NodeID(d.U32())
+	p.Size = d.Int()
+	p.Priority = d.Bool()
+	p.Born = d.U64()
+	p.Hops = d.Int()
+	switch tag := d.U8(); tag {
+	case payloadNil:
+	case payloadMemReq:
+		var pl MemReq
+		pl.ID = d.U64()
+		pl.Addr = d.U64()
+		pl.Size = d.Int()
+		pl.Data = d.U64()
+		pl.Thread = d.Int()
+		pl.IFetch = d.Bool()
+		if d.Bool() {
+			pl.Blob = d.Blob()
+		}
+		p.Payload = pl
+	case payloadMemResp:
+		var pl MemResp
+		pl.ID = d.U64()
+		pl.Addr = d.U64()
+		pl.Size = d.Int()
+		pl.Data = d.U64()
+		pl.Thread = d.Int()
+		pl.Write = d.Bool()
+		if d.Bool() {
+			pl.Blob = d.Blob()
+		}
+		pl.PreImage = d.U64()
+		pl.Order = d.U64()
+		p.Payload = pl
+	case payloadBatchReq:
+		var pl BatchReq
+		pl.ID = d.U64()
+		pl.LineAddr = d.U64()
+		pl.Bitmap = d.U64()
+		d.BlobInto(pl.Data[:])
+		pl.Write = d.Bool()
+		p.Payload = pl
+	case payloadBatchResp:
+		var pl BatchResp
+		pl.ID = d.U64()
+		pl.LineAddr = d.U64()
+		pl.Bitmap = d.U64()
+		d.BlobInto(pl.Data[:])
+		pl.Write = d.Bool()
+		pl.Order = d.U64()
+		p.Payload = pl
+	case payloadDMAReq:
+		var pl DMAReq
+		pl.ID = d.U64()
+		pl.SrcAddr = d.U64()
+		pl.DstAddr = d.U64()
+		pl.Bytes = d.Int()
+		d.BlobInto(pl.Data[:])
+		pl.Final = d.Bool()
+		pl.ReadSide = d.Bool()
+		p.Payload = pl
+	case payloadCtrl:
+		var pl Ctrl
+		pl.ID = d.U64()
+		pl.Op = d.String()
+		pl.Arg0 = d.I64()
+		pl.Arg1 = d.I64()
+		p.Payload = pl
+	case payloadMatchReq:
+		var pl MatchReq
+		pl.ID = d.U64()
+		pl.TextAddr = d.U64()
+		pl.TextLen = d.U64()
+		d.BlobInto(pl.Pattern[:])
+		pl.PatLen = d.Int()
+		p.Payload = pl
+	case payloadMatchResp:
+		var pl MatchResp
+		pl.ID = d.U64()
+		pl.Count = d.U64()
+		p.Payload = pl
+	default:
+		d.Fail("noc: unknown packet payload tag %d", tag)
+	}
+	return p
+}

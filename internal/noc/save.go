@@ -1,0 +1,173 @@
+// Checkpoint serialization for the interconnect: ring routers, mesh
+// routers, and direct links. Routers save the input queues they drain
+// (inCW/inCCW/inject or the four mesh directions); a router's eject port is
+// an input of the attached component and is saved by that component, per
+// the port-ownership rule of DESIGN.md §9.
+package noc
+
+import (
+	"smarco/internal/sim"
+	"smarco/internal/snapshot"
+)
+
+func saveRouterStats(e *snapshot.Encoder, s *RouterStats) {
+	s.Forwarded.Save(e)
+	s.BytesSent.Save(e)
+	s.BytesSpent.Save(e)
+	s.Ejected.Save(e)
+	s.StallFull.Save(e)
+	s.ActiveCyc.Save(e)
+}
+
+func restoreRouterStats(d *snapshot.Decoder, s *RouterStats) {
+	s.Forwarded.Restore(d)
+	s.BytesSent.Restore(d)
+	s.BytesSpent.Restore(d)
+	s.Ejected.Restore(d)
+	s.StallFull.Restore(d)
+	s.ActiveCyc.Restore(d)
+}
+
+func savePending(e *snapshot.Encoder, p *Packet) {
+	e.Bool(p != nil)
+	if p != nil {
+		EncodePacket(e, p)
+	}
+}
+
+func restorePending(d *snapshot.Decoder) *Packet {
+	if !d.Bool() {
+		return nil
+	}
+	return DecodePacket(d)
+}
+
+func (s *linkFaultState) save(e *snapshot.Encoder) {
+	e.U64(s.faultSeq)
+	e.U32(uint32(len(s.retry)))
+	for _, r := range s.retry {
+		EncodePacket(e, r.pkt)
+		e.Int(r.dir)
+		e.U64(r.due)
+		e.Int(r.attempts)
+	}
+}
+
+func (s *linkFaultState) restore(d *snapshot.Decoder) {
+	s.faultSeq = d.U64()
+	n := int(d.U32())
+	s.retry = s.retry[:0]
+	for i := 0; i < n; i++ {
+		var r linkRetry
+		r.pkt = DecodePacket(d)
+		r.dir = d.Int()
+		r.due = d.U64()
+		r.attempts = d.Int()
+		s.retry = append(s.retry, r)
+	}
+}
+
+// SaveState implements sim.Saver for a ring router.
+func (r *Router) SaveState(e *snapshot.Encoder) {
+	sim.SavePort(e, r.inCW, EncodePacket)
+	sim.SavePort(e, r.inCCW, EncodePacket)
+	sim.SavePort(e, r.inject, EncodePacket)
+	for d := 0; d < 2; d++ {
+		e.Int(r.busy[d])
+		savePending(e, r.pending[d])
+	}
+	r.flt.save(e)
+	e.U64(r.seq)
+	saveRouterStats(e, &r.Stats)
+}
+
+// RestoreState implements sim.Restorer for a ring router.
+func (r *Router) RestoreState(d *snapshot.Decoder) {
+	sim.RestorePort(d, r.inCW, DecodePacket)
+	sim.RestorePort(d, r.inCCW, DecodePacket)
+	sim.RestorePort(d, r.inject, DecodePacket)
+	for dir := 0; dir < 2; dir++ {
+		r.busy[dir] = d.Int()
+		r.pending[dir] = restorePending(d)
+	}
+	r.flt.restore(d)
+	r.seq = d.U64()
+	restoreRouterStats(d, &r.Stats)
+}
+
+// SaveState implements sim.Saver for a mesh router.
+func (r *MeshRouter) SaveState(e *snapshot.Encoder) {
+	for d := 0; d < 4; d++ {
+		sim.SavePort(e, r.in[d], EncodePacket)
+	}
+	sim.SavePort(e, r.inject, EncodePacket)
+	for d := 0; d < 4; d++ {
+		e.Int(r.busy[d])
+		savePending(e, r.pending[d])
+	}
+	e.U64(r.seq)
+	r.flt.save(e)
+	saveRouterStats(e, &r.Stats)
+}
+
+// RestoreState implements sim.Restorer for a mesh router.
+func (r *MeshRouter) RestoreState(d *snapshot.Decoder) {
+	for dir := 0; dir < 4; dir++ {
+		sim.RestorePort(d, r.in[dir], DecodePacket)
+	}
+	sim.RestorePort(d, r.inject, DecodePacket)
+	for dir := 0; dir < 4; dir++ {
+		r.busy[dir] = d.Int()
+		r.pending[dir] = restorePending(d)
+	}
+	r.seq = d.U64()
+	r.flt.restore(d)
+	restoreRouterStats(d, &r.Stats)
+}
+
+func saveDelayQueue(e *snapshot.Encoder, q delayQueue) {
+	// Serialized in heap-array order: the layout is restored verbatim, which
+	// preserves both the heap invariant and byte-identity of re-snapshots.
+	e.U32(uint32(len(q)))
+	for _, v := range q {
+		e.U64(v.due)
+		e.U64(v.seq)
+		EncodePacket(e, v.pkt)
+	}
+}
+
+func restoreDelayQueue(d *snapshot.Decoder, q *delayQueue) {
+	n := int(d.U32())
+	*q = (*q)[:0]
+	for i := 0; i < n; i++ {
+		var v delayed
+		v.due = d.U64()
+		v.seq = d.U64()
+		v.pkt = DecodePacket(d)
+		*q = append(*q, v)
+	}
+}
+
+// SaveState implements sim.Saver for a direct link. The link drains its two
+// send-side ports (inA/inB); the receive sides belong to the hub and the
+// memory controller.
+func (l *DirectLink) SaveState(e *snapshot.Encoder) {
+	sim.SavePort(e, l.inA, EncodePacket)
+	sim.SavePort(e, l.inB, EncodePacket)
+	saveDelayQueue(e, l.flightA)
+	saveDelayQueue(e, l.flightB)
+	e.U64(l.seq)
+	e.U64(l.Sent.Packets)
+	e.U64(l.Sent.Bytes)
+}
+
+// RestoreState implements sim.Restorer for a direct link.
+func (l *DirectLink) RestoreState(d *snapshot.Decoder) {
+	sim.RestorePort(d, l.inA, DecodePacket)
+	sim.RestorePort(d, l.inB, DecodePacket)
+	restoreDelayQueue(d, &l.flightA)
+	restoreDelayQueue(d, &l.flightB)
+	l.seq = d.U64()
+	l.Sent.Packets = d.U64()
+	l.Sent.Bytes = d.U64()
+}

@@ -1,0 +1,218 @@
+// Checkpoint serialization for both scheduler tiers. The sub-scheduler owns
+// (drains) its in/done/orphan ports and the main scheduler its credit ports,
+// so each saves those alongside its chain tables and credit state.
+package sched
+
+import (
+	"sort"
+
+	"smarco/internal/cpu"
+	"smarco/internal/sim"
+	"smarco/internal/snapshot"
+)
+
+func saveEntries(e *snapshot.Encoder, es []entry) {
+	e.U32(uint32(len(es)))
+	for _, en := range es {
+		cpu.SaveWork(e, en.work)
+		e.U64(en.queued)
+		e.U64(en.arrival)
+	}
+}
+
+func restoreEntries(d *snapshot.Decoder) []entry {
+	n := int(d.U32())
+	if n == 0 {
+		return nil
+	}
+	es := make([]entry, 0, n)
+	for i := 0; i < n; i++ {
+		var en entry
+		en.work = cpu.LoadWork(d)
+		en.queued = d.U64()
+		en.arrival = d.U64()
+		es = append(es, en)
+	}
+	return es
+}
+
+func saveInt(e *snapshot.Encoder, v int) { e.Int(v) }
+
+func loadInt(d *snapshot.Decoder) int { return d.Int() }
+
+// SaveState implements sim.Saver.
+func (s *SubScheduler) SaveState(e *snapshot.Encoder) {
+	sim.SavePort(e, s.in, cpu.SaveWork)
+	sim.SavePort(e, s.done, cpu.SaveCompletion)
+	sim.SavePort(e, s.orphan, cpu.SaveWork)
+	e.U32(uint32(len(s.freeCtx)))
+	for _, n := range s.freeCtx {
+		e.Int(n)
+	}
+	e.U32(uint32(len(s.dead)))
+	for _, dd := range s.dead {
+		e.Bool(dd)
+	}
+	e.Bool(s.kills != nil)
+	cycles := make([]uint64, 0, len(s.kills))
+	for cyc := range s.kills {
+		cycles = append(cycles, cyc)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	e.U32(uint32(len(cycles)))
+	for _, cyc := range cycles {
+		e.U64(cyc)
+		victims := s.kills[cyc]
+		e.U32(uint32(len(victims)))
+		for _, v := range victims {
+			e.Int(v)
+		}
+	}
+	saveEntries(e, s.high)
+	saveEntries(e, s.normal)
+	e.Int(s.overhead)
+	e.U64(s.seq)
+	e.Bool(s.deadlines != nil)
+	ids := make([]int, 0, len(s.deadlines))
+	for id := range s.deadlines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.Int(id)
+		e.U64(s.deadlines[id])
+	}
+	e.U32(uint32(len(s.Results)))
+	for _, r := range s.Results {
+		e.Int(r.TaskID)
+		e.Int(r.Core)
+		e.U64(r.Done)
+		e.U64(r.Deadline)
+	}
+	s.Stats.Dispatched.Save(e)
+	s.Stats.Completed.Save(e)
+	s.Stats.Misses.Save(e)
+	s.Stats.Migrated.Save(e)
+	s.Stats.Foreign.Save(e)
+	s.Stats.QueueWait.Save(e)
+}
+
+// RestoreState implements sim.Restorer.
+func (s *SubScheduler) RestoreState(d *snapshot.Decoder) {
+	sim.RestorePort(d, s.in, cpu.LoadWork)
+	sim.RestorePort(d, s.done, cpu.LoadCompletion)
+	sim.RestorePort(d, s.orphan, cpu.LoadWork)
+	n := int(d.U32())
+	if n != len(s.freeCtx) {
+		d.Fail("sched: snapshot has %d cores, sub-scheduler has %d", n, len(s.freeCtx))
+		return
+	}
+	for i := range s.freeCtx {
+		s.freeCtx[i] = d.Int()
+	}
+	n = int(d.U32())
+	if n != len(s.dead) {
+		d.Fail("sched: snapshot dead list has %d entries, want %d", n, len(s.dead))
+		return
+	}
+	for i := range s.dead {
+		s.dead[i] = d.Bool()
+	}
+	allocated := d.Bool()
+	s.kills = nil
+	if allocated {
+		s.kills = map[uint64][]int{}
+	}
+	n = int(d.U32())
+	for i := 0; i < n; i++ {
+		cyc := d.U64()
+		nv := int(d.U32())
+		victims := make([]int, 0, nv)
+		for j := 0; j < nv; j++ {
+			victims = append(victims, d.Int())
+		}
+		s.kills[cyc] = victims
+	}
+	s.high = restoreEntries(d)
+	s.normal = restoreEntries(d)
+	s.overhead = d.Int()
+	s.seq = d.U64()
+	allocated = d.Bool()
+	s.deadlines = nil
+	if allocated {
+		s.deadlines = map[int]uint64{}
+	}
+	n = int(d.U32())
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		s.deadlines[id] = d.U64()
+	}
+	n = int(d.U32())
+	s.Results = nil
+	for i := 0; i < n; i++ {
+		var r Result
+		r.TaskID = d.Int()
+		r.Core = d.Int()
+		r.Done = d.U64()
+		r.Deadline = d.U64()
+		s.Results = append(s.Results, r)
+	}
+	s.Stats.Dispatched.Restore(d)
+	s.Stats.Completed.Restore(d)
+	s.Stats.Misses.Restore(d)
+	s.Stats.Migrated.Restore(d)
+	s.Stats.Foreign.Restore(d)
+	s.Stats.QueueWait.Restore(d)
+}
+
+// SaveState implements sim.Saver.
+func (m *MainScheduler) SaveState(e *snapshot.Encoder) {
+	e.U32(uint32(len(m.pending)))
+	for _, w := range m.pending {
+		cpu.SaveWork(e, w)
+	}
+	e.U32(uint32(len(m.credits)))
+	for _, c := range m.credits {
+		e.Int(c)
+	}
+	e.U32(uint32(len(m.creditP)))
+	for _, p := range m.creditP {
+		sim.SavePort(e, p, saveInt)
+	}
+	e.Int(m.rr)
+	e.U64(m.seq)
+	e.U64(m.now)
+	m.Stats.Accepted.Save(e)
+	m.Stats.Dispatched.Save(e)
+}
+
+// RestoreState implements sim.Restorer.
+func (m *MainScheduler) RestoreState(d *snapshot.Decoder) {
+	n := int(d.U32())
+	m.pending = nil
+	for i := 0; i < n; i++ {
+		m.pending = append(m.pending, cpu.LoadWork(d))
+	}
+	n = int(d.U32())
+	if n != len(m.credits) {
+		d.Fail("sched: snapshot has %d sub-rings, main scheduler has %d", n, len(m.credits))
+		return
+	}
+	for i := range m.credits {
+		m.credits[i] = d.Int()
+	}
+	n = int(d.U32())
+	if n != len(m.creditP) {
+		d.Fail("sched: snapshot has %d credit ports, main scheduler has %d", n, len(m.creditP))
+		return
+	}
+	for _, p := range m.creditP {
+		sim.RestorePort(d, p, loadInt)
+	}
+	m.rr = d.Int()
+	m.seq = d.U64()
+	m.now = d.U64()
+	m.Stats.Accepted.Restore(d)
+	m.Stats.Dispatched.Restore(d)
+}

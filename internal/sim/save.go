@@ -1,0 +1,148 @@
+// Checkpoint support for the simulation kernel: the Saver/Restorer
+// interfaces every component implements, plus serialization of the
+// engine's own scheduling state (cycle counter, quiescence, timer heaps,
+// watchdog) and of port queues.
+//
+// Snapshots are only taken at cycle boundaries — after a Step has fully
+// completed — where every port's staged list is empty and its dirty flag
+// clear, so a port is fully described by its visible queue. See DESIGN.md
+// §9 for the restore-determinism contract.
+package sim
+
+import "smarco/internal/snapshot"
+
+// Saver is implemented by every component whose state must survive a
+// checkpoint. SaveState appends the component's complete dynamic state to
+// the encoder; configuration that is rebuilt identically by construction
+// (sizes, keys, wiring) is not saved.
+type Saver interface {
+	SaveState(e *snapshot.Encoder)
+}
+
+// Restorer is the inverse of Saver: RestoreState consumes exactly the
+// fields SaveState wrote, mutating the (already constructed) component in
+// place. Errors are latched on the decoder; semantic mismatches (e.g. a
+// snapshot from a differently sized chip) should be reported via
+// Decoder.Fail.
+type Restorer interface {
+	RestoreState(d *snapshot.Decoder)
+}
+
+// State returns the generator's position in its stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator mid-stream (checkpoint restore).
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// Save serializes the generator.
+func (r *RNG) Save(e *snapshot.Encoder) { e.U64(r.state) }
+
+// Restore loads the generator.
+func (r *RNG) Restore(d *snapshot.Decoder) { r.state = d.U64() }
+
+// SavePort serializes a port's visible queue with the provided element
+// encoder. It panics if the port holds staged (uncommitted) messages:
+// checkpoints are only legal at cycle boundaries.
+func SavePort[T any](e *snapshot.Encoder, p *Port[T], save func(*snapshot.Encoder, T)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.staged) > 0 || p.dirty.Load() {
+		panic("sim: SavePort on a port with staged messages (checkpoint off a cycle boundary)")
+	}
+	e.U32(uint32(len(p.queue)))
+	for _, msg := range p.queue {
+		save(e, msg)
+	}
+}
+
+// RestorePort replaces a port's visible queue with decoded elements. The
+// port keeps its identity, capacity, and engine wiring (onDirty/onDeliver
+// callbacks); only the queued contents change.
+func RestorePort[T any](d *snapshot.Decoder, p *Port[T], load func(*snapshot.Decoder) T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.staged = p.staged[:0]
+	p.dirty.Store(false)
+	n := int(d.U32())
+	p.queue = p.queue[:0]
+	for i := 0; i < n; i++ {
+		p.queue = append(p.queue, load(d))
+	}
+	p.visLen.Store(int32(len(p.queue)))
+}
+
+// SaveState serializes the engine's scheduling state: the cycle counter,
+// each component's quiescence status, the per-partition wake-timer heaps,
+// and the progress watchdog. Component and partition counts are recorded
+// and verified on restore, so a snapshot can never be applied to a chip
+// with different wiring. Ports and component internals are saved by their
+// owning components, not here.
+func (e *Engine) SaveState(enc *snapshot.Encoder) {
+	enc.U64(e.now)
+	enc.U32(uint32(len(e.parts)))
+	for _, p := range e.parts {
+		enc.U32(uint32(len(p.comps)))
+		for _, cs := range p.comps {
+			enc.Bool(cs.asleep)
+			enc.Bool(cs.woken.Load())
+		}
+		// The timer heap is serialized in slice order: the heap array layout
+		// is part of the deterministic state (pop order depends on it only
+		// through the heap invariant, but byte-identical snapshots require
+		// byte-identical layout).
+		enc.U32(uint32(len(p.timers)))
+		for _, te := range p.timers {
+			enc.U64(te.at)
+			enc.U32(uint32(te.idx))
+		}
+	}
+	enc.U64(e.lastSum)
+	enc.U64(e.lastCheck)
+	enc.Int(e.stuck)
+}
+
+// RestoreState loads the engine scheduling state saved by SaveState,
+// rebuilding each partition's active list (ascending registration order,
+// per the engine invariant) from the restored per-component sleep flags.
+func (e *Engine) RestoreState(dec *snapshot.Decoder) {
+	e.now = dec.U64()
+	nParts := int(dec.U32())
+	if nParts != len(e.parts) {
+		dec.Fail("sim: snapshot has %d partitions, engine has %d", nParts, len(e.parts))
+		return
+	}
+	for _, p := range e.parts {
+		nComps := int(dec.U32())
+		if nComps != len(p.comps) {
+			dec.Fail("sim: snapshot partition has %d components, engine has %d", nComps, len(p.comps))
+			return
+		}
+		p.asleep = 0
+		p.active = p.active[:0]
+		for i, cs := range p.comps {
+			cs.asleep = dec.Bool()
+			cs.woken.Store(dec.Bool())
+			if cs.asleep {
+				p.asleep++
+			} else {
+				p.active = append(p.active, int32(i))
+			}
+		}
+		nTimers := int(dec.U32())
+		p.timers = p.timers[:0]
+		for i := 0; i < nTimers; i++ {
+			at := dec.U64()
+			idx := int32(dec.U32())
+			if int(idx) >= len(p.comps) {
+				dec.Fail("sim: snapshot timer for component %d of %d", idx, len(p.comps))
+				return
+			}
+			p.timers = append(p.timers, timerEntry{at: at, idx: idx})
+		}
+		// Transient per-step state: nothing can be dirty at a boundary.
+		p.dirtyPorts = p.dirtyPorts[:0]
+	}
+	e.lastSum = dec.U64()
+	e.lastCheck = dec.U64()
+	e.stuck = dec.Int()
+}

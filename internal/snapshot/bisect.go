@@ -1,0 +1,92 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Prober produces the per-component fingerprints of one deterministic run
+// at a given cycle — typically by restoring the nearest checkpoint at or
+// below the cycle, running forward to it, checkpointing, and hashing the
+// result with Fingerprints. Probes must be repeatable: the same cycle must
+// always yield the same fingerprints for the same run.
+type Prober func(cycle uint64) (map[string]uint64, error)
+
+// Divergence reports where two runs first differ.
+type Divergence struct {
+	// Cycle is the first cycle at which any component's state differs.
+	Cycle uint64
+	// Components lists the section names that differ at Cycle, sorted.
+	Components []string
+}
+
+// DiffFingerprints returns the sorted component names whose fingerprints
+// differ between a and b (including names present in only one).
+func DiffFingerprints(a, b map[string]uint64) []string {
+	var out []string
+	for name, av := range a {
+		if bv, ok := b[name]; !ok || av != bv {
+			out = append(out, name)
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bisect binary-searches [lo, hi] for the first cycle at which two runs of
+// the same workload diverge, reporting that cycle and the components that
+// differ there. The precondition is the usual bisection invariant: the runs
+// agree at lo and differ at hi (both are verified by probing before the
+// search narrows). With checkpoints every N cycles a probe costs at most N
+// simulated cycles, so localizing a divergence in a C-cycle run costs
+// O(N·log C) instead of the O(C) of rerunning from cycle 0 with prints.
+func Bisect(lo, hi uint64, a, b Prober) (Divergence, error) {
+	if lo >= hi {
+		return Divergence{}, fmt.Errorf("snapshot: bisect needs lo < hi, got [%d, %d]", lo, hi)
+	}
+	probe := func(cycle uint64) (bool, []string, error) {
+		fa, err := a(cycle)
+		if err != nil {
+			return false, nil, fmt.Errorf("snapshot: probing run A at cycle %d: %w", cycle, err)
+		}
+		fb, err := b(cycle)
+		if err != nil {
+			return false, nil, fmt.Errorf("snapshot: probing run B at cycle %d: %w", cycle, err)
+		}
+		diff := DiffFingerprints(fa, fb)
+		return len(diff) > 0, diff, nil
+	}
+
+	if differ, _, err := probe(lo); err != nil {
+		return Divergence{}, err
+	} else if differ {
+		return Divergence{}, fmt.Errorf("snapshot: runs already diverge at lo=%d (bisect needs a matching start)", lo)
+	}
+	hiDiffer, hiDiff, err := probe(hi)
+	if err != nil {
+		return Divergence{}, err
+	}
+	if !hiDiffer {
+		return Divergence{}, fmt.Errorf("snapshot: runs agree at hi=%d (nothing to bisect)", hi)
+	}
+
+	// Invariant: runs agree at lo, differ at hi (hiDiff holds hi's diff).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		differ, diff, err := probe(mid)
+		if err != nil {
+			return Divergence{}, err
+		}
+		if differ {
+			hi, hiDiff = mid, diff
+		} else {
+			lo = mid
+		}
+	}
+	return Divergence{Cycle: hi, Components: hiDiff}, nil
+}

@@ -1,0 +1,193 @@
+package snapshot
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xDEADBEEF)
+	e.U64(^uint64(0))
+	e.I64(-42)
+	e.Int(-7)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+	e.String("hello")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != ^uint64(0) {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := d.Blob(); !reflect.DeepEqual(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := d.Blob(); len(got) != 0 {
+		t.Errorf("empty Blob = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.U64(1)
+	d := NewDecoder(e.Bytes()[:4])
+	_ = d.U64()
+	if d.Err() == nil {
+		t.Fatal("truncated read did not latch an error")
+	}
+	// Subsequent reads stay safe and zero-valued.
+	if got := d.U32(); got != 0 {
+		t.Errorf("post-error read = %v", got)
+	}
+}
+
+func TestBlobIntoLengthMismatch(t *testing.T) {
+	e := NewEncoder()
+	e.Blob([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	dst := make([]byte, 4)
+	d.BlobInto(dst)
+	if d.Err() == nil {
+		t.Fatal("length mismatch did not latch an error")
+	}
+}
+
+func TestFileRoundTripAndChecksum(t *testing.T) {
+	f := NewFile()
+	f.Add("engine", []byte{1, 2, 3})
+	f.Add("core.0", []byte("state"))
+	f.Add("empty", nil)
+	raw := f.Encode()
+
+	// Byte determinism: encoding the same content twice is identical.
+	if string(raw) != string(f.Encode()) {
+		t.Fatal("Encode is not deterministic")
+	}
+
+	g, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(g.Names(), []string{"engine", "core.0", "empty"}) {
+		t.Errorf("Names = %v", g.Names())
+	}
+	if string(g.Section("core.0")) != "state" {
+		t.Errorf("Section core.0 = %q", g.Section("core.0"))
+	}
+	if !g.Has("empty") || g.Has("missing") {
+		t.Error("Has misreports sections")
+	}
+
+	// A flipped byte in a payload must be caught by the checksum.
+	bad := append([]byte(nil), raw...)
+	bad[len(Magic)+12] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("corrupted file decoded without error")
+	}
+	// Bad magic.
+	bad2 := append([]byte(nil), raw...)
+	bad2[0] ^= 0xFF
+	if _, err := Decode(bad2); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	f := NewFile()
+	f.Add("a", []byte{9, 9})
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(g.Section("a"), []byte{9, 9}) {
+		t.Errorf("Section a = %v", g.Section("a"))
+	}
+}
+
+func TestFingerprintsDetectDifferences(t *testing.T) {
+	f := NewFile()
+	f.Add("x", []byte{1})
+	f.Add("y", []byte{2})
+	g := NewFile()
+	g.Add("x", []byte{1})
+	g.Add("y", []byte{3})
+	diff := DiffFingerprints(Fingerprints(f), Fingerprints(g))
+	if !reflect.DeepEqual(diff, []string{"y"}) {
+		t.Errorf("diff = %v", diff)
+	}
+}
+
+// TestBisect simulates two runs that diverge at a known cycle and checks
+// the search pinpoints it exactly, including the divergent component set.
+func TestBisect(t *testing.T) {
+	const divergeAt = 1234
+	run := func(perturbed bool) Prober {
+		return func(cycle uint64) (map[string]uint64, error) {
+			fp := map[string]uint64{"core.0": cycle * 3, "mc.0": cycle * 7}
+			if perturbed && cycle >= divergeAt {
+				fp["core.0"] ^= 0x5a5a
+			}
+			return fp, nil
+		}
+	}
+	d, err := Bisect(0, 10_000, run(false), run(true))
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if d.Cycle != divergeAt {
+		t.Errorf("first divergent cycle = %d, want %d", d.Cycle, divergeAt)
+	}
+	if !reflect.DeepEqual(d.Components, []string{"core.0"}) {
+		t.Errorf("divergent components = %v", d.Components)
+	}
+
+	// Identical runs: nothing to bisect.
+	if _, err := Bisect(0, 10_000, run(false), run(false)); err == nil {
+		t.Error("Bisect over identical runs should error")
+	}
+	// Diverged from the start: invariant violation reported.
+	if _, err := Bisect(divergeAt, 10_000, run(false), run(true)); err == nil {
+		t.Error("Bisect with diverging lo should error")
+	}
+}

@@ -1,0 +1,17 @@
+package spm
+
+import "smarco/internal/snapshot"
+
+// SaveState implements sim.Saver: the data array plus the control-register
+// window (which holds in-progress DMA programming and the completion
+// counter).
+func (s *SPM) SaveState(e *snapshot.Encoder) {
+	s.data.Save(e)
+	e.Blob(s.regs[:])
+}
+
+// RestoreState implements sim.Restorer.
+func (s *SPM) RestoreState(d *snapshot.Decoder) {
+	s.data.Restore(d)
+	d.BlobInto(s.regs[:])
+}

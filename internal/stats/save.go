@@ -1,0 +1,62 @@
+package stats
+
+import "smarco/internal/snapshot"
+
+// Save serializes the counter.
+func (c *Counter) Save(e *snapshot.Encoder) { e.U64(c.n) }
+
+// Restore loads the counter.
+func (c *Counter) Restore(d *snapshot.Decoder) { c.n = d.U64() }
+
+// Save serializes the histogram: samples in insertion order (the order is
+// part of the API contract), plus the derived fields so restore is exact.
+func (h *Histogram) Save(e *snapshot.Encoder) {
+	e.U32(uint32(len(h.samples)))
+	for _, v := range h.samples {
+		e.U64(v)
+	}
+	e.U64(h.sum)
+	e.U64(h.min)
+	e.U64(h.max)
+}
+
+// Restore loads the histogram.
+func (h *Histogram) Restore(d *snapshot.Decoder) {
+	n := int(d.U32())
+	h.samples = h.samples[:0]
+	for i := 0; i < n; i++ {
+		h.samples = append(h.samples, d.U64())
+	}
+	h.sum = d.U64()
+	h.min = d.U64()
+	h.max = d.U64()
+	h.sorted = nil
+}
+
+// Save serializes the streaming histogram. sumSq travels as IEEE-754 bits,
+// so Stddev is bit-identical after restore.
+func (h *StreamHist) Save(e *snapshot.Encoder) {
+	e.U64(h.count)
+	e.U64(h.sum)
+	e.F64(h.sumSq)
+	e.U64(h.min)
+	e.U64(h.max)
+	e.U32(uint32(len(h.buckets)))
+	for _, n := range h.buckets {
+		e.U64(n)
+	}
+}
+
+// Restore loads the streaming histogram.
+func (h *StreamHist) Restore(d *snapshot.Decoder) {
+	h.count = d.U64()
+	h.sum = d.U64()
+	h.sumSq = d.F64()
+	h.min = d.U64()
+	h.max = d.U64()
+	n := int(d.U32())
+	h.buckets = h.buckets[:0]
+	for i := 0; i < n; i++ {
+		h.buckets = append(h.buckets, d.U64())
+	}
+}

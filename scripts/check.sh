@@ -18,6 +18,26 @@ go test -race ./internal/sim/... ./internal/fault/... ./internal/chip/...
 go test ./internal/noc/... ./internal/dram/... ./internal/cpu/... \
     ./internal/sched/... ./internal/cache/...
 
+# Coverage floor for the determinism-critical leaf packages: the engine and
+# the snapshot codec underpin the checkpoint/restore bit-identity contract,
+# so their own-test coverage must not erode. Baselines recorded when the
+# checkpoint layer landed (sim 78.2%, snapshot 84.4%), floors set just below.
+cover_floor() {
+    pkg="$1"
+    floor="$2"
+    pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "could not measure coverage for $pkg"
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }')" != 1 ]; then
+        echo "coverage for $pkg is ${pct}%, below the recorded ${floor}% baseline"
+        exit 1
+    fi
+}
+cover_floor ./internal/sim 75.0
+cover_floor ./internal/snapshot 80.0
+
 if [ "${1:-fast}" = "full" ]; then
     # Full suite, no -short: per-package timeouts so one hung package fails
     # fast instead of absorbing the whole budget. The experiments package
