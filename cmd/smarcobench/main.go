@@ -7,6 +7,8 @@
 //	smarcobench -scale paper         # paper-sized configurations (slow)
 //	smarcobench -only fig17,fig22    # a subset
 //	smarcobench -engine              # engine throughput -> BENCH_engine.json
+//	smarcobench -suite               # run-pool suite wall-clock -> BENCH_suite.json
+//	smarcobench -engine-smoke BENCH_floor.json  # CI guard: fail on throughput regression
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -196,6 +199,101 @@ func benchEngine(path, label, jsonPath string) error {
 	return nil
 }
 
+// suiteSnapshot is the BENCH_suite.json schema: the run-level pool's
+// wall-clock effect on the heaviest harness grid (the full ablation sweep),
+// one entry per engine version, oldest first.
+type suiteSnapshot struct {
+	Suite   string       `json:"suite"`
+	Entries []suiteEntry `json:"entries"`
+}
+
+type suiteEntry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Runs       []experiments.SuiteRun `json:"runs"`
+	// Speedup is serial wall time over the widest pool's wall time. On a
+	// single-CPU host both runs are serial and this sits near 1.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchSuite times the ablation grid at pool sizes 1 and GOMAXPROCS and
+// appends the measurement to the suite snapshot file.
+func benchSuite(path, label string, seed uint64) error {
+	var snap suiteSnapshot
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	snap.Suite = "ablations scale=small (full benchmark x feature grid)"
+	entry := suiteEntry{
+		Label:      label,
+		Date:       time.Now().Format("2006-01-02"),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sizes := []int{1}
+	if gm := runtime.GOMAXPROCS(0); gm > 1 {
+		sizes = append(sizes, gm)
+	}
+	for _, n := range sizes {
+		r, err := experiments.MeasureSuite(experiments.ScaleSmall, seed, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("suite workers=%-3d sims=%-3d wall=%.2fs\n", r.Workers, r.Sims, r.WallSeconds)
+		entry.Runs = append(entry.Runs, r)
+	}
+	entry.Speedup = entry.Runs[0].WallSeconds / entry.Runs[len(entry.Runs)-1].WallSeconds
+	snap.Entries = append(snap.Entries, entry)
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// benchFloor is the BENCH_floor.json schema: the reference throughput the
+// CI smoke job guards, with the tolerated fractional regression.
+type benchFloor struct {
+	Config       string  `json:"config"`
+	Parallel     bool    `json:"parallel"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// MaxRegress is the tolerated fractional slowdown before the smoke run
+	// fails (0 selects 0.30). Generous because CI machines vary widely.
+	MaxRegress float64 `json:"max_regress"`
+}
+
+// benchSmoke runs one engine measurement and fails if throughput fell more
+// than the floor file's tolerance below its reference rate.
+func benchSmoke(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var floor benchFloor
+	if err := json.Unmarshal(raw, &floor); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if floor.MaxRegress == 0 {
+		floor.MaxRegress = 0.30
+	}
+	r, err := experiments.MeasureEngine(floor.Config, floor.Parallel)
+	if err != nil {
+		return err
+	}
+	limit := floor.CyclesPerSec * (1 - floor.MaxRegress)
+	fmt.Printf("%-8s parallel=%-5v cycles/sec=%.0f (floor %.0f, fail below %.0f)\n",
+		r.Config, r.Parallel, r.CyclesPerSec, floor.CyclesPerSec, limit)
+	if r.CyclesPerSec < limit {
+		return fmt.Errorf("engine throughput regression: %.0f cycles/sec is more than %.0f%% below the %.0f floor in %s",
+			r.CyclesPerSec, floor.MaxRegress*100, floor.CyclesPerSec, path)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smarcobench: ")
@@ -207,8 +305,15 @@ func main() {
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine snapshot file")
 	engineLabel := flag.String("engine-label", "engine snapshot", "label for the new snapshot entry")
 	jsonOut := flag.String("json", "", "with -engine: write unified metrics snapshots (chip.Snapshot array) to FILE")
+	suite := flag.Bool("suite", false, "time the ablation suite at run-pool sizes 1 and GOMAXPROCS, append to -suite-out")
+	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot file")
+	suiteLabel := flag.String("suite-label", "suite snapshot", "label for the new suite entry")
+	smoke := flag.String("engine-smoke", "", "run the CI smoke benchmark against this floor file and exit")
+	workers := flag.Int("workers", 0, "run-pool worker bound for experiment sweeps (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	flag.Parse()
+
+	experiments.SetPoolWorkers(*workers)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -223,6 +328,20 @@ func main() {
 
 	if *engine {
 		if err := benchEngine(*engineOut, *engineLabel, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *suite {
+		if err := benchSuite(*suiteOut, *suiteLabel, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *smoke != "" {
+		if err := benchSmoke(*smoke); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -43,7 +43,10 @@ func main() {
 	stage := flag.Bool("stage", false, "stage task datasets into the SPMs (§3.6)")
 	prefetch := flag.Bool("prefetch", false, "enable the sequential SPM prefetcher (§7)")
 	mesh := flag.Bool("mesh", false, "use the 2D-mesh baseline interconnect instead of hierarchical rings")
-	parallel := flag.Bool("parallel", true, "parallel (PDES-style) execution")
+	parallel := flag.Bool("parallel", true, "parallel (PDES-style) execution (superseded by -executor when set)")
+	executor := flag.String("executor", "", "engine executor: serial, parallel, or auto (empty defers to -parallel)")
+	partitions := flag.Int("partitions", 0, "parallel partition cap (0 = one per CPU); results identical at any value")
+	repartEvery := flag.Uint64("repartition-every", 0, "rebalance shard->partition assignment every N cycles (0 = assign once)")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic)")
 	linkRate := flag.Float64("link-fault-rate", 0, "per-traversal NoC link fault probability")
@@ -83,6 +86,9 @@ func main() {
 		cfg.Topology = "mesh"
 	}
 	cfg.Parallel = *parallel
+	cfg.Executor = *executor
+	cfg.Partitions = *partitions
+	cfg.RepartitionEvery = *repartEvery
 	cfg.Fault = fault.Config{
 		Seed:          *faultSeed,
 		LinkFaultRate: *linkRate,

@@ -7,6 +7,7 @@ package chip
 
 import (
 	"fmt"
+	"runtime"
 
 	"smarco/internal/cpu"
 	"smarco/internal/dram"
@@ -42,9 +43,24 @@ type Config struct {
 	Topology string
 	// MeshLink configures the mesh baseline's links.
 	MeshLink noc.MeshLinkConfig
-	// Parallel runs one goroutine per sub-ring partition (the PDES-style
-	// executor); results are identical to serial execution.
+	// Parallel selects the PDES-style parallel executor; results are
+	// identical to serial execution. Superseded by Executor when that is
+	// non-empty.
 	Parallel bool
+	// Executor picks the engine executor explicitly: "serial", "parallel",
+	// or "auto" (parallel only when the host has more than one CPU and the
+	// chip is at least autoParallelCores cores — the measured crossover
+	// below which per-cycle barrier overhead outweighs the concurrency).
+	// Empty defers to the Parallel field.
+	Executor string
+	// Partitions caps the parallel executor's partition count (0 = one per
+	// available CPU). Purely a wall-time knob: results are identical for
+	// every value.
+	Partitions int
+	// RepartitionEvery rebalances the shard→partition assignment every N
+	// cycles from deterministic per-shard load counters (0 = assign once at
+	// start). Results are bit-identical with any setting.
+	RepartitionEvery uint64
 	// ClockHz converts cycles to seconds for cross-machine comparisons
 	// (SmarCo runs at 1.5 GHz).
 	ClockHz float64
@@ -89,6 +105,27 @@ func SmallConfig() Config {
 
 // Cores returns the total core count.
 func (c Config) Cores() int { return c.SubRings * c.CoresPerSub }
+
+// autoParallelCores is the chip size at which Executor "auto" switches to
+// the parallel executor: below it, per-cycle synchronization overhead
+// outweighs what little work there is to spread (see BENCH_engine.json for
+// the serial-vs-parallel crossover measurements).
+const autoParallelCores = 64
+
+// EffectiveParallel resolves the executor selection to a concrete mode for
+// this host. Executor "" defers to the legacy Parallel bool.
+func (c Config) EffectiveParallel() bool {
+	switch c.Executor {
+	case "serial":
+		return false
+	case "parallel":
+		return true
+	case "auto":
+		return runtime.GOMAXPROCS(0) > 1 && c.Cores() >= autoParallelCores
+	default:
+		return c.Parallel
+	}
+}
 
 // Threads returns the total hardware thread count.
 func (c Config) Threads() int {
@@ -158,7 +195,14 @@ func Build(cfg Config, store *mem.Sparse) (*Chip, error) {
 		}
 		c.inj = inj
 	}
-	c.eng.SetParallel(cfg.Parallel)
+	switch cfg.Executor {
+	case "", "serial", "parallel", "auto":
+	default:
+		return nil, fmt.Errorf("chip: unknown executor %q (want serial, parallel, or auto)", cfg.Executor)
+	}
+	c.eng.SetParallel(cfg.EffectiveParallel())
+	c.eng.SetMaxPartitions(cfg.Partitions)
+	c.eng.SetRepartition(cfg.RepartitionEvery)
 	wd := cfg.WatchdogCycles
 	if wd == 0 {
 		wd = sim.DefaultWatchdogCycles
@@ -339,11 +383,14 @@ func (c *Chip) build() error {
 
 	c.Main = sched.NewMain(c.Subs, 500_000)
 
-	// Engine registration: one partition per sub-ring, one for the chip
-	// uncore (main ring, MCs, main scheduler, direct links). Every port is
-	// registered against the component that drains it, so a delivery
-	// re-arms a quiesced owner and commit work runs on the owner's
-	// partition (see sim.Engine.AddPortFor).
+	// Engine registration in load-balancing shards: one per sub-ring, one
+	// per memory controller (the controller plus the direct links that
+	// terminate on it), one for the main-ring routers, and one for the main
+	// scheduler. Splitting the former monolithic uncore lets the engine
+	// spread DRAM and main-ring work across partitions instead of pinning
+	// it all behind one goroutine. Every port is registered against the
+	// component that drains it, so a delivery re-arms a quiesced owner and
+	// commit work runs on the owner's shard (see sim.Engine.AddPortFor).
 	for s := 0; s < cfg.SubRings; s++ {
 		var parts []sim.Ticker
 		for _, rt := range c.SubRings[s].Routers() {
@@ -354,7 +401,7 @@ func (c *Chip) build() error {
 			parts = append(parts, c.Cores[lo+k])
 		}
 		parts = append(parts, c.Hubs[s], c.Subs[s])
-		c.eng.AddPartition(parts...)
+		c.eng.AddShard(fmt.Sprintf("sub%d", s), parts...)
 		for k, rt := range c.SubRings[s].Routers() {
 			c.eng.AddPortFor(rt, rt.InPorts()...)
 			// Stop k's eject feeds core lo+k; the last stop feeds the hub.
@@ -369,18 +416,21 @@ func (c *Chip) build() error {
 		}
 		c.eng.AddPortFor(c.Subs[s], c.Subs[s].Ports()...)
 	}
-	var uncore []sim.Ticker
+	for m, mc := range c.MCs {
+		parts := []sim.Ticker{mc}
+		for i, dl := range directLinks {
+			if i%len(c.MCs) == m {
+				parts = append(parts, dl)
+			}
+		}
+		c.eng.AddShard(fmt.Sprintf("mc%d", m), parts...)
+	}
+	var mainRouters []sim.Ticker
 	for _, rt := range c.MainRing.Routers() {
-		uncore = append(uncore, rt)
+		mainRouters = append(mainRouters, rt)
 	}
-	for _, mc := range c.MCs {
-		uncore = append(uncore, mc)
-	}
-	for _, dl := range directLinks {
-		uncore = append(uncore, dl)
-	}
-	uncore = append(uncore, c.Main)
-	c.eng.AddPartition(uncore...)
+	c.eng.AddShard("mainring", mainRouters...)
+	c.eng.AddShard("sched", c.Main)
 	for i, st := range layout {
 		rt := c.MainRing.Router(i)
 		c.eng.AddPortFor(rt, rt.InPorts()...)

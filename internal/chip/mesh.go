@@ -81,7 +81,7 @@ func (c *Chip) buildMesh() error {
 		parts = append(parts, mc)
 	}
 	parts = append(parts, sub, c.Main)
-	c.eng.AddPartition(parts...)
+	c.eng.AddShard("mesh", parts...)
 	// Routers are laid out row-major, so router i carries places[i] when a
 	// node is attached there; trailing routers are unattached fillers.
 	for i, rt := range c.Mesh.Routers() {

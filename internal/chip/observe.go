@@ -24,7 +24,6 @@ import (
 func (c *Chip) EnableTrace(limit int) *sim.Trace {
 	t := sim.NewTrace(limit)
 	c.eng.SetTrace(t)
-	c.labelPartitions(t.LabelPartition)
 	emit := sim.TraceFn(t.Emit)
 	for _, core := range c.Cores {
 		core.SetTracer(emit)
@@ -61,13 +60,14 @@ func (c *Chip) WriteTrace(w io.Writer) error {
 	return c.eng.WriteTrace(w)
 }
 
-// EnableProfile installs the engine's per-partition wall-time profiler
+// EnableProfile installs the engine's per-shard wall-time profiler
 // (tick/port/commit attribution under either executor). Call before
-// running; read the result with Profile.
+// running; read the result with Profile. Shards are labeled at
+// registration (sub0..subN, mc0..mcN, mainring, sched — or mesh), so
+// profile rows arrive named.
 func (c *Chip) EnableProfile() *sim.Profile {
 	p := sim.NewProfile()
 	c.eng.SetProfile(p)
-	c.labelPartitions(p.LabelPartition)
 	c.prof = p
 	return p
 }
@@ -76,19 +76,11 @@ func (c *Chip) EnableProfile() *sim.Profile {
 // one).
 func (c *Chip) Profile() *sim.Profile { return c.prof }
 
-// labelPartitions names the engine partitions the way build laid them out:
-// one per sub-ring plus the uncore, or a single partition for the mesh
-// baseline.
-func (c *Chip) labelPartitions(label func(pi int, name string)) {
-	if c.Mesh != nil {
-		label(0, "mesh")
-		return
-	}
-	for s := range c.SubRings {
-		label(s, fmt.Sprintf("sub%d", s))
-	}
-	label(len(c.SubRings), "uncore")
-}
+// LoadReport returns the engine's deterministic per-shard load picture:
+// component counts, component-tick counts with engine-wide shares, and the
+// current shard→partition assignment. Available on every chip, profiling
+// enabled or not; tick counts are identical across hosts and executors.
+func (c *Chip) LoadReport() []sim.ShardLoad { return c.eng.LoadReport() }
 
 // SnapshotChip summarizes the configuration a snapshot was taken on.
 type SnapshotChip struct {
@@ -98,7 +90,8 @@ type SnapshotChip struct {
 	Threads     int     `json:"threads"`
 	MCs         int     `json:"mcs"`
 	Topology    string  `json:"topology"`
-	Parallel    bool    `json:"parallel"`
+	Parallel    bool    `json:"parallel"` // effective executor for this run
+	Executor    string  `json:"executor,omitempty"`
 	ClockHz     float64 `json:"clock_hz"`
 }
 
@@ -107,13 +100,18 @@ type SnapshotChip struct {
 // experiment harness, or a mid-run sample. Metrics are settled (see
 // Chip.Metrics) at capture time.
 type Snapshot struct {
-	Label    string                 `json:"label,omitempty"`
-	Workload string                 `json:"workload,omitempty"`
-	Cycles   uint64                 `json:"cycles"`
-	Seconds  float64                `json:"seconds"` // simulated time at ClockHz
-	Chip     SnapshotChip           `json:"chip"`
-	Metrics  Metrics                `json:"metrics"`
-	Profile  []sim.PartitionProfile `json:"profile,omitempty"`
+	Label    string       `json:"label,omitempty"`
+	Workload string       `json:"workload,omitempty"`
+	Cycles   uint64       `json:"cycles"`
+	Seconds  float64      `json:"seconds"` // simulated time at ClockHz
+	Chip     SnapshotChip `json:"chip"`
+	Metrics  Metrics      `json:"metrics"`
+	// Load is the deterministic per-shard load report (component-tick
+	// counts and shares plus the shard→partition assignment). Tick counts
+	// and shares are identical across hosts and executors; the Partition
+	// column reflects this run's assignment (all zero under serial).
+	Load    []sim.ShardLoad        `json:"load,omitempty"`
+	Profile []sim.PartitionProfile `json:"profile,omitempty"`
 	// TraceDropped counts trace events lost to the buffer cap (only
 	// meaningful with tracing enabled; 0 means the trace is complete).
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
@@ -137,10 +135,12 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 			Threads:     c.Config.Threads(),
 			MCs:         c.Config.MCs,
 			Topology:    topo,
-			Parallel:    c.Config.Parallel,
+			Parallel:    c.Config.EffectiveParallel(),
+			Executor:    c.Config.Executor,
 			ClockHz:     c.Config.ClockHz,
 		},
 		Metrics: c.Metrics(),
+		Load:    c.LoadReport(),
 	}
 	if c.prof != nil {
 		s.Profile = c.prof.Partitions()

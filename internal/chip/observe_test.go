@@ -88,8 +88,10 @@ func TestChipTraceExportsValidChromeJSON(t *testing.T) {
 		}
 	}
 	joined := strings.Join(labels, " ")
-	if !strings.Contains(joined, "sub0") || !strings.Contains(joined, "uncore") {
-		t.Fatalf("partition labels missing: %s", joined)
+	for _, want := range []string{"sub0", "mc0", "mainring", "sched"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("shard label %q missing: %s", want, joined)
+		}
 	}
 	if tr.Dropped() != 0 {
 		t.Logf("note: %d events dropped under default cap", tr.Dropped())
@@ -124,14 +126,32 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 	if back.Metrics.TasksDone != 8 || back.Metrics.Instructions == 0 {
 		t.Fatalf("metrics missing from snapshot: %+v", back.Metrics)
 	}
-	if len(back.Profile) != len(c.SubRings)+1 {
-		t.Fatalf("profile has %d partitions, want %d", len(back.Profile), len(c.SubRings)+1)
+	// One profile row per shard: sub-rings, MCs, the main ring, the
+	// scheduler — matching the load report row for row.
+	wantShards := len(c.SubRings) + len(c.MCs) + 2
+	if len(back.Profile) != wantShards {
+		t.Fatalf("profile has %d shards, want %d", len(back.Profile), wantShards)
 	}
-	var share float64
-	for _, pp := range back.Profile {
+	if len(back.Load) != wantShards {
+		t.Fatalf("load report has %d shards, want %d", len(back.Load), wantShards)
+	}
+	var share, tickShare float64
+	var ticks uint64
+	for i, pp := range back.Profile {
 		share += pp.Share
+		tickShare += pp.TickShare
+		ticks += pp.Ticks
+		if pp.Label != back.Load[i].Label || pp.Ticks != back.Load[i].Ticks {
+			t.Fatalf("profile row %d disagrees with load report: %+v vs %+v", i, pp, back.Load[i])
+		}
 	}
 	if share < 0.999 || share > 1.001 {
 		t.Fatalf("profile shares sum to %v", share)
+	}
+	if tickShare < 0.999 || tickShare > 1.001 {
+		t.Fatalf("tick shares sum to %v", tickShare)
+	}
+	if ticks == 0 {
+		t.Fatal("no component ticks recorded in the load report")
 	}
 }

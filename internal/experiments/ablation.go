@@ -5,6 +5,7 @@ import (
 
 	"smarco/internal/chip"
 	"smarco/internal/kernels"
+	"smarco/internal/runner"
 	"smarco/internal/stats"
 )
 
@@ -95,52 +96,84 @@ var ablations = []ablation{
 var AblationBenchmarks = []string{"kmp", "terasort", "rnc"}
 
 // Ablations measures each feature's contribution on the given benchmarks
-// (the full AblationBenchmarks grid when none are named). Each feature
-// costs two chip runs per benchmark, so callers with a time budget — the
-// test suite in particular — can restrict the grid to the benchmarks their
-// assertions actually compare.
+// (the full AblationBenchmarks grid when none are named; callers with a
+// tight time budget can restrict the grid). The grid's chip runs are
+// independent, so they are deduplicated — features whose "with"
+// configuration is the stock chip share one baseline run per benchmark —
+// and executed on the run pool; results are identical at any pool size.
 func Ablations(scale Scale, seed uint64, benchmarks ...string) ([]AblationResult, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = AblationBenchmarks
 	}
-	var out []AblationResult
-	for _, ab := range ablations {
-		res := AblationResult{Feature: ab.name, Gain: map[string]float64{}}
+	// One grid slot per distinct (configuration, workload) pair.
+	type gridRun struct {
+		bench  string
+		staged bool
+		mutate func(*chip.Config)
+	}
+	var runs []gridRun
+	slot := map[string]int{}
+	addRun := func(key, bench string, staged bool, mutate func(*chip.Config)) int {
+		k := key + "|" + bench
+		if i, ok := slot[k]; ok {
+			return i
+		}
+		slot[k] = len(runs)
+		runs = append(runs, gridRun{bench: bench, staged: staged, mutate: mutate})
+		return len(runs) - 1
+	}
+	type cell struct{ with, without int } // indices into runs
+	cells := make([]map[string]cell, len(ablations))
+	for ai, ab := range ablations {
+		cells[ai] = map[string]cell{}
 		for _, name := range benchmarks {
-			build := func(staged bool) (*kernels.Workload, chip.Config) {
-				cfg := chipConfig(scale)
-				// Enough tasks to oversubscribe every hardware context, so
-				// features like in-pair threading actually engage.
-				w := kernels.MustNew(name, kernels.Config{
-					Seed:     seed,
-					Tasks:    cfg.Threads() + cfg.Threads()/2,
-					Scale:    workloadScale(scale, name),
-					StageSPM: staged,
-				})
-				return w, cfg
-			}
-			// With the feature.
-			w, cfg := build(ab.staged)
+			// Features with no enable hook measure "with" on the stock chip:
+			// those runs are shared across features (keyed only by staging).
+			withKey := fmt.Sprintf("base staged=%t", ab.staged)
 			if ab.enable != nil {
-				ab.enable(&cfg)
+				withKey = "with " + ab.name
 			}
-			c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s with: %w", ab.name, name, err)
-			}
-			with := c.Now()
-			// Without it.
 			stagedOff := ab.staged
 			if ab.name == "SPM staging" {
 				stagedOff = false
 			}
-			w2, cfg2 := build(stagedOff)
-			ab.disable(&cfg2)
-			c2, err := runOnChip(cfg2, w2, 4*cycleBudget(scale))
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s without: %w", ab.name, name, err)
+			cells[ai][name] = cell{
+				with:    addRun(withKey, name, ab.staged, ab.enable),
+				without: addRun("without "+ab.name, name, stagedOff, ab.disable),
 			}
-			res.Gain[name] = float64(c2.Now()) / float64(with)
+		}
+	}
+	cycles, err := runner.Map(pool, len(runs), func(i int) (uint64, error) {
+		r := runs[i]
+		cfg := chipConfig(scale)
+		// Enough tasks to oversubscribe every hardware context, so features
+		// like in-pair threading actually engage. Sized from the unmutated
+		// configuration: a feature that shrinks the chip (fewer threads)
+		// must still face the same workload.
+		w := kernels.MustNew(r.bench, kernels.Config{
+			Seed:     seed,
+			Tasks:    cfg.Threads() + cfg.Threads()/2,
+			Scale:    workloadScale(scale, r.bench),
+			StageSPM: r.staged,
+		})
+		if r.mutate != nil {
+			r.mutate(&cfg)
+		}
+		c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
+		if err != nil {
+			return 0, fmt.Errorf("ablation run %s: %w", r.bench, err)
+		}
+		return c.Now(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	for ai, ab := range ablations {
+		res := AblationResult{Feature: ab.name, Gain: map[string]float64{}}
+		for _, name := range benchmarks {
+			cl := cells[ai][name]
+			res.Gain[name] = float64(cycles[cl.without]) / float64(cycles[cl.with])
 		}
 		out = append(out, res)
 	}

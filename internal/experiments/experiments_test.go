@@ -263,15 +263,12 @@ func TestAblationsShowFeatureValue(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-configuration sweep")
 	}
-	// Every assertion below reads Gain["kmp"], so the test trims the study
-	// grid to that one benchmark: two chip runs per feature instead of six.
-	// The full AblationBenchmarks grid still runs via cmd/smarcobench.
-	dropped := AblationBenchmarks[1:]
-	t.Logf("ablation grid trimmed to kmp; dropped from test coverage: %s (cmd/smarcobench runs the full grid)",
-		strings.Join(dropped, ", "))
+	// The full three-benchmark grid: baseline-run dedup plus the run pool
+	// keep it affordable (the kmp-only trim this test once carried is no
+	// longer needed).
 	// An explicit internal deadline turns an engine performance regression
 	// into a readable failure instead of a whole-suite `go test` timeout
-	// panic. The sweep takes well under a minute on a healthy engine.
+	// panic.
 	const deadline = 5 * time.Minute
 	type outcome struct {
 		results []AblationResult
@@ -280,7 +277,7 @@ func TestAblationsShowFeatureValue(t *testing.T) {
 	ch := make(chan outcome, 1)
 	start := time.Now()
 	go func() {
-		r, err := Ablations(ScaleSmall, 1, "kmp")
+		r, err := Ablations(ScaleSmall, 1)
 		ch <- outcome{r, err}
 	}()
 	var results []AblationResult
@@ -299,6 +296,11 @@ func TestAblationsShowFeatureValue(t *testing.T) {
 	byName := map[string]AblationResult{}
 	for _, r := range results {
 		byName[r.Feature] = r
+		for _, bench := range AblationBenchmarks {
+			if _, ok := r.Gain[bench]; !ok {
+				t.Fatalf("%s: full grid missing benchmark %s", r.Feature, bench)
+			}
+		}
 		for bench, g := range r.Gain {
 			// SPM staging legitimately reaches ~87x on kmp: staging turns a
 			// DRAM-streaming scan into SPM-local reads, so the bound must

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"smarco/internal/runner"
 	"smarco/internal/stats"
 )
 
@@ -25,23 +26,29 @@ func Fig19MACTThreshold(scale Scale, seed uint64, benchmarks ...string) ([]Fig19
 	if len(benchmarks) == 0 {
 		benchmarks = Benchmarks
 	}
-	var out []Fig19Result
-	for _, name := range benchmarks {
-		res := Fig19Result{Benchmark: name, Speedup: map[uint64]float64{}}
-		cycles := map[uint64]uint64{}
-		for _, th := range Fig19Thresholds {
-			cfg := chipConfig(scale)
-			cfg.MACT.Threshold = th
-			w := buildWorkload(scale, name, seed)
-			c, err := runOnChip(cfg, w, cycleBudget(scale))
-			if err != nil {
-				return nil, fmt.Errorf("fig19 %s threshold=%d: %w", name, th, err)
-			}
-			cycles[th] = c.Now()
+	// Benchmark × threshold grid on the run pool; identical results at any
+	// pool size.
+	nTh := len(Fig19Thresholds)
+	cycles, err := runner.Map(pool, len(benchmarks)*nTh, func(i int) (uint64, error) {
+		name, th := benchmarks[i/nTh], Fig19Thresholds[i%nTh]
+		cfg := chipConfig(scale)
+		cfg.MACT.Threshold = th
+		w := buildWorkload(scale, name, seed)
+		c, err := runOnChip(cfg, w, cycleBudget(scale))
+		if err != nil {
+			return 0, fmt.Errorf("fig19 %s threshold=%d: %w", name, th, err)
 		}
-		base := cycles[8]
-		for th, cy := range cycles {
-			res.Speedup[th] = float64(base) / float64(cy)
+		return c.Now(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig19Result
+	for bi, name := range benchmarks {
+		res := Fig19Result{Benchmark: name, Speedup: map[uint64]float64{}}
+		base := cycles[bi*nTh] // threshold index 0 is the 8-cycle baseline
+		for ti, th := range Fig19Thresholds {
+			res.Speedup[th] = float64(base) / float64(cycles[bi*nTh+ti])
 		}
 		out = append(out, res)
 	}
@@ -67,34 +74,42 @@ func Fig20MACTComparison(scale Scale, seed uint64, benchmarks ...string) ([]Fig2
 	if len(benchmarks) == 0 {
 		benchmarks = Benchmarks
 	}
+	// Two runs per benchmark (MACT on, MACT off) on the run pool.
+	type point struct {
+		cycles uint64
+		lat    float64
+		util   float64
+		reqs   uint64
+	}
+	grid, err := runner.Map(pool, 2*len(benchmarks), func(i int) (point, error) {
+		name, enabled := benchmarks[i/2], i%2 == 0
+		cfg := chipConfig(scale)
+		cfg.MACT.Enabled = enabled
+		w := buildWorkload(scale, name, seed)
+		c, err := runOnChip(cfg, w, cycleBudget(scale))
+		if err != nil {
+			return point{}, fmt.Errorf("fig20 %s mact=%t: %w", name, enabled, err)
+		}
+		m := c.Metrics()
+		return point{
+			cycles: c.Now(),
+			lat:    m.LoadLatMean,
+			util:   (m.SubRingUtil + m.MainRingUtil) / 2,
+			reqs:   m.MemRequests,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig20Result
-	for _, name := range benchmarks {
-		run := func(enabled bool) (uint64, float64, float64, uint64, error) {
-			cfg := chipConfig(scale)
-			cfg.MACT.Enabled = enabled
-			w := buildWorkload(scale, name, seed)
-			c, err := runOnChip(cfg, w, cycleBudget(scale))
-			if err != nil {
-				return 0, 0, 0, 0, err
-			}
-			m := c.Metrics()
-			util := (m.SubRingUtil + m.MainRingUtil) / 2
-			return c.Now(), m.LoadLatMean, util, m.MemRequests, nil
-		}
-		onCy, onLat, onUtil, onReq, err := run(true)
-		if err != nil {
-			return nil, fmt.Errorf("fig20 %s mact=on: %w", name, err)
-		}
-		offCy, offLat, offUtil, offReq, err := run(false)
-		if err != nil {
-			return nil, fmt.Errorf("fig20 %s mact=off: %w", name, err)
-		}
+	for bi, name := range benchmarks {
+		on, off := grid[2*bi], grid[2*bi+1]
 		out = append(out, Fig20Result{
 			Benchmark:    name,
-			Speedup:      float64(offCy) / float64(onCy),
-			LatencyRatio: onLat / offLat,
-			BWUtilRatio:  onUtil / offUtil,
-			ReqRatio:     float64(onReq) / float64(offReq),
+			Speedup:      float64(off.cycles) / float64(on.cycles),
+			LatencyRatio: on.lat / off.lat,
+			BWUtilRatio:  on.util / off.util,
+			ReqRatio:     float64(on.reqs) / float64(off.reqs),
 		})
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 
 	"smarco/internal/chip"
 	"smarco/internal/kernels"
+	"smarco/internal/runner"
 	"smarco/internal/stats"
 )
 
@@ -43,30 +44,35 @@ func Fig18HighDensityNoC(scale Scale, seed uint64, benchmarks ...string) ([]Fig1
 		benchmarks = Benchmarks
 	}
 	slices := []int{16, 8, 4, 2}
-	var out []Fig18Result
-	for _, name := range benchmarks {
-		res := Fig18Result{Benchmark: name, Throughput: map[int]float64{}}
-		raw := map[int]float64{}
-		for _, slice := range slices {
-			cfg := fig18Config(scale)
-			cfg.SubLink.SliceBytes = slice
-			cfg.MainLink.SliceBytes = slice
-			w := kernels.MustNew(name, kernels.Config{
-				Seed:  seed,
-				Tasks: cfg.Threads(),
-				Scale: workloadScale(scale, name),
-			})
-			c, err := runOnChip(cfg, w, cycleBudget(scale))
-			if err != nil {
-				return nil, fmt.Errorf("fig18 %s slice=%d: %w", name, slice, err)
-			}
-			m := c.Metrics()
-			raw[slice] = float64(m.PacketsMoved) / float64(m.Cycles) * 1000
+	// Benchmark × slice grid on the run pool; identical results at any
+	// pool size.
+	rates, err := runner.Map(pool, len(benchmarks)*len(slices), func(i int) (float64, error) {
+		name, slice := benchmarks[i/len(slices)], slices[i%len(slices)]
+		cfg := fig18Config(scale)
+		cfg.SubLink.SliceBytes = slice
+		cfg.MainLink.SliceBytes = slice
+		w := kernels.MustNew(name, kernels.Config{
+			Seed:  seed,
+			Tasks: cfg.Threads(),
+			Scale: workloadScale(scale, name),
+		})
+		c, err := runOnChip(cfg, w, cycleBudget(scale))
+		if err != nil {
+			return 0, fmt.Errorf("fig18 %s slice=%d: %w", name, slice, err)
 		}
-		base := raw[16]
-		for s, v := range raw {
+		m := c.Metrics()
+		return float64(m.PacketsMoved) / float64(m.Cycles) * 1000, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig18Result
+	for bi, name := range benchmarks {
+		res := Fig18Result{Benchmark: name, Throughput: map[int]float64{}}
+		base := rates[bi*len(slices)] // slice index 0 is the 16B baseline
+		for si, slice := range slices {
 			if base > 0 {
-				res.Throughput[s] = v / base
+				res.Throughput[slice] = rates[bi*len(slices)+si] / base
 			}
 		}
 		out = append(out, res)

@@ -1,0 +1,17 @@
+package experiments
+
+import "smarco/internal/runner"
+
+// pool runs the harnesses' independent simulations side by side, one whole
+// simulation per worker (each on the serial executor — see runOnChip). All
+// sweeps place results by grid position, so the output is identical for
+// any worker count.
+var pool = runner.New(0)
+
+// SetPoolWorkers bounds the harnesses' run-level concurrency (n <= 0
+// restores the GOMAXPROCS default). Purely a wall-clock knob: every sweep
+// returns identical results at any setting.
+func SetPoolWorkers(n int) { pool = runner.New(n) }
+
+// PoolWorkers reports the current run-level concurrency bound.
+func PoolWorkers() int { return pool.Workers() }

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestPoolSizeInvariance: a sweep returns identical results at every
+// run-pool size — each simulation is independent and results land by grid
+// position, so worker count is purely a wall-clock knob.
+func TestPoolSizeInvariance(t *testing.T) {
+	defer SetPoolWorkers(0)
+	var ref []Fig20Result
+	for _, n := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		SetPoolWorkers(n)
+		if got := PoolWorkers(); got != n && n > 0 {
+			t.Fatalf("PoolWorkers() = %d after SetPoolWorkers(%d)", got, n)
+		}
+		got, err := Fig20MACTComparison(ScaleSmall, 1, "kmp")
+		if err != nil {
+			t.Fatalf("pool=%d: %v", n, err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("pool=%d: results diverged:\n%+v\nvs pool=1:\n%+v", n, got, ref)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"smarco/internal/chip"
 	"smarco/internal/kernels"
+	"smarco/internal/runner"
 	"smarco/internal/sched"
 	"smarco/internal/stats"
 )
@@ -87,15 +88,17 @@ func Fig21Scheduler(scale Scale, seed uint64) ([]Fig21Result, error) {
 		return res, nil
 	}
 
-	sw, err := run(sched.DefaultSW(), "deadline-software")
-	if err != nil {
-		return nil, err
+	// The two policy runs are independent: run them on the pool.
+	policies := []struct {
+		cfg  sched.Config
+		name string
+	}{
+		{sched.DefaultSW(), "deadline-software"},
+		{sched.DefaultHW(), "laxity-hardware"},
 	}
-	hw, err := run(sched.DefaultHW(), "laxity-hardware")
-	if err != nil {
-		return nil, err
-	}
-	return []Fig21Result{sw, hw}, nil
+	return runner.Map(pool, len(policies), func(i int) (Fig21Result, error) {
+		return run(policies[i].cfg, policies[i].name)
+	})
 }
 
 // Fig21Table renders the distributions' summary.

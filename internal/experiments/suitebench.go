@@ -1,0 +1,34 @@
+package experiments
+
+import "time"
+
+// SuiteRun is one timed pass of the ablation sweep (the heaviest harness
+// grid) at a fixed run-pool size. Cycle counts are identical at every pool
+// size; only wall time moves.
+type SuiteRun struct {
+	Workers     int     `json:"workers"`
+	Sims        int     `json:"sims"` // simulations in the grid
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// MeasureSuite times the full ablation grid with the run pool bounded to
+// the given worker count, restoring the previous bound afterwards.
+func MeasureSuite(scale Scale, seed uint64, workers int) (SuiteRun, error) {
+	old := PoolWorkers()
+	SetPoolWorkers(workers)
+	defer SetPoolWorkers(old)
+	start := time.Now()
+	res, err := Ablations(scale, seed)
+	if err != nil {
+		return SuiteRun{}, err
+	}
+	sims := 0
+	for _, r := range res {
+		sims += 2 * len(r.Gain) // with/without per benchmark (upper bound: dedup shares baselines)
+	}
+	return SuiteRun{
+		Workers:     PoolWorkers(),
+		Sims:        sims,
+		WallSeconds: time.Since(start).Seconds(),
+	}, nil
+}

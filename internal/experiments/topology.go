@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smarco/internal/kernels"
+	"smarco/internal/runner"
 	"smarco/internal/stats"
 )
 
@@ -51,8 +52,14 @@ func TopologyStudy(scale Scale, seed uint64) ([]TopologyResult, error) {
 		benchmarks = []string{"kmp", "terasort", "rnc"}
 	}
 
-	var out []TopologyResult
-	for _, sh := range shapes {
+	// Flatten the shape × benchmark grid onto the run pool; results land by
+	// grid position, so the table is identical at any pool size.
+	type point struct {
+		cycles  uint64
+		loadLat float64
+	}
+	grid, err := runner.Map(pool, len(shapes)*len(benchmarks), func(i int) (point, error) {
+		sh, name := shapes[i/len(benchmarks)], benchmarks[i%len(benchmarks)]
 		cfg := chipConfig(scale)
 		cfg.SubRings = sh.subRings
 		cfg.CoresPerSub = sh.perRing
@@ -62,22 +69,29 @@ func TopologyStudy(scale Scale, seed uint64) ([]TopologyResult, error) {
 		// The mesh baseline has no MACT; disable it everywhere in this
 		// study so only the interconnect differs.
 		cfg.MACT.Enabled = false
+		w := kernels.MustNew(name, kernels.Config{
+			Seed:  seed,
+			Tasks: workloadTasks(scale, cfg),
+			Scale: workloadScale(scale, name),
+		})
+		c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
+		if err != nil {
+			return point{}, fmt.Errorf("topology %s/%s: %w", sh.name, name, err)
+		}
+		return point{cycles: c.Now(), loadLat: c.Metrics().LoadLatMean}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []TopologyResult
+	for si, sh := range shapes {
 		res := TopologyResult{
 			Name: sh.name, SubRings: sh.subRings, PerRing: sh.perRing,
 			Cycles: map[string]uint64{}, LoadLat: map[string]float64{},
 		}
-		for _, name := range benchmarks {
-			w := kernels.MustNew(name, kernels.Config{
-				Seed:  seed,
-				Tasks: workloadTasks(scale, cfg),
-				Scale: workloadScale(scale, name),
-			})
-			c, err := runOnChip(cfg, w, 4*cycleBudget(scale))
-			if err != nil {
-				return nil, fmt.Errorf("topology %s/%s: %w", sh.name, name, err)
-			}
-			res.Cycles[name] = c.Now()
-			res.LoadLat[name] = c.Metrics().LoadLatMean
+		for bi, name := range benchmarks {
+			res.Cycles[name] = grid[si*len(benchmarks)+bi].cycles
+			res.LoadLat[name] = grid[si*len(benchmarks)+bi].loadLat
 		}
 		out = append(out, res)
 	}

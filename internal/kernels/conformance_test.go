@@ -44,9 +44,15 @@ func TestKernelConformanceFullChip(t *testing.T) {
 			for _, scale := range scales {
 				for _, seed := range seeds {
 					label := fmt.Sprintf("%s/%s/scale%d/seed%d", cs.name, name, scale, seed)
+					cfg := cs.cfg
 					t.Run(label, func(t *testing.T) {
+						// Every cell is an independent simulation (own chip,
+						// own memory image): run the matrix concurrently, one
+						// cell per CPU. Each cell's result is deterministic,
+						// so the matrix outcome is order-independent.
+						t.Parallel()
 						w := kernels.MustNew(name, kernels.Config{Seed: seed, Tasks: 8, Scale: scale})
-						c := chip.New(cs.cfg, w.Mem)
+						c := chip.New(cfg, w.Mem)
 						c.Submit(w.Tasks)
 						if _, err := c.Run(50_000_000); err != nil {
 							t.Fatalf("%s: %v", label, err)

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 16} {
+		p := New(workers)
+		got, err := Map(p, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	p := New(8)
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	_, err := Map(p, 20, func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, boom(i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 7 failed" {
+		t.Fatalf("want the lowest-index error, got %v", err)
+	}
+}
+
+func TestMapRunsAllTasksDespiteErrors(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int32
+	out, err := Map(p, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("first fails")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("only %d of 10 tasks ran", ran.Load())
+	}
+	for i := 1; i < 10; i++ {
+		if out[i] != i {
+			t.Fatalf("successful result %d lost: %d", i, out[i])
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int32
+	_, err := Map(p, 30, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		// A tiny busy loop so tasks overlap when they can.
+		s := 0
+		for j := 0; j < 10_000; j++ {
+			s += j
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", pk, workers)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(New(4), 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over zero tasks: %v, %v", out, err)
+	}
+}

@@ -95,6 +95,7 @@ func (p *panicTicker) String() string { return p.name }
 func TestParallelPanicSurfacesAsError(t *testing.T) {
 	e := NewEngine()
 	e.SetParallel(true)
+	e.SetMaxPartitions(2)
 	e.AddPartition(&panicTicker{name: "core7", at: 10})
 	e.AddPartition(idleTicker{})
 	cycles, err := e.Run(1_000, nil)

@@ -72,17 +72,21 @@ func RestorePort[T any](d *snapshot.Decoder, p *Port[T], load func(*snapshot.Dec
 }
 
 // SaveState serializes the engine's scheduling state: the cycle counter,
-// each component's quiescence status, the per-partition wake-timer heaps,
-// and the progress watchdog. Component and partition counts are recorded
-// and verified on restore, so a snapshot can never be applied to a chip
-// with different wiring. Ports and component internals are saved by their
-// owning components, not here.
+// each component's quiescence status, the per-shard wake-timer heaps and
+// tick counters, and the progress watchdog. Component and shard counts are
+// recorded and verified on restore, so a snapshot can never be applied to a
+// chip with different wiring. Shards — not execution partitions — are the
+// serialization unit: shard layout is a pure function of the chip
+// configuration, while the shard→partition assignment depends on the host
+// (GOMAXPROCS, executor mode), and snapshots must be machine-independent.
+// Ports and component internals are saved by their owning components, not
+// here.
 func (e *Engine) SaveState(enc *snapshot.Encoder) {
 	enc.U64(e.now)
-	enc.U32(uint32(len(e.parts)))
-	for _, p := range e.parts {
-		enc.U32(uint32(len(p.comps)))
-		for _, cs := range p.comps {
+	enc.U32(uint32(len(e.shards)))
+	for _, sh := range e.shards {
+		enc.U32(uint32(len(sh.comps)))
+		for _, cs := range sh.comps {
 			enc.Bool(cs.asleep)
 			enc.Bool(cs.woken.Load())
 		}
@@ -90,11 +94,15 @@ func (e *Engine) SaveState(enc *snapshot.Encoder) {
 		// is part of the deterministic state (pop order depends on it only
 		// through the heap invariant, but byte-identical snapshots require
 		// byte-identical layout).
-		enc.U32(uint32(len(p.timers)))
-		for _, te := range p.timers {
+		enc.U32(uint32(len(sh.timers)))
+		for _, te := range sh.timers {
 			enc.U64(te.at)
 			enc.U32(uint32(te.idx))
 		}
+		// Tick counters feed the load-balancer and the load report; saving
+		// them keeps post-restore snapshots identical to uninterrupted runs.
+		enc.U64(sh.ticks)
+		enc.U64(sh.lastTicks)
 	}
 	enc.U64(e.lastSum)
 	enc.U64(e.lastCheck)
@@ -102,45 +110,47 @@ func (e *Engine) SaveState(enc *snapshot.Encoder) {
 }
 
 // RestoreState loads the engine scheduling state saved by SaveState,
-// rebuilding each partition's active list (ascending registration order,
-// per the engine invariant) from the restored per-component sleep flags.
+// rebuilding each shard's active list (ascending registration order, per
+// the engine invariant) from the restored per-component sleep flags.
 func (e *Engine) RestoreState(dec *snapshot.Decoder) {
 	e.now = dec.U64()
-	nParts := int(dec.U32())
-	if nParts != len(e.parts) {
-		dec.Fail("sim: snapshot has %d partitions, engine has %d", nParts, len(e.parts))
+	nShards := int(dec.U32())
+	if nShards != len(e.shards) {
+		dec.Fail("sim: snapshot has %d shards, engine has %d", nShards, len(e.shards))
 		return
 	}
-	for _, p := range e.parts {
+	for _, sh := range e.shards {
 		nComps := int(dec.U32())
-		if nComps != len(p.comps) {
-			dec.Fail("sim: snapshot partition has %d components, engine has %d", nComps, len(p.comps))
+		if nComps != len(sh.comps) {
+			dec.Fail("sim: snapshot shard has %d components, engine has %d", nComps, len(sh.comps))
 			return
 		}
-		p.asleep = 0
-		p.active = p.active[:0]
-		for i, cs := range p.comps {
+		sh.asleep = 0
+		sh.active = sh.active[:0]
+		for i, cs := range sh.comps {
 			cs.asleep = dec.Bool()
 			cs.woken.Store(dec.Bool())
 			if cs.asleep {
-				p.asleep++
+				sh.asleep++
 			} else {
-				p.active = append(p.active, int32(i))
+				sh.active = append(sh.active, int32(i))
 			}
 		}
 		nTimers := int(dec.U32())
-		p.timers = p.timers[:0]
+		sh.timers = sh.timers[:0]
 		for i := 0; i < nTimers; i++ {
 			at := dec.U64()
 			idx := int32(dec.U32())
-			if int(idx) >= len(p.comps) {
-				dec.Fail("sim: snapshot timer for component %d of %d", idx, len(p.comps))
+			if int(idx) >= len(sh.comps) {
+				dec.Fail("sim: snapshot timer for component %d of %d", idx, len(sh.comps))
 				return
 			}
-			p.timers = append(p.timers, timerEntry{at: at, idx: idx})
+			sh.timers = append(sh.timers, timerEntry{at: at, idx: idx})
 		}
+		sh.ticks = dec.U64()
+		sh.lastTicks = dec.U64()
 		// Transient per-step state: nothing can be dirty at a boundary.
-		p.dirtyPorts = p.dirtyPorts[:0]
+		sh.dirtyPorts = sh.dirtyPorts[:0]
 	}
 	e.lastSum = dec.U64()
 	e.lastCheck = dec.U64()

@@ -11,19 +11,29 @@
 // the serial and the parallel executors produce identical histories.
 //
 // Components may implement Quiescer to be skipped while idle: a quiescent
-// component is removed from its partition's active list and re-armed by a
+// component is removed from its shard's active list and re-armed by a
 // port delivery (via the port's deliver callback) or by a self-declared
-// wake-up cycle (a per-partition timer heap). The active list is kept in
+// wake-up cycle (a per-shard timer heap). The active list is kept in
 // registration order, so skipping is invisible to the simulated history —
 // see DESIGN.md for the protocol a component must follow to be skippable.
 //
+// Components are registered in shards: stable groups (one per sub-ring, one
+// per memory controller, ...) that always execute together. Shards are the
+// unit of load balancing: the engine assigns shards to execution partitions
+// — one goroutine each under the parallel executor — using deterministic
+// per-shard load estimates (accumulated component-tick counts, or static
+// weights before any cycle has run). The assignment, and the optional
+// periodic reassignment at cycle barriers (SetRepartition), never touches
+// architectural state: simulated histories are bit-identical across serial,
+// parallel, and repartitioned execution by construction. See DESIGN.md
+// ("Load-balanced partitioning") for the contract.
+//
 // The parallel executor reproduces the conservative synchronous PDES scheme
-// the paper's simulation framework uses: components are grouped into
-// partitions (one per sub-ring in the chip model), partitions tick
-// concurrently, and a barrier at each phase boundary provides the one-cycle
-// lookahead that makes the synchronization safe. Ports are committed by the
-// partition that owns the receiving component, so commit work parallelizes
-// with the rest of the cycle.
+// the paper's simulation framework uses: partitions tick concurrently, and
+// a barrier at each phase boundary provides the one-cycle lookahead that
+// makes the synchronization safe. Ports are committed by the partition that
+// currently owns the receiving component's shard, so commit work
+// parallelizes with the rest of the cycle.
 package sim
 
 import (
@@ -130,26 +140,33 @@ type deliverNotifier interface {
 
 // dirtyNotifier is implemented by Port: the engine installs a callback fired
 // on the clean→dirty transition (the first Send of a cycle), which enqueues
-// the port on its partition's commit list. The port-commit phase then visits
-// only ports that were actually sent to, instead of every registered port.
+// the port on its owning shard's commit list. The port-commit phase then
+// visits only ports that were actually sent to, instead of every registered
+// port.
 type dirtyNotifier interface {
 	SetOnDirty(func())
 }
 
 // compState tracks one registered component. woken is written by port
 // deliver callbacks (any partition's goroutine, port-commit phase) and read
-// by the owning partition's wake scan (tick phase); the phase barrier
-// orders the two, the atomic keeps the race detector satisfied.
+// by the owning shard's wake scan (tick phase); the phase barrier orders
+// the two, the atomic keeps the race detector satisfied.
 type compState struct {
 	t      Ticker
 	q      Quiescer
 	asleep bool
 	woken  atomic.Bool
+	sh     *shard // owning shard; never changes after registration
+	si     int32  // index within the shard
 }
 
-// partition is one unit of parallelism: a set of components plus the ports
-// their inputs arrive on, committed by this partition's goroutine.
-type partition struct {
+// shard is a stable group of components that always execute together: the
+// atomic unit of load balancing. A shard's identity (id, label, component
+// membership, port ownership) is fixed at registration; only its execution
+// partition changes, and only at cycle barriers.
+type shard struct {
+	id     int
+	label  string
 	comps  []*compState
 	active []int32 // indices into comps, ascending (registration order)
 	timers timerHeap
@@ -164,28 +181,55 @@ type partition struct {
 	asleep     int         // number of comps with asleep set
 	cur        Ticker      // component under execution, for panic diagnostics
 
-	// Observability (nil / zero when disabled). tr mirrors Engine.trace so
-	// the phase methods need no engine pointer; pi is this partition's
-	// index, used to address the trace's per-partition buffers.
-	pi int
-	tr *Trace
+	// Deterministic load estimate: ticks accumulates the number of
+	// component Ticks this shard has executed (a pure function of the
+	// simulated history, identical across executors); weight is the static
+	// pre-run hint used before any cycle has run; lastTicks marks the start
+	// of the current repartition window.
+	ticks     uint64
+	weight    uint64
+	lastTicks uint64
+
+	// Current execution assignment. Written only between cycles (at phase
+	// barriers / before workers are resumed), read during phases; the
+	// worker channels' send/receive pairs order the two.
+	part *partition
+
+	// Observability (nil when disabled). tr/prof mirror the engine's
+	// installed trace/profiler so the phase methods need no engine pointer.
+	tr   *Trace
+	prof *Profile
 }
 
-// markDirty enqueues a port for commit at this partition's next port phase.
+// markDirty enqueues a port for commit at this shard's next port phase.
 // Called from any goroutine that may Send (phase barriers keep it out of
 // portPhase itself).
-func (p *partition) markDirty(pt committer) {
-	p.dirtyMu.Lock()
-	p.dirtyPorts = append(p.dirtyPorts, pt)
-	p.dirtyMu.Unlock()
+func (sh *shard) markDirty(pt committer) {
+	sh.dirtyMu.Lock()
+	sh.dirtyPorts = append(sh.dirtyPorts, pt)
+	sh.dirtyMu.Unlock()
+}
+
+// partition is one unit of parallelism: the set of shards currently
+// executed by one goroutine under the parallel executor.
+type partition struct {
+	pi     int
+	shards []*shard
 }
 
 // Engine drives a set of components cycle by cycle.
 type Engine struct {
-	parts    []*partition
-	owners   map[Ticker]compRef
-	now      uint64
-	parallel bool
+	comps  []*compState // flat, registration order (shard by shard)
+	shards []*shard
+	parts  []*partition // execution units; rebuilt by ensureParts
+	owners map[Ticker]*compState
+	now    uint64
+
+	// Executor configuration.
+	parallel    bool
+	maxParts    int    // cap on execution partitions; 0 = GOMAXPROCS
+	repartEvery uint64 // opt-in periodic repartition interval; 0 = off
+	nextRepart  uint64
 
 	// Watchdog state.
 	watchEvery uint64
@@ -216,11 +260,6 @@ type Engine struct {
 // until a trace is wired in; see Trace.Emit.
 type TraceFn func(cat, name string, cycle uint64)
 
-type compRef struct {
-	part int
-	idx  int32
-}
-
 // partitionErr records a panic recovered in one partition phase.
 type partitionErr struct {
 	partition int
@@ -229,39 +268,87 @@ type partitionErr struct {
 }
 
 // NewEngine returns an empty serial engine.
-func NewEngine() *Engine { return &Engine{owners: map[Ticker]compRef{}} }
+func NewEngine() *Engine { return &Engine{owners: map[Ticker]*compState{}} }
 
 // SetParallel switches the engine between the serial executor and the
 // partition-parallel executor. Results are identical either way.
-func (e *Engine) SetParallel(p bool) { e.parallel = p }
-
-// AddPartition registers a group of components that may be ticked on its own
-// goroutine in parallel mode. Components that communicate combinationally
-// (within the same cycle) must share a partition only if they also share
-// staged state; port-based communication is always safe across partitions.
-func (e *Engine) AddPartition(components ...Ticker) {
-	e.parts = append(e.parts, &partition{})
-	e.addTo(len(e.parts)-1, components...)
-}
-
-// Add registers components into the default (first) partition.
-func (e *Engine) Add(components ...Ticker) {
-	if len(e.parts) == 0 {
-		e.parts = append(e.parts, &partition{})
+func (e *Engine) SetParallel(p bool) {
+	if e.parallel != p {
+		e.parallel = p
+		e.invalidateParts()
 	}
-	e.addTo(0, components...)
 }
 
-func (e *Engine) addTo(pi int, components ...Ticker) {
-	p := e.parts[pi]
+// SetMaxPartitions caps the number of execution partitions the parallel
+// executor uses (0 restores the default: GOMAXPROCS at assignment time,
+// never more than the shard count). Execution partitioning is a wall-time
+// concern only; simulated results are identical for every value.
+func (e *Engine) SetMaxPartitions(n int) {
+	if e.maxParts != n {
+		e.maxParts = n
+		e.invalidateParts()
+	}
+}
+
+// SetRepartition enables (every > 0) or disables (0) periodic load
+// rebalancing: every interval cycles, at a cycle barrier inside Run, shards
+// are reassigned to partitions using the component-tick counts accumulated
+// since the previous rebalance. The decision inputs are deterministic
+// functions of the simulated history, and reassignment never touches
+// architectural state, so results stay bit-identical.
+func (e *Engine) SetRepartition(every uint64) { e.repartEvery = every }
+
+// AddShard registers a named group of components that always execute
+// together — the atomic unit of load balancing — and returns its shard id.
+// Components that communicate combinationally (within the same cycle) must
+// share a shard only if they also share staged state; port-based
+// communication is always safe across shards.
+func (e *Engine) AddShard(label string, components ...Ticker) int {
+	sh := &shard{id: len(e.shards), label: label}
+	if sh.label == "" {
+		sh.label = fmt.Sprintf("shard%d", sh.id)
+	}
+	e.shards = append(e.shards, sh)
+	e.invalidateParts()
+	e.addToShard(sh, components...)
+	return sh.id
+}
+
+// AddPartition registers a group of components that may be ticked on its
+// own goroutine in parallel mode. It is AddShard without a label, kept for
+// harnesses that predate load-balanced partitioning.
+func (e *Engine) AddPartition(components ...Ticker) {
+	e.AddShard("", components...)
+}
+
+// Add registers components into the default (first) shard.
+func (e *Engine) Add(components ...Ticker) {
+	if len(e.shards) == 0 {
+		e.AddShard("")
+	}
+	e.addToShard(e.shards[0], components...)
+}
+
+// SetShardWeight sets a shard's static load hint, used to balance the
+// initial assignment before any cycle has run (after the first cycles the
+// measured tick counts take over). The default weight is the shard's
+// component count.
+func (e *Engine) SetShardWeight(id int, weight uint64) {
+	if id >= 0 && id < len(e.shards) {
+		e.shards[id].weight = weight
+		e.invalidateParts()
+	}
+}
+
+func (e *Engine) addToShard(sh *shard, components ...Ticker) {
 	for _, t := range components {
-		cs := &compState{t: t}
+		cs := &compState{t: t, sh: sh, si: int32(len(sh.comps))}
 		cs.q, _ = t.(Quiescer)
-		idx := int32(len(p.comps))
-		p.comps = append(p.comps, cs)
-		p.active = append(p.active, idx)
+		sh.comps = append(sh.comps, cs)
+		sh.active = append(sh.active, cs.si)
+		e.comps = append(e.comps, cs)
 		if comparableTicker(t) {
-			e.owners[t] = compRef{part: pi, idx: idx}
+			e.owners[t] = cs
 		}
 		if w, ok := t.(Wakeable); ok {
 			w.SetWake(func() { cs.woken.Store(true) })
@@ -282,54 +369,52 @@ func comparableTicker(t Ticker) bool {
 // the tick and commit phases but delivers no wake-up. Use AddPortFor for
 // ports feeding a component that quiesces.
 func (e *Engine) AddPort(p committer) {
-	if len(e.parts) == 0 {
-		e.parts = append(e.parts, &partition{})
+	if len(e.shards) == 0 {
+		e.AddShard("")
 	}
-	registerPort(e.parts[0], p)
+	registerPort(e.shards[0], p)
 }
 
-// registerPort wires p for commit by part: via the dirty-queue hook when the
+// registerPort wires p for commit by sh: via the dirty-queue hook when the
 // committer supports it, or on the always-commit list otherwise.
-func registerPort(part *partition, p committer) {
+func registerPort(sh *shard, p committer) {
 	if dn, ok := p.(dirtyNotifier); ok {
-		dn.SetOnDirty(func() { part.markDirty(p) })
+		dn.SetOnDirty(func() { sh.markDirty(p) })
 		return
 	}
-	part.ports = append(part.ports, p)
+	sh.ports = append(sh.ports, p)
 }
 
 // AddPortFor registers input ports of owner: they are committed by the
-// owner's partition (parallelizing commit work) and a delivery on any of
-// them re-arms the owner if it has quiesced. Falls back to unowned
-// registration when owner was never registered. The parameter type is the
-// anonymous form of committer so component Ports() slices pass through.
+// owner's shard (parallelizing commit work) and a delivery on any of them
+// re-arms the owner if it has quiesced. Falls back to unowned registration
+// when owner was never registered. The parameter type is the anonymous form
+// of committer so component Ports() slices pass through.
 func (e *Engine) AddPortFor(owner Ticker, ports ...interface{ Commit(now uint64) }) {
-	ref, ok := compRef{}, false
+	var cs *compState
 	if comparableTicker(owner) {
-		ref, ok = e.owners[owner]
+		cs = e.owners[owner]
 	}
-	if !ok {
+	if cs == nil {
 		for _, p := range ports {
 			e.AddPort(p)
 		}
 		return
 	}
-	part := e.parts[ref.part]
-	cs := part.comps[ref.idx]
-	pi, ci := ref.part, ref.idx
+	sh, si := cs.sh, cs.si
 	for _, p := range ports {
 		if dn, ok := p.(deliverNotifier); ok {
-			// The callback fires from Port.Commit during the owner
-			// partition's port phase, so the trace write below lands in
-			// that partition's buffer without synchronization.
+			// The callback fires from Port.Commit during the owning shard's
+			// port phase, so the trace write below lands in that shard's
+			// buffer without synchronization.
 			dn.SetOnDeliver(func() {
 				cs.woken.Store(true)
 				if t := e.trace; t != nil {
-					t.deliver(pi, ci, e.now)
+					t.deliver(sh.id, si, e.now)
 				}
 			})
 		}
-		registerPort(part, p)
+		registerPort(sh, p)
 	}
 }
 
@@ -344,6 +429,123 @@ func (e *Engine) SetWatchdog(cycles uint64) { e.watchEvery = cycles }
 // Now returns the current cycle number (the number of completed cycles).
 func (e *Engine) Now() uint64 { return e.now }
 
+// invalidateParts drops the current shard→partition assignment so the next
+// Step/Run recomputes it. Never called while workers are running: all the
+// mutating entry points (registration, executor configuration) happen
+// between runs.
+func (e *Engine) invalidateParts() {
+	e.stopWorkers()
+	e.parts = nil
+	for _, sh := range e.shards {
+		sh.part = nil
+	}
+}
+
+// Partitions returns the number of execution partitions the current
+// assignment uses (1 under the serial executor).
+func (e *Engine) Partitions() int {
+	e.ensureParts()
+	return len(e.parts)
+}
+
+// ensureParts builds the execution partitions and the shard assignment if
+// they are missing. Serial execution uses a single partition; parallel
+// execution uses min(cap, GOMAXPROCS, shard count) partitions, so a
+// single-CPU host never pays parallel-executor overhead for partitions it
+// cannot run concurrently.
+func (e *Engine) ensureParts() {
+	if e.parts != nil {
+		return
+	}
+	n := 1
+	if e.parallel {
+		n = e.maxParts
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > len(e.shards) {
+			n = len(e.shards)
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	e.parts = make([]*partition, n)
+	for i := range e.parts {
+		e.parts[i] = &partition{pi: i}
+	}
+	e.assign()
+}
+
+// loadEstimate is the deterministic per-shard load input to assignment:
+// the tick count accumulated over the current repartition window, falling
+// back to the whole-run tick count and then the static weight before any
+// cycles have run. Always at least 1 so empty shards still get assigned.
+func (sh *shard) loadEstimate() uint64 {
+	if est := sh.ticks - sh.lastTicks; est > 0 {
+		return est
+	}
+	if sh.ticks > 0 {
+		return sh.ticks
+	}
+	if sh.weight > 0 {
+		return sh.weight
+	}
+	if n := uint64(len(sh.comps)); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// assign distributes shards over the current partitions with the classic
+// LPT (longest processing time first) greedy heuristic: shards in
+// descending load order, each placed on the least-loaded partition. All
+// inputs and tie-breaks are deterministic (load estimates are pure
+// functions of the simulated history; ties break on shard id, then on
+// partition index), so the same run always produces the same assignment.
+func (e *Engine) assign() {
+	order := make([]*shard, len(e.shards))
+	copy(order, e.shards)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].loadEstimate() > order[j].loadEstimate()
+	})
+	loads := make([]uint64, len(e.parts))
+	for _, p := range e.parts {
+		p.shards = p.shards[:0]
+	}
+	for _, sh := range order {
+		best := 0
+		for pi := 1; pi < len(loads); pi++ {
+			if loads[pi] < loads[best] {
+				best = pi
+			}
+		}
+		loads[best] += sh.loadEstimate()
+		p := e.parts[best]
+		p.shards = append(p.shards, sh)
+		sh.part = p
+	}
+	// Execute shards within a partition in id order: not required for
+	// correctness (the two-phase protocol makes tick order irrelevant), but
+	// it keeps serial iteration and diagnostics stable.
+	for _, p := range e.parts {
+		sort.Slice(p.shards, func(i, j int) bool { return p.shards[i].id < p.shards[j].id })
+	}
+}
+
+// repartition rebalances the shard assignment from the tick counts
+// accumulated since the previous call. Called between cycles only (phase
+// workers idle at their channel receive), so assignment writes are ordered
+// before the next phase dispatch.
+func (e *Engine) repartition() {
+	if len(e.parts) > 1 {
+		e.assign()
+	}
+	for _, sh := range e.shards {
+		sh.lastTicks = sh.ticks
+	}
+}
+
 // Step advances the simulation by exactly one cycle. After a component
 // panic has been recovered in parallel mode (see Err), Step is a no-op:
 // the faulting partition's state is no longer trustworthy.
@@ -351,12 +553,9 @@ func (e *Engine) Step() {
 	if len(e.errs) > 0 {
 		return
 	}
+	e.ensureParts()
 	switch {
-	case !e.parallel || len(e.parts) <= 1:
-		if e.prof != nil {
-			e.stepSerialProfiled()
-			break
-		}
+	case !e.parallel:
 		for _, p := range e.parts {
 			p.tickPhase(e.now)
 		}
@@ -377,121 +576,143 @@ func (e *Engine) Step() {
 	e.now++
 }
 
-// stepSerialProfiled is the serial executor with per-partition, per-phase
-// wall-time attribution. Kept apart from the unprofiled loop so profiling
-// costs nothing when disabled.
-func (e *Engine) stepSerialProfiled() {
-	for pi, p := range e.parts {
-		t0 := time.Now()
-		p.tickPhase(e.now)
-		e.prof.add(pi, 0, time.Since(t0))
+func (p *partition) tickPhase(now uint64) {
+	for _, sh := range p.shards {
+		sh.tickPhase(now)
 	}
-	for pi, p := range e.parts {
-		t0 := time.Now()
-		p.portPhase(e.now)
-		e.prof.add(pi, 1, time.Since(t0))
+}
+
+func (p *partition) portPhase(now uint64) {
+	for _, sh := range p.shards {
+		sh.portPhase(now)
 	}
-	for pi, p := range e.parts {
-		t0 := time.Now()
-		p.commitPhase(e.now)
-		e.prof.add(pi, 2, time.Since(t0))
+}
+
+func (p *partition) commitPhase(now uint64) {
+	for _, sh := range p.shards {
+		sh.commitPhase(now)
 	}
 }
 
 // tickPhase wakes due and delivered-to components, then ticks the active
 // list in registration order.
-func (p *partition) tickPhase(now uint64) {
+func (sh *shard) tickPhase(now uint64) {
+	var t0 time.Time
+	if sh.prof != nil {
+		t0 = time.Now()
+	}
 	woke := false
-	for len(p.timers) > 0 && p.timers[0].at <= now {
-		idx := p.timers.pop()
-		cs := p.comps[idx]
+	for len(sh.timers) > 0 && sh.timers[0].at <= now {
+		idx := sh.timers.pop()
+		cs := sh.comps[idx]
 		if cs.asleep {
 			cs.asleep = false
 			cs.woken.Store(false)
-			p.asleep--
-			p.active = append(p.active, idx)
+			sh.asleep--
+			sh.active = append(sh.active, idx)
 			woke = true
-			if p.tr != nil {
-				p.tr.wake(p.pi, idx, now, true)
+			if sh.tr != nil {
+				sh.tr.wake(sh.id, idx, now, true)
 			}
 		}
 	}
-	if p.asleep > 0 {
-		for i, cs := range p.comps {
+	if sh.asleep > 0 {
+		for i, cs := range sh.comps {
 			if cs.asleep && cs.woken.Load() {
 				cs.asleep = false
 				cs.woken.Store(false)
-				p.asleep--
-				p.active = append(p.active, int32(i))
+				sh.asleep--
+				sh.active = append(sh.active, int32(i))
 				woke = true
-				if p.tr != nil {
-					p.tr.wake(p.pi, int32(i), now, false)
+				if sh.tr != nil {
+					sh.tr.wake(sh.id, int32(i), now, false)
 				}
 			}
 		}
 	}
 	if woke {
-		sortActive(p.active)
+		sortActive(sh.active)
 	}
-	for _, idx := range p.active {
-		cs := p.comps[idx]
-		p.cur = cs.t
+	for _, idx := range sh.active {
+		cs := sh.comps[idx]
+		sh.cur = cs.t
 		cs.t.Tick(now)
 	}
-	p.cur = nil
+	sh.cur = nil
+	// The deterministic load estimate: one Tick per active component this
+	// cycle. Identical across executors because the active list is a pure
+	// function of the simulated history.
+	sh.ticks += uint64(len(sh.active))
+	if sh.prof != nil {
+		sh.prof.add(sh.id, 0, time.Since(t0))
+	}
 }
 
 // portPhase commits the ports that were sent to since the last port phase
 // (self-enqueued via markDirty), plus any legacy always-commit registrants.
-func (p *partition) portPhase(now uint64) {
-	for _, pt := range p.ports {
+func (sh *shard) portPhase(now uint64) {
+	var t0 time.Time
+	if sh.prof != nil {
+		t0 = time.Now()
+	}
+	for _, pt := range sh.ports {
 		pt.Commit(now)
 	}
-	p.dirtyMu.Lock()
-	dirty := p.dirtyPorts
-	p.dirtyPorts = p.spareDirty[:0]
-	p.dirtyMu.Unlock()
+	sh.dirtyMu.Lock()
+	dirty := sh.dirtyPorts
+	sh.dirtyPorts = sh.spareDirty[:0]
+	sh.dirtyMu.Unlock()
 	for i, pt := range dirty {
 		pt.Commit(now)
 		dirty[i] = nil
 	}
-	p.spareDirty = dirty[:0]
+	sh.spareDirty = dirty[:0]
+	if sh.prof != nil {
+		sh.prof.add(sh.id, 1, time.Since(t0))
+	}
 }
 
 // commitPhase commits active components, then lets each declare itself
 // quiescent. The quiesce check runs after the port phase, so a component
 // that just received a message sees the non-empty input and stays awake.
-func (p *partition) commitPhase(now uint64) {
-	for _, idx := range p.active {
-		cs := p.comps[idx]
-		p.cur = cs.t
+func (sh *shard) commitPhase(now uint64) {
+	var t0 time.Time
+	if sh.prof != nil {
+		t0 = time.Now()
+	}
+	for _, idx := range sh.active {
+		cs := sh.comps[idx]
+		sh.cur = cs.t
 		cs.t.Commit(now)
 	}
-	p.cur = nil
-	keep := p.active[:0]
-	for _, idx := range p.active {
-		cs := p.comps[idx]
+	sh.cur = nil
+	keep := sh.active[:0]
+	for _, idx := range sh.active {
+		cs := sh.comps[idx]
 		if cs.q != nil {
-			p.cur = cs.t
+			sh.cur = cs.t
 			if idle, wakeAt := cs.q.Quiescent(now); idle && wakeAt > now {
 				// Deliveries up to this cycle are already visible, so any
 				// prior wake mark is stale: clear it alongside.
 				cs.woken.Store(false)
 				cs.asleep = true
-				p.asleep++
+				sh.asleep++
 				if wakeAt != WakeNever {
-					p.timers.push(timerEntry{at: wakeAt, idx: idx})
+					sh.timers.push(timerEntry{at: wakeAt, idx: idx})
 				}
-				if p.tr != nil {
-					p.tr.sleep(p.pi, idx, now+1)
+				if sh.tr != nil {
+					sh.tr.sleep(sh.id, idx, now+1)
 				}
 				continue
 			}
 		}
 		keep = append(keep, idx)
 	}
-	p.cur = nil
-	p.active = keep
+	sh.cur = nil
+	sh.active = keep
+	if sh.prof != nil {
+		sh.prof.add(sh.id, 2, time.Since(t0))
+	}
 }
 
 // sortActive restores ascending registration order after wake-ups appended
@@ -507,13 +728,43 @@ func sortActive(a []int32) {
 
 // stepInline runs the parallel executor's phases on the calling goroutine:
 // used when workers are not running (Step outside Run, or a single CPU),
-// preserving the panic-recovery semantics of parallel mode.
+// preserving the panic-recovery semantics of parallel mode. With a single
+// partition — the assignment GOMAXPROCS=1 always produces — the whole
+// cycle runs under one recover instead of one per phase, so parallel mode
+// on a single-CPU host costs one deferred call per cycle over serial.
 func (e *Engine) stepInline() {
+	if len(e.parts) == 1 {
+		e.runCycle()
+		return
+	}
 	for ph := 0; ph < 3; ph++ {
 		for pi := range e.parts {
 			e.runPhase(pi, ph)
 		}
 	}
+}
+
+// runCycle executes all three phases of a single-partition engine under
+// one panic recovery.
+func (e *Engine) runCycle() {
+	p := e.parts[0]
+	defer func() {
+		if r := recover(); r != nil {
+			var cur Ticker
+			for _, sh := range p.shards {
+				if sh.cur != nil {
+					cur = sh.cur
+					break
+				}
+			}
+			e.errMu.Lock()
+			e.errs = append(e.errs, partitionErr{partition: 0, component: cur, value: r})
+			e.errMu.Unlock()
+		}
+	}()
+	p.tickPhase(e.now)
+	p.portPhase(e.now)
+	p.commitPhase(e.now)
 }
 
 // runPhase executes one phase of one partition, converting a component
@@ -522,15 +773,18 @@ func (e *Engine) runPhase(pi, ph int) {
 	p := e.parts[pi]
 	defer func() {
 		if r := recover(); r != nil {
+			var cur Ticker
+			for _, sh := range p.shards {
+				if sh.cur != nil {
+					cur = sh.cur
+					break
+				}
+			}
 			e.errMu.Lock()
-			e.errs = append(e.errs, partitionErr{partition: pi, component: p.cur, value: r})
+			e.errs = append(e.errs, partitionErr{partition: pi, component: cur, value: r})
 			e.errMu.Unlock()
 		}
 	}()
-	var t0 time.Time
-	if e.prof != nil {
-		t0 = time.Now()
-	}
 	switch ph {
 	case 0:
 		p.tickPhase(e.now)
@@ -538,9 +792,6 @@ func (e *Engine) runPhase(pi, ph int) {
 		p.portPhase(e.now)
 	case 2:
 		p.commitPhase(e.now)
-	}
-	if e.prof != nil {
-		e.prof.add(pi, ph, time.Since(t0))
 	}
 }
 
@@ -573,6 +824,7 @@ func (e *Engine) startWorkers() {
 	if e.workersOn {
 		return
 	}
+	e.ensureParts()
 	e.workersOn = true
 	if e.doneCh == nil {
 		e.doneCh = make(chan struct{}, 1)
@@ -600,11 +852,9 @@ func (e *Engine) stopWorkers() {
 // (see CatchUpper). Call before reading metrics mid-run or after Run; it
 // must not run concurrently with Step.
 func (e *Engine) Settle() {
-	for _, p := range e.parts {
-		for _, cs := range p.comps {
-			if cu, ok := cs.t.(CatchUpper); ok {
-				cu.CatchUp(e.now)
-			}
+	for _, cs := range e.comps {
+		if cu, ok := cs.t.(CatchUpper); ok {
+			cu.CatchUp(e.now)
 		}
 	}
 }
@@ -644,26 +894,24 @@ const maxWatchdogReports = 8
 func (e *Engine) stalledReport() string {
 	var parts []string
 	extra := 0
-	for _, p := range e.parts {
-		for _, cs := range p.comps {
-			hr, ok := cs.t.(HealthReporter)
-			if !ok {
-				continue
-			}
-			h := hr.Health()
-			if h == "" {
-				continue
-			}
-			if len(parts) >= maxWatchdogReports {
-				extra++
-				continue
-			}
-			name := fmt.Sprintf("%T", cs.t)
-			if s, ok := cs.t.(fmt.Stringer); ok {
-				name = s.String()
-			}
-			parts = append(parts, name+": "+h)
+	for _, cs := range e.comps {
+		hr, ok := cs.t.(HealthReporter)
+		if !ok {
+			continue
 		}
+		h := hr.Health()
+		if h == "" {
+			continue
+		}
+		if len(parts) >= maxWatchdogReports {
+			extra++
+			continue
+		}
+		name := fmt.Sprintf("%T", cs.t)
+		if s, ok := cs.t.(fmt.Stringer); ok {
+			name = s.String()
+		}
+		parts = append(parts, name+": "+h)
 	}
 	if extra > 0 {
 		parts = append(parts, fmt.Sprintf("(+%d more)", extra))
@@ -708,11 +956,16 @@ func (e *Engine) checkWatchdog() error {
 // component panicked in parallel mode, or the progress watchdog detected a
 // wedged simulation. In parallel mode Run starts the persistent phase
 // workers for its duration (unless the process has a single CPU, where the
-// inline executor is strictly faster).
+// inline executor is strictly faster). With SetRepartition enabled, shard
+// assignments are rebalanced at the configured cycle cadence.
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	e.ensureParts()
 	if e.parallel && len(e.parts) > 1 && runtime.GOMAXPROCS(0) > 1 {
 		e.startWorkers()
 		defer e.stopWorkers()
+	}
+	if e.repartEvery > 0 && e.nextRepart <= e.now {
+		e.nextRepart = e.now + e.repartEvery
 	}
 	start := e.now
 	for e.now-start < maxCycles {
@@ -720,6 +973,10 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			return e.now, nil
 		}
 		e.Step()
+		if e.repartEvery > 0 && e.now >= e.nextRepart {
+			e.repartition()
+			e.nextRepart = e.now + e.repartEvery
+		}
 		if err := e.Err(); err != nil {
 			return e.now, err
 		}

@@ -110,6 +110,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 	build := func(parallel bool) (*Engine, *Port[uint64]) {
 		e := NewEngine()
 		e.SetParallel(parallel)
+		// Force a real multi-partition assignment even on a single-CPU host
+		// (the default collapses to one partition there).
+		e.SetMaxPartitions(4)
 		port := NewPort[uint64](0)
 		e.AddPort(port)
 		for p := 0; p < 8; p++ {
@@ -158,6 +161,7 @@ func TestParallelPhaseBarrier(t *testing.T) {
 	}
 	e := NewEngine()
 	e.SetParallel(true)
+	e.SetMaxPartitions(16)
 	for p := 0; p < 16; p++ {
 		e.AddPartition(mk())
 	}
@@ -378,6 +382,7 @@ func TestWorkerBarrierPhases(t *testing.T) {
 	const parts = 8
 	e := NewEngine()
 	e.SetParallel(true)
+	e.SetMaxPartitions(parts)
 	for p := 0; p < parts; p++ {
 		e.AddPartition(&funcTicker{
 			tick: func(uint64) { inTick.Add(1) },
@@ -402,6 +407,7 @@ func TestWorkerExecutorMatchesSerial(t *testing.T) {
 	build := func(workers bool) []uint64 {
 		e := NewEngine()
 		e.SetParallel(workers)
+		e.SetMaxPartitions(4)
 		port := NewPort[uint64](0)
 		for p := 0; p < 4; p++ {
 			e.AddPartition(&portSender{id: uint64(p), port: port})

@@ -2,8 +2,10 @@
 // spans (awake vs quiescent), wake-up causes (timer vs port delivery), port
 // deliveries, and component-emitted domain events, and exports them as
 // Chrome trace-event JSON so a run can be inspected in chrome://tracing or
-// Perfetto (one "process" per partition, one "thread" per component, the
-// cycle counter standing in for microseconds).
+// Perfetto (one "process" per shard, one "thread" per component, the
+// cycle counter standing in for microseconds). Buffers are indexed by
+// shard — the stable unit, independent of how shards are assigned to
+// execution partitions — so traces are identical across executors.
 //
 // Tracing is strictly observational: it never changes what the engine
 // executes, so simulated histories are bit-identical with tracing on or
@@ -30,7 +32,7 @@ const (
 
 type traceEvent struct {
 	kind       traceKind
-	comp       int32 // index within the partition; -1 for partition-level
+	comp       int32 // index within the shard; -1 for shard-level
 	start, end uint64
 	cat, name  string // only for evCustom
 }
@@ -46,11 +48,11 @@ type compTrack struct {
 const DefaultTraceEvents = 1 << 20
 
 // Trace is an event recorder installed with Engine.SetTrace. Buffers are
-// per partition, written only by the partition's own goroutine (the phase
-// barriers order them against the exporting goroutine), so recording takes
-// no locks on the engine's hot paths. Component-emitted events (Emit) go
-// through a mutex: they are rare, cross-cutting, and may fire from any
-// partition.
+// per shard, written only by the goroutine of the partition that currently
+// owns the shard (the phase barriers order them against the exporting
+// goroutine and across reassignments), so recording takes no locks on the
+// engine's hot paths. Component-emitted events (Emit) go through a mutex:
+// they are rare, cross-cutting, and may fire from any partition.
 type Trace struct {
 	limit   int
 	bufs    [][]traceEvent
@@ -64,7 +66,7 @@ type Trace struct {
 	cdrop  uint64
 }
 
-// NewTrace returns a trace that keeps at most limit events per partition
+// NewTrace returns a trace that keeps at most limit events per shard
 // (limit <= 0 selects DefaultTraceEvents).
 func NewTrace(limit int) *Trace {
 	if limit <= 0 {
@@ -78,35 +80,36 @@ func NewTrace(limit int) *Trace {
 // as its opening span.
 func (e *Engine) SetTrace(t *Trace) {
 	e.trace = t
-	for pi, p := range e.parts {
-		p.pi = pi
-		p.tr = t
+	for _, sh := range e.shards {
+		sh.tr = t
 	}
 	if t == nil {
 		return
 	}
-	t.bufs = make([][]traceEvent, len(e.parts))
-	t.track = make([][]compTrack, len(e.parts))
-	t.names = make([][]string, len(e.parts))
-	t.dropped = make([]uint64, len(e.parts))
-	t.labels = make([]string, len(e.parts))
-	for pi, p := range e.parts {
-		t.labels[pi] = fmt.Sprintf("partition %d", pi)
-		t.track[pi] = make([]compTrack, len(p.comps))
-		t.names[pi] = make([]string, len(p.comps))
-		for ci, cs := range p.comps {
-			t.track[pi][ci] = compTrack{since: e.now, asleep: cs.asleep}
+	t.bufs = make([][]traceEvent, len(e.shards))
+	t.track = make([][]compTrack, len(e.shards))
+	t.names = make([][]string, len(e.shards))
+	t.dropped = make([]uint64, len(e.shards))
+	t.labels = make([]string, len(e.shards))
+	for si, sh := range e.shards {
+		t.labels[si] = sh.label
+		t.track[si] = make([]compTrack, len(sh.comps))
+		t.names[si] = make([]string, len(sh.comps))
+		for ci, cs := range sh.comps {
+			t.track[si][ci] = compTrack{since: e.now, asleep: cs.asleep}
 			if s, ok := cs.t.(fmt.Stringer); ok {
-				t.names[pi][ci] = s.String()
+				t.names[si][ci] = s.String()
 			} else {
-				t.names[pi][ci] = fmt.Sprintf("%T#%d", cs.t, ci)
+				t.names[si][ci] = fmt.Sprintf("%T#%d", cs.t, ci)
 			}
 		}
 	}
 }
 
-// LabelPartition names a partition in the exported trace (e.g. "sub3",
-// "uncore"). Call after Engine.SetTrace.
+// LabelPartition names a shard in the exported trace (e.g. "sub3",
+// "uncore"); the index is the shard id (AddShard's return value, which for
+// AddPartition callers equals the registration order). Call after
+// Engine.SetTrace.
 func (t *Trace) LabelPartition(pi int, label string) {
 	if pi >= 0 && pi < len(t.labels) {
 		t.labels[pi] = label

@@ -4,17 +4,25 @@
 #   scripts/check.sh        # fast gate: vet, build, race-enabled core suites
 #   scripts/check.sh full   # fast gate + the whole suite without -short,
 #                           # each package under its own timeout
+#
+# RUN_PARALLEL bounds in-package test parallelism in full mode (go test
+# -parallel): the conformance matrix and golden-snapshot suites run one
+# simulation per t.Parallel() slot. Defaults to the host CPU count.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-# The engine, fault, and chip suites run under the race detector: the
-# parallel executor shares ports, wake flags, and stat counters across
-# partition goroutines, so these packages are where a torn read would live
+# The engine, fault, chip, and runner suites run under the race detector:
+# the parallel executor shares ports, wake flags, and stat counters across
+# partition goroutines, and the run pool shares a result slice across
+# worker goroutines, so these packages are where a torn read would live
 # (see DESIGN.md "Quiescence and the wake protocol").
-go test -race ./internal/sim/... ./internal/fault/... ./internal/chip/...
+# 20m headroom: the chip suite alone runs several minutes under -race on a
+# single-CPU host (the executor bit-identity matrix is many full-chip runs).
+go test -race -timeout 20m ./internal/sim/... ./internal/fault/... \
+    ./internal/chip/... ./internal/runner/...
 go test ./internal/noc/... ./internal/dram/... ./internal/cpu/... \
     ./internal/sched/... ./internal/cache/...
 
@@ -41,11 +49,14 @@ cover_floor ./internal/snapshot 80.0
 if [ "${1:-fast}" = "full" ]; then
     # Full suite, no -short: per-package timeouts so one hung package fails
     # fast instead of absorbing the whole budget. The experiments package
-    # runs whole-chip sweeps (the ablation study included) and needs more.
+    # runs whole-chip sweeps (the ablation study included) and needs more,
+    # as does the kernels package (the full conformance matrix).
+    run_parallel="${RUN_PARALLEL:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)}"
     for pkg in $(go list ./...); do
         case "$pkg" in
-        */internal/experiments) go test -timeout 8m "$pkg" ;;
-        *) go test -timeout 3m "$pkg" ;;
+        */internal/experiments) go test -timeout 10m -parallel "$run_parallel" "$pkg" ;;
+        */internal/kernels) go test -timeout 10m -parallel "$run_parallel" "$pkg" ;;
+        *) go test -timeout 3m -parallel "$run_parallel" "$pkg" ;;
         esac
     done
 fi
