@@ -9,6 +9,7 @@
 //	smarcobench -engine              # engine throughput -> BENCH_engine.json
 //	smarcobench -suite               # run-pool suite wall-clock -> BENCH_suite.json
 //	smarcobench -engine-smoke BENCH_floor.json  # CI guard: fail on throughput regression
+//	smarcobench -chaos               # chaos resilience ladder on the dual card
 package main
 
 import (
@@ -309,6 +310,7 @@ func main() {
 	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot file")
 	suiteLabel := flag.String("suite-label", "suite snapshot", "label for the new suite entry")
 	smoke := flag.String("engine-smoke", "", "run the CI smoke benchmark against this floor file and exit")
+	chaosLadderFlag := flag.Bool("chaos", false, "run the chaos resilience ladder (seeded fault schedules on the dual card)")
 	workers := flag.Int("workers", 0, "run-pool worker bound for experiment sweeps (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	flag.Parse()
@@ -342,6 +344,13 @@ func main() {
 
 	if *smoke != "" {
 		if err := benchSmoke(*smoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *chaosLadderFlag {
+		if err := benchChaos(*seed); err != nil {
 			log.Fatal(err)
 		}
 		return

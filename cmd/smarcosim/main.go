@@ -13,15 +13,24 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
+	"smarco/internal/card"
 	"smarco/internal/chip"
 	"smarco/internal/fault"
 	"smarco/internal/kernels"
 	"smarco/internal/power"
 )
+
+// exitCodeInterrupted distinguishes a graceful SIGINT/SIGTERM stop from
+// success (0) and errors (1): scripts can tell "cleanly interrupted, state
+// checkpointed" from "failed".
+const exitCodeInterrupted = 3
 
 func main() {
 	log.SetFlags(0)
@@ -52,7 +61,14 @@ func main() {
 	linkRate := flag.Float64("link-fault-rate", 0, "per-traversal NoC link fault probability")
 	flipRate := flag.Float64("dram-flip-rate", 0, "per-word DRAM bit-flip probability per access")
 	killCores := flag.Int("kill-cores", 0, "hard-fail this many cores mid-run")
-	killCycle := flag.Uint64("kill-cycle", 0, "cycle at which cores fail (0 = default)")
+	killCycle := flag.Uint64("kill-cycle", 0, "cycle at which cores (or chips) fail (0 = default)")
+	processors := flag.Int("processors", 1, "processors on the PCIe card (2 selects card mode)")
+	killChips := flag.Int("kill-chip", 0, "hard-fail this many whole processors mid-run (card mode)")
+	pcieRate := flag.Float64("pcie-fault-rate", 0, "per-transfer PCIe fault probability (card mode)")
+	pcieCycle := flag.Uint64("pcie-fault-cycle", 0, "cycle from which the PCIe link degrades (0 = from start)")
+	taskRetries := flag.Int("task-retries", 0, "re-submissions per task after failure (0 = default, negative = none)")
+	brownoutDepth := flag.Int("brownout-depth", 0, "shed normal-priority re-submissions above this survivor queue depth (0 = never)")
+	submitTimeout := flag.Uint64("submit-timeout", 0, "re-dispatch a submission with no completion after N cycles (0 = off)")
 	showPower := flag.Bool("power", false, "print the power/area estimate for this configuration")
 	timeline := flag.String("timeline", "", "write a per-interval metrics CSV to this file")
 	interval := flag.Uint64("interval", 2000, "timeline sampling interval in cycles")
@@ -90,20 +106,72 @@ func main() {
 	cfg.Partitions = *partitions
 	cfg.RepartitionEvery = *repartEvery
 	cfg.Fault = fault.Config{
-		Seed:          *faultSeed,
-		LinkFaultRate: *linkRate,
-		DRAMFlipRate:  *flipRate,
-		KillCores:     *killCores,
-		KillCycle:     *killCycle,
+		Seed:           *faultSeed,
+		LinkFaultRate:  *linkRate,
+		DRAMFlipRate:   *flipRate,
+		KillCores:      *killCores,
+		KillCycle:      *killCycle,
+		ChipKills:      *killChips,
+		ChipKillCycle:  *killCycle,
+		PCIeFaultRate:  *pcieRate,
+		PCIeFaultCycle: *pcieCycle,
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM requests a stop at the
+	// next cycle barrier (checkpointable state); a second one kills the
+	// process the default way.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		stop.Store(true)
+		signal.Stop(sigc)
+	}()
+	ckptDirSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint-dir" {
+			ckptDirSet = true
+		}
+	})
 
 	nTasks := *tasks
 	if nTasks <= 0 {
-		nTasks = 2 * cfg.Cores()
+		nTasks = 2 * cfg.Cores() * max(*processors, 1)
 	}
 	w, err := kernels.New(*bench, kernels.Config{Seed: *seed, Tasks: nTasks, Scale: *scale, StageSPM: *stage})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *processors > 1 || *killChips > 0 || *pcieRate > 0 {
+		if *timeline != "" || *traceOut != "" || *profile {
+			log.Fatal("card mode does not support -timeline, -trace, or -profile")
+		}
+		if *killChips > 0 && *processors < 2 {
+			log.Fatal("-kill-chip needs -processors 2: the kill schedule always leaves a survivor")
+		}
+		fmt.Printf("card: %d processor(s), %d sub-rings x %d cores each, dispatcher slice %d cycles\n",
+			*processors, cfg.SubRings, cfg.CoresPerSub, card.DefaultSliceCycles)
+		fmt.Printf("workload: %s, %d tasks, seed %d\n\n", w.Name, len(w.Tasks), *seed)
+		runCard(cfg, w, cardOptions{
+			processors: *processors,
+			dispatch: card.DispatchConfig{
+				TaskRetries:   *taskRetries,
+				SubmitTimeout: *submitTimeout,
+				BrownoutDepth: *brownoutDepth,
+			},
+			budget:     *budget,
+			restore:    *restore,
+			ckptEvery:  *ckptEvery,
+			ckptDir:    *ckptDir,
+			ckptDirSet: ckptDirSet,
+			jsonOut:    *jsonOut,
+			label:      *bench,
+			desc:       fmt.Sprintf("%s tasks=%d seed=%d scale=%d", w.Name, len(w.Tasks), *seed, *scale),
+			stopped:    stop.Load,
+		})
+		return // runCard exits; keep the compiler honest
 	}
 
 	topo := "hierarchical ring"
@@ -174,8 +242,11 @@ func main() {
 				log.Fatalf("cycle budget exhausted (completed %d/%d tasks)", c.CompletedTasks(), len(w.Tasks))
 			}
 			next := c.Now() + *ckptEvery
-			if _, err := c.RunUntil(*ckptEvery+1, func() bool { return done() || c.Now() >= next }); err != nil {
+			if _, err := c.RunUntil(*ckptEvery+1, func() bool { return done() || stop.Load() || c.Now() >= next }); err != nil {
 				log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+			}
+			if stop.Load() && !done() {
+				chipInterruptExit(c, len(w.Tasks), *ckptDir, true)
 			}
 			if done() {
 				break
@@ -188,9 +259,13 @@ func main() {
 		}
 		cycles = c.Now()
 	} else {
-		cy, err := c.Run(*budget)
+		done := func() bool { return c.CompletedTasks() >= len(w.Tasks) }
+		cy, err := c.RunUntil(*budget, func() bool { return done() || stop.Load() })
 		if err != nil {
 			log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+		}
+		if stop.Load() && !done() {
+			chipInterruptExit(c, len(w.Tasks), *ckptDir, ckptDirSet)
 		}
 		cycles = cy
 	}
@@ -275,4 +350,19 @@ cores killed      %d  (tasks migrated %d, rollback writes %d)
 		fmt.Printf("run-average power: %.2f W\n", power.AvgPower(b, act))
 	}
 	os.Exit(0)
+}
+
+// chipInterruptExit is the single-chip graceful-shutdown path: the engine
+// stopped at a cycle barrier, so the state is checkpointable. A final
+// checkpoint is written when the user opted into checkpointing.
+func chipInterruptExit(c *chip.Chip, total int, dir string, writeCkpt bool) {
+	fmt.Printf("interrupted at cycle %d (completed %d/%d tasks)\n", c.Now(), c.CompletedTasks(), total)
+	if writeCkpt {
+		path := filepath.Join(dir, fmt.Sprintf("ckpt-interrupt-%010d.snap", c.Now()))
+		if err := c.WriteCheckpoint(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("final checkpoint -> %s (resume with -restore)\n", path)
+	}
+	os.Exit(exitCodeInterrupted)
 }

@@ -1,10 +1,14 @@
 package card
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"smarco/internal/chip"
+	"smarco/internal/fault"
 	"smarco/internal/kernels"
+	"smarco/internal/sim"
 )
 
 func smallCardConfig(processors int) Config {
@@ -13,6 +17,15 @@ func smallCardConfig(processors int) Config {
 	cfg.CoresPerSub = 4
 	cfg.MCs = 1
 	return Config{Processors: processors, Chip: cfg, PCIe: DefaultPCIe()}
+}
+
+// accounted asserts the dispatcher's exactly-once invariant.
+func accounted(t *testing.T, r DispatchReport) {
+	t.Helper()
+	if r.Completed+r.Abandoned+r.Shed != r.Submitted {
+		t.Fatalf("accounting leak: completed %d + abandoned %d + shed %d != submitted %d",
+			r.Completed, r.Abandoned, r.Shed, r.Submitted)
+	}
 }
 
 func TestSingleProcessorCardRunsAndVerifies(t *testing.T) {
@@ -28,6 +41,14 @@ func TestSingleProcessorCardRunsAndVerifies(t *testing.T) {
 	// PCIe latency must be visible: nothing completes before two hops.
 	if cycles <= 2*DefaultPCIe().LatencyCycles {
 		t.Fatalf("cycles = %d, implausibly below the PCIe floor", cycles)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d tasks", r.Completed, len(w.Tasks))
+	}
+	if len(r.DeadChips) != 0 || r.Resubmits != 0 {
+		t.Fatalf("fault-free run reported faults: %+v", r)
 	}
 }
 
@@ -81,9 +102,238 @@ func TestPCIePacingDelaysSubmission(t *testing.T) {
 	}
 }
 
-// TestCardCheckpointRoundTrip: a dual-processor card checkpointed mid-run
-// and restored into a fresh card must report the identical completion cycle
-// and verified output as the uninterrupted run.
+// TestChipKillMigratesTasks: a scheduled chip kill on a dual card must not
+// lose work — the survivor picks up the victim's tasks and the workload
+// still verifies bit-exactly, with the recovery visible in the report.
+func TestChipKillMigratesTasks(t *testing.T) {
+	run := func() (*Card, *kernels.Workload) {
+		cfg := smallCardConfig(2)
+		cfg.Chip.Fault = fault.Config{Seed: 7, ChipKills: 1, ChipKillCycle: 60_000}
+		w := kernels.MustNew("kmp", kernels.Config{Seed: 11, Tasks: 24, Scale: 512})
+		c := MustNew(cfg, w.Mem)
+		if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c, w
+	}
+	c, w := run()
+	if err := w.Check(); err != nil {
+		t.Fatalf("workload broken after chip kill: %v", err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d after migration: %+v", r.Completed, len(w.Tasks), r)
+	}
+	if len(r.DeadChips) != 1 {
+		t.Fatalf("want 1 dead processor, got %+v", r.DeadChips)
+	}
+	if r.DeadChips[0].Cycle != 60_000 || r.DeadChips[0].Cause != "killed" {
+		t.Fatalf("dead chip record = %+v", r.DeadChips[0])
+	}
+	if r.Recovered == 0 || r.Resubmits == 0 {
+		t.Fatalf("kill recovery left no trace: %+v", r)
+	}
+	if r.FirstKillCycle != 60_000 || r.PostKillPerK <= 0 {
+		t.Fatalf("degraded-throughput metrics missing: %+v", r)
+	}
+	if s := c.FaultStats(); s == nil || s.ChipKills.Load() != 1 {
+		t.Fatalf("chip-kill stat not recorded: %+v", s)
+	}
+
+	// The recovery schedule is part of the deterministic contract.
+	c2, _ := run()
+	if c.AccountingFingerprint() != c2.AccountingFingerprint() {
+		t.Fatal("chip-kill recovery not deterministic across runs")
+	}
+}
+
+// TestBrownoutShedsLowPriority: with a tight brownout depth, migrated
+// normal-priority tasks are shed rather than piled onto the survivor, and
+// every shed task carries the brownout reason.
+func TestBrownoutShedsLowPriority(t *testing.T) {
+	cfg := smallCardConfig(2)
+	cfg.Chip.Fault = fault.Config{Seed: 7, ChipKills: 1, ChipKillCycle: 20_000}
+	cfg.Dispatch.BrownoutDepth = 1
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 13, Tasks: 32, Scale: 512})
+	c := MustNew(cfg, w.Mem)
+	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Shed == 0 {
+		t.Fatalf("brownout depth 1 shed nothing: %+v", r)
+	}
+	if r.Reasons[ReasonBrownout] != r.Shed {
+		t.Fatalf("shed %d but brownout reason count %d", r.Shed, r.Reasons[ReasonBrownout])
+	}
+}
+
+// TestRealTimeTasksSurviveBrownout: real-time tasks are exempt from
+// shedding — under the same brownout pressure they must all complete.
+func TestRealTimeTasksSurviveBrownout(t *testing.T) {
+	cfg := smallCardConfig(2)
+	cfg.Chip.Fault = fault.Config{Seed: 7, ChipKills: 1, ChipKillCycle: 20_000}
+	cfg.Dispatch.BrownoutDepth = 1
+	w := kernels.MustNew("rnc", kernels.Config{Seed: 13, Tasks: 16})
+	c := MustNew(cfg, w.Mem)
+	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Shed != 0 {
+		t.Fatalf("real-time tasks were shed: %+v", r)
+	}
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d real-time tasks: %+v", r.Completed, len(w.Tasks), r)
+	}
+}
+
+// TestRetryBudgetExhaustion: with re-submissions disabled, a chip kill
+// abandons the victim's in-flight tasks with the retries reason.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	cfg := smallCardConfig(2)
+	cfg.Chip.Fault = fault.Config{Seed: 7, ChipKills: 1, ChipKillCycle: 20_000}
+	cfg.Dispatch.TaskRetries = -1 // none
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 17, Tasks: 24, Scale: 512})
+	c := MustNew(cfg, w.Mem)
+	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Abandoned == 0 || r.Reasons[ReasonRetries] != r.Abandoned {
+		t.Fatalf("want retry-budget abandonments, got %+v", r)
+	}
+	if r.Resubmits != 0 {
+		t.Fatalf("resubmitted %d tasks with retries disabled", r.Resubmits)
+	}
+}
+
+// TestSubmitTimeoutRedispatches: an aggressive submission timeout forces
+// re-dispatch on a healthy card; the stale executions surface as duplicate
+// completions and accounting still balances.
+func TestSubmitTimeoutRedispatches(t *testing.T) {
+	mk := func() *kernels.Workload {
+		return kernels.MustNew("kmp", kernels.Config{Seed: 19, Tasks: 8, Scale: 768})
+	}
+	// Calibrate: the timeout must fire on the slower half of the tasks but
+	// still leave the first executions time to win.
+	wRef := mk()
+	refCycles, err := MustNew(smallCardConfig(1), wRef.Mem).Run(wRef.Tasks, 60_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallCardConfig(1)
+	cfg.Dispatch.SubmitTimeout = refCycles / 2
+	cfg.Dispatch.TaskRetries = 100 // timeouts re-dispatch, never abandon
+	w := mk()
+	c := MustNew(cfg, w.Mem)
+	if _, err := c.Run(w.Tasks, 120_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Timeouts == 0 {
+		t.Fatalf("half-run timeout never fired: %+v", r)
+	}
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d under timeouts: %+v", r.Completed, len(w.Tasks), r)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPCIeFaultsRetransmit: a lossy host link delays submissions through
+// NAK/timeout retransmits but loses nothing below the retransmit cap.
+func TestPCIeFaultsRetransmit(t *testing.T) {
+	cfg := smallCardConfig(1)
+	cfg.Chip.Fault = fault.Config{Seed: 5, PCIeFaultRate: 0.2}
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 23, Tasks: 16, Scale: 512})
+	c := MustNew(cfg, w.Mem)
+	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("lossy-but-retried link dropped tasks: %+v", r)
+	}
+	s := c.FaultStats()
+	if s == nil || s.PCIeRetransmits.Load() == 0 {
+		t.Fatalf("20%% fault rate produced no retransmits: %+v", s)
+	}
+	if s.PCIeLost.Load() != 0 {
+		t.Fatalf("submissions lost below the retransmit cap: %+v", s)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadCardJoinedError: when every processor is gone, Resume reports a
+// joined error naming each one with its cause.
+func TestDeadCardJoinedError(t *testing.T) {
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 29, Tasks: 4})
+	c := MustNew(smallCardConfig(2), w.Mem)
+	if err := c.Start(w.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	d := c.disp
+	d.dead[0], d.deadAt[0] = true, 4_000
+	d.dead[1], d.deadAt[1] = true, 6_000
+	d.procErr[1] = errors.New("synthetic watchdog stall")
+	_, err := c.Resume(1_000_000)
+	if err == nil {
+		t.Fatal("dead card resumed without error")
+	}
+	for _, want := range []string{"processor 0", "killed at cycle 4000", "processor 1", "synthetic watchdog stall"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestInterruptStopsAtBarrier: the Interrupt hook stops Resume with
+// ErrInterrupted at a cycle barrier, after which the card resumes cleanly.
+func TestInterruptStopsAtBarrier(t *testing.T) {
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 31, Tasks: 8, Scale: 512})
+	c := MustNew(smallCardConfig(1), w.Mem)
+	stop := false
+	c.Interrupt = func() bool { return stop }
+	c.SliceHook = func(now uint64) {
+		if now >= 10_000 {
+			stop = true
+		}
+	}
+	if err := c.Start(w.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resume(60_000_000); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	stop = false
+	c.Interrupt, c.SliceHook = nil, nil
+	if _, err := c.Resume(60_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d after interrupt+resume", r.Completed, len(w.Tasks))
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCardCheckpointRoundTrip: a dual-processor card checkpointed at an
+// off-grid budget stop and restored into a fresh card must finish at the
+// identical completion cycle, with identical accounting, and verify.
 func TestCardCheckpointRoundTrip(t *testing.T) {
 	cfg := smallCardConfig(2)
 	mk := func() *kernels.Workload {
@@ -100,39 +350,85 @@ func TestCardCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Interrupt both processors shortly after the PCIe release window.
-	mid := cfg.PCIe.LatencyCycles + (refCycles-2*cfg.PCIe.LatencyCycles)/2
+	// Stop mid-run at an off-grid cycle: restore must re-align with the
+	// uninterrupted run's slice-grid decision cycles.
+	mid := refCycles/2 + 137
 	wInt := mk()
 	intr := MustNew(cfg, wInt.Mem)
-	intr.Submit(wInt.Tasks)
-	for i, ch := range intr.Chips() {
-		ch := ch
-		if _, err := ch.RunUntil(mid+100, func() bool { return ch.Now() >= mid }); err != nil {
-			t.Fatalf("processor %d: %v", i, err)
-		}
+	if err := intr.Start(wInt.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intr.Resume(mid); !errors.Is(err, sim.ErrBudget) {
+		t.Fatalf("want budget stop at %d, got %v", mid, err)
 	}
 	file := intr.Checkpoint()
 
 	wRes := mk()
 	res := MustNew(cfg, wRes.Mem)
-	res.Submit(wRes.Tasks)
-	if err := res.Restore(file); err != nil {
+	if err := res.Restore(file, wRes.Tasks); err != nil {
 		t.Fatal(err)
 	}
-	var worst uint64
-	for i, ch := range res.Chips() {
-		cy, err := ch.Run(20_000_000)
-		if err != nil {
-			t.Fatalf("processor %d: %v", i, err)
-		}
-		if cy > worst {
-			worst = cy
-		}
+	gotCycles, err := res.Resume(20_000_000)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := worst + cfg.PCIe.LatencyCycles; got != refCycles {
-		t.Fatalf("restored card finished at %d, reference at %d", got, refCycles)
+	if gotCycles != refCycles {
+		t.Fatalf("restored card finished at %d, reference at %d", gotCycles, refCycles)
+	}
+	if res.AccountingFingerprint() != ref.AccountingFingerprint() {
+		t.Fatal("restored accounting diverged from reference")
 	}
 	if err := wRes.Check(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRoundTripAcrossKill: checkpoint before the kill cycle,
+// restore, and the recovery — kill detection, migration, final accounting —
+// must replay bit-identically.
+func TestCheckpointRoundTripAcrossKill(t *testing.T) {
+	cfg := smallCardConfig(2)
+	cfg.Chip.Fault = fault.Config{Seed: 7, ChipKills: 1, ChipKillCycle: 60_000}
+	mk := func() *kernels.Workload {
+		return kernels.MustNew("kmp", kernels.Config{Seed: 11, Tasks: 24, Scale: 512})
+	}
+
+	wRef := mk()
+	ref := MustNew(cfg, wRef.Mem)
+	refCycles, err := ref.Run(wRef.Tasks, 60_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wInt := mk()
+	intr := MustNew(cfg, wInt.Mem)
+	if err := intr.Start(wInt.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := intr.Resume(30_000); !errors.Is(err, sim.ErrBudget) {
+		t.Fatalf("want pre-kill budget stop, got %v", err)
+	}
+	file := intr.Checkpoint()
+
+	wRes := mk()
+	res := MustNew(cfg, wRes.Mem)
+	if err := res.Restore(file, wRes.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	gotCycles, err := res.Resume(60_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCycles != refCycles {
+		t.Fatalf("restored run finished at %d, reference at %d", gotCycles, refCycles)
+	}
+	if res.AccountingFingerprint() != ref.AccountingFingerprint() {
+		t.Fatal("kill recovery diverged after restore")
+	}
+	if err := wRes.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Report(); len(r.DeadChips) != 1 || r.Recovered == 0 {
+		t.Fatalf("restored run lost the kill record: %+v", r)
 	}
 }

@@ -1,20 +1,34 @@
-// Checkpoint/restore for a whole card: each processor's chip snapshot is
-// merged into one file under a "procN/" section prefix. The restore
-// protocol mirrors the chip's: build the card over the same memory image,
-// Submit the same task list, then Restore.
+// Checkpoint/restore for a whole card: a "card" section holding the
+// dispatcher's fault-tolerance state (task table, per-processor submission
+// histories, death records, retry counters, latency histogram, card-scoped
+// fault stats), plus each processor's chip snapshot merged under a
+// "procN/" section prefix.
+//
+// The restore protocol: build the card over the same memory image, then
+// call Restore with the same task list that was passed to Run/Start.
+// Restore replays each processor's recorded submission history (which
+// re-derives the program -> code-base tables exactly as the original run
+// grew them, re-submissions included) before overwriting all chip and
+// dispatcher state from the file. Checkpoints must be taken with the card
+// at a cycle barrier: between Resume calls, from SliceHook, or after an
+// ErrInterrupted or budget stop.
 package card
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"smarco/internal/kernels"
 	"smarco/internal/snapshot"
 )
 
-// Checkpoint snapshots every processor. Call only between Run slices (the
-// chips must sit at a cycle boundary).
+// Checkpoint snapshots the dispatcher and every processor.
 func (c *Card) Checkpoint() *snapshot.File {
 	f := snapshot.NewFile()
+	e := snapshot.NewEncoder()
+	c.saveDispatch(e)
+	f.Add("card", e.Bytes())
 	for i, ch := range c.chips {
 		sub := ch.Checkpoint()
 		for _, name := range sub.Names() {
@@ -29,10 +43,156 @@ func (c *Card) WriteCheckpoint(path string) error {
 	return c.Checkpoint().WriteFile(path)
 }
 
-// Restore loads a card checkpoint taken on an identically configured card
-// with the same workload submitted.
-func (c *Card) Restore(f *snapshot.File) error {
+func (c *Card) saveDispatch(e *snapshot.Encoder) {
+	d := c.disp
+	e.Bool(d != nil)
+	if d == nil {
+		return
+	}
+	e.U64(d.now)
+	e.U64(d.final)
+	e.Bool(d.finished)
+	e.Int(len(d.tasks))
+	for _, ts := range d.tasks {
+		e.Int(ts.task.ID)
+		e.U8(uint8(ts.status))
+		e.String(ts.reason)
+		e.U64(ts.arrival)
+		e.Int(ts.chip)
+		e.Int(ts.attempts)
+		e.U64(ts.submitted)
+		e.U64(ts.resolved)
+		e.Int(ts.core)
+	}
+	e.Int(len(c.chips))
+	for i := range c.chips {
+		e.Bool(d.dead[i])
+		e.U64(d.deadAt[i])
+		e.Bool(d.detected[i])
+		if d.procErr[i] != nil {
+			e.String(d.procErr[i].Error())
+		} else {
+			e.String("")
+		}
+		e.Int(d.outstanding[i])
+		e.Int(len(d.seen[i]))
+		for _, n := range d.seen[i] {
+			e.Int(n)
+		}
+		e.Int(len(d.history[i]))
+		for _, idx := range d.history[i] {
+			e.Int(idx)
+		}
+	}
+	e.U64(d.killCycle)
+	e.Int(len(d.victims))
+	for i := range c.chips {
+		if d.victims[i] {
+			e.Int(i)
+		}
+	}
+	e.U64(d.resubmits)
+	e.U64(d.duplicates)
+	e.U64(d.timeouts)
+	e.U64(d.recovered)
+	d.latency.Save(e)
+	c.inj.SaveState(e)
+}
+
+func (c *Card) restoreDispatch(dec *snapshot.Decoder, tasks []kernels.Task) error {
+	if !dec.Bool() {
+		return errors.New("card: snapshot was taken before Start (nothing to restore)")
+	}
+	d, err := c.newDispatcher(tasks)
+	if err != nil {
+		return err
+	}
+	d.now = dec.U64()
+	d.final = dec.U64()
+	d.finished = dec.Bool()
+	if n := dec.Int(); n != len(d.tasks) {
+		return fmt.Errorf("card: snapshot has %d tasks, caller passed %d", n, len(d.tasks))
+	}
+	for _, ts := range d.tasks {
+		if id := dec.Int(); id != ts.task.ID {
+			return fmt.Errorf("card: snapshot task ID %d does not match submitted task %d", id, ts.task.ID)
+		}
+		ts.status = taskStatus(dec.U8())
+		ts.reason = dec.String()
+		ts.arrival = dec.U64()
+		ts.chip = dec.Int()
+		ts.attempts = dec.Int()
+		ts.submitted = dec.U64()
+		ts.resolved = dec.U64()
+		ts.core = dec.Int()
+	}
+	if n := dec.Int(); n != len(c.chips) {
+		return fmt.Errorf("card: snapshot has %d processors, card has %d", n, len(c.chips))
+	}
+	for i := range c.chips {
+		d.dead[i] = dec.Bool()
+		d.deadAt[i] = dec.U64()
+		d.detected[i] = dec.Bool()
+		if msg := dec.String(); msg != "" {
+			d.procErr[i] = errors.New(msg)
+		}
+		d.outstanding[i] = dec.Int()
+		if n := dec.Int(); n != len(d.seen[i]) {
+			return fmt.Errorf("card: processor %d: snapshot has %d sub-rings, chip has %d", i, n, len(d.seen[i]))
+		}
+		for s := range d.seen[i] {
+			d.seen[i][s] = dec.Int()
+		}
+		d.history[i] = make([]int, dec.Int())
+		for k := range d.history[i] {
+			idx := dec.Int()
+			if idx < 0 || idx >= len(d.tasks) {
+				return fmt.Errorf("card: processor %d: submission history index %d out of range", i, idx)
+			}
+			d.history[i][k] = idx
+		}
+	}
+	d.killCycle = dec.U64()
+	d.victims = map[int]bool{}
+	for n := dec.Int(); n > 0; n-- {
+		d.victims[dec.Int()] = true
+	}
+	d.resubmits = dec.U64()
+	d.duplicates = dec.U64()
+	d.timeouts = dec.U64()
+	d.recovered = dec.U64()
+	d.latency.Restore(dec)
+	c.inj.RestoreState(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.disp = d
+	return nil
+}
+
+// Restore loads a card checkpoint taken on an identically configured card.
+// tasks must be the same task list the checkpointed run was started with:
+// each processor's submission history is replayed over it to rebuild the
+// program code-base tables before chip state is overwritten.
+func (c *Card) Restore(f *snapshot.File, tasks []kernels.Task) error {
+	if c.disp != nil {
+		return errors.New("card: restore into a card that has already started")
+	}
+	if err := c.restoreDispatch(snapshot.NewDecoder(f.Section("card")), tasks); err != nil {
+		return err
+	}
+	d := c.disp
 	for i, ch := range c.chips {
+		// Replay this processor's submissions in their original order; the
+		// release cycles do not matter (chip restore overwrites the
+		// scheduler queues), only the order programs first appear.
+		batch := make([]kernels.Task, 0, len(d.history[i]))
+		for _, idx := range d.history[i] {
+			batch = append(batch, d.tasks[idx].task)
+		}
+		if len(batch) > 0 {
+			ch.Submit(batch)
+		}
 		prefix := fmt.Sprintf("proc%d/", i)
 		sub := snapshot.NewFile()
 		for _, name := range f.Names() {
@@ -41,9 +201,11 @@ func (c *Card) Restore(f *snapshot.File) error {
 			}
 		}
 		if len(sub.Names()) == 0 {
+			c.disp = nil
 			return fmt.Errorf("card: snapshot has no sections for processor %d", i)
 		}
 		if err := ch.Restore(sub); err != nil {
+			c.disp = nil
 			return fmt.Errorf("card: processor %d: %w", i, err)
 		}
 	}
@@ -51,10 +213,10 @@ func (c *Card) Restore(f *snapshot.File) error {
 }
 
 // RestoreFile reads path and restores it into the card.
-func (c *Card) RestoreFile(path string) error {
+func (c *Card) RestoreFile(path string, tasks []kernels.Task) error {
 	f, err := snapshot.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	return c.Restore(f)
+	return c.Restore(f, tasks)
 }

@@ -40,6 +40,9 @@ const (
 	domainDRAM
 	domainDRAMDouble
 	domainKill
+	domainPCIe
+	domainPCIeKind
+	domainChipKill
 )
 
 // DefaultKillCycle is when hard core failures strike if the configuration
@@ -50,6 +53,12 @@ const DefaultKillCycle = 2000
 
 // DefaultMaxRetransmit bounds link-level retransmission attempts per packet.
 const DefaultMaxRetransmit = 16
+
+// DefaultChipKillCycle is when whole-chip failures strike if the
+// configuration does not say otherwise. It sits past the PCIe submission
+// window (~1500 cycles) so the victim chip has accepted work and the card's
+// drain/migrate machinery is actually exercised.
+const DefaultChipKillCycle = 6000
 
 // Config describes a deterministic fault scenario.
 type Config struct {
@@ -69,11 +78,31 @@ type Config struct {
 	// MaxRetransmit bounds link retransmissions per packet before the
 	// packet is declared lost (0 = DefaultMaxRetransmit).
 	MaxRetransmit int
+
+	// Chip-scoped faults, interpreted by the card layer (internal/card);
+	// individual chips ignore them.
+
+	// ChipKills is how many whole chips on a card suffer a hard failure.
+	// Victims are a seeded permutation; at least one chip survives.
+	ChipKills int
+	// ChipKillCycle is the cycle chip failures strike
+	// (0 = DefaultChipKillCycle).
+	ChipKillCycle uint64
+	// PCIeFaultRate is the per-transfer probability that a task submission
+	// over the PCIe link is corrupted (detected by the card's checksum and
+	// NAKed) or dropped (detected by host timeout). Either way the host
+	// retransmits with capped exponential backoff, mirroring the NoC
+	// retransmit policy. [0, 1].
+	PCIeFaultRate float64
+	// PCIeFaultCycle is the cycle from which PCIeFaultRate applies
+	// (0 = from the start), for "degrade the link at cycle K" schedules.
+	PCIeFaultCycle uint64
 }
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.LinkFaultRate > 0 || c.DRAMFlipRate > 0 || c.KillCores > 0
+	return c.LinkFaultRate > 0 || c.DRAMFlipRate > 0 || c.KillCores > 0 ||
+		c.ChipKills > 0 || c.PCIeFaultRate > 0
 }
 
 // Validate rejects out-of-range rates and counts.
@@ -89,6 +118,12 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRetransmit < 0 {
 		return fmt.Errorf("fault: negative max-retransmit %d", c.MaxRetransmit)
+	}
+	if c.ChipKills < 0 {
+		return fmt.Errorf("fault: negative chip-kills %d", c.ChipKills)
+	}
+	if c.PCIeFaultRate < 0 || c.PCIeFaultRate > 1 {
+		return fmt.Errorf("fault: pcie fault rate %g outside [0, 1]", c.PCIeFaultRate)
 	}
 	return nil
 }
@@ -108,6 +143,11 @@ type Stats struct {
 	TasksMigrated   atomic.Uint64 // in-flight tasks re-queued onto surviving cores
 	RollbackWrites  atomic.Uint64 // undo-log write packets issued by dying cores
 	ForeignComplete atomic.Uint64 // completions from cores outside their sub-ring
+	PCIeCorrupt     atomic.Uint64 // PCIe transfers corrupted (NAKed, retransmitted)
+	PCIeDropped     atomic.Uint64 // PCIe transfers dropped (timeout, retransmitted)
+	PCIeRetransmits atomic.Uint64 // PCIe retransmission attempts
+	PCIeLost        atomic.Uint64 // submissions abandoned after MaxRetransmit
+	ChipKills       atomic.Uint64 // whole-chip failures delivered
 }
 
 // Injector decides faults. All methods are safe on a nil receiver (no
@@ -124,6 +164,9 @@ func NewInjector(cfg Config) (*Injector, error) {
 	}
 	if cfg.KillCycle == 0 {
 		cfg.KillCycle = DefaultKillCycle
+	}
+	if cfg.ChipKillCycle == 0 {
+		cfg.ChipKillCycle = DefaultChipKillCycle
 	}
 	if cfg.MaxRetransmit == 0 {
 		cfg.MaxRetransmit = DefaultMaxRetransmit
@@ -262,6 +305,60 @@ func (i *Injector) KillSet(totalCores int) []int {
 	}
 	for k := totalCores - 1; k > 0; k-- {
 		j := int(i.mix(domainKill, uint64(k), 0, 0) % uint64(k+1))
+		perm[k], perm[j] = perm[j], perm[k]
+	}
+	return perm[:n]
+}
+
+// PCIeFault decides whether one PCIe task transfer faults. site is the
+// target chip index, cycle the submission cycle on the card clock, seq the
+// submitter's private transfer counter. dropped distinguishes a silent drop
+// (host-timeout detection) from a corruption (checksum/NAK detection) —
+// the same split the NoC link model makes, so RetryDelay applies unchanged.
+// Inactive before PCIeFaultCycle, which is how degradation schedules say
+// "the link goes bad at cycle K".
+func (i *Injector) PCIeFault(site, cycle, seq uint64) (faulted, dropped bool) {
+	if i == nil || i.cfg.PCIeFaultRate <= 0 || cycle < i.cfg.PCIeFaultCycle {
+		return false, false
+	}
+	if i.roll(domainPCIe, site, cycle, seq) >= i.cfg.PCIeFaultRate {
+		return false, false
+	}
+	dropped = i.mix(domainPCIeKind, site, cycle, seq)&3 == 0
+	if dropped {
+		i.Stats.PCIeDropped.Add(1)
+	} else {
+		i.Stats.PCIeCorrupt.Add(1)
+	}
+	return true, dropped
+}
+
+// ChipKillCycle returns the cycle whole-chip failures strike.
+func (i *Injector) ChipKillCycle() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.ChipKillCycle
+}
+
+// ChipKillSet returns the indices of the chips on a card that hard-fail,
+// chosen by a seeded permutation of [0, totalChips). At least one chip
+// always survives — a card with every processor dead has nothing left to
+// measure — so a single-chip card never loses its only processor.
+func (i *Injector) ChipKillSet(totalChips int) []int {
+	if i == nil || i.cfg.ChipKills <= 0 || totalChips <= 1 {
+		return nil
+	}
+	n := i.cfg.ChipKills
+	if n >= totalChips {
+		n = totalChips - 1
+	}
+	perm := make([]int, totalChips)
+	for k := range perm {
+		perm[k] = k
+	}
+	for k := totalChips - 1; k > 0; k-- {
+		j := int(i.mix(domainChipKill, uint64(k), 0, 0) % uint64(k+1))
 		perm[k], perm[j] = perm[j], perm[k]
 	}
 	return perm[:n]

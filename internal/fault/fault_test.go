@@ -10,6 +10,8 @@ func TestConfigEnabledAndValidate(t *testing.T) {
 		{LinkFaultRate: 1e-3},
 		{DRAMFlipRate: 1e-4},
 		{KillCores: 1},
+		{ChipKills: 1},
+		{PCIeFaultRate: 1e-3},
 	} {
 		if !c.Enabled() {
 			t.Fatalf("config %+v should be enabled", c)
@@ -21,6 +23,9 @@ func TestConfigEnabledAndValidate(t *testing.T) {
 		{DRAMFlipRate: 2},
 		{KillCores: -1},
 		{MaxRetransmit: -3},
+		{ChipKills: -1},
+		{PCIeFaultRate: -0.5},
+		{PCIeFaultRate: 1.1},
 	} {
 		if c.Validate() == nil {
 			t.Fatalf("config %+v should fail validation", c)
@@ -47,6 +52,15 @@ func TestNilInjectorIsSafe(t *testing.T) {
 	}
 	if inj.MaxRetransmit() != DefaultMaxRetransmit {
 		t.Fatal("nil injector retransmit budget")
+	}
+	if f, _ := inj.PCIeFault(0, 1, 2); f {
+		t.Fatal("nil injector faulted a PCIe transfer")
+	}
+	if inj.ChipKillSet(2) != nil {
+		t.Fatal("nil injector killed chips")
+	}
+	if inj.ChipKillCycle() != 0 {
+		t.Fatal("nil injector scheduled a chip kill")
 	}
 }
 
@@ -166,6 +180,64 @@ func TestKillSetReproducibleAndBounded(t *testing.T) {
 	}
 	if same {
 		t.Log("seeds 7 and 8 picked identical victims (possible but suspicious)")
+	}
+}
+
+// PCIe faults must respect the degradation onset cycle and the configured
+// rate, and remain pure functions of (seed, site, cycle, seq).
+func TestPCIeFaultOnsetAndRate(t *testing.T) {
+	inj, err := NewInjector(Config{Seed: 17, PCIeFaultRate: 0.2, PCIeFaultCycle: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 5000; seq++ {
+		if f, _ := inj.PCIeFault(1, 999, seq); f {
+			t.Fatal("PCIe fault before the degradation onset cycle")
+		}
+	}
+	n, hits := 50_000, 0
+	for seq := 0; seq < n; seq++ {
+		if f, _ := inj.PCIeFault(1, 1000+uint64(seq), uint64(seq)); f {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("observed PCIe fault rate %.4f, want ~0.2", got)
+	}
+	// Replay on a second injector must agree decision-for-decision.
+	b, _ := NewInjector(Config{Seed: 17, PCIeFaultRate: 0.2, PCIeFaultCycle: 1000})
+	for seq := uint64(0); seq < 1000; seq++ {
+		f1, d1 := inj.PCIeFault(3, 2000+seq, seq)
+		f2, d2 := b.PCIeFault(3, 2000+seq, seq)
+		if f1 != f2 || d1 != d2 {
+			t.Fatalf("seq %d: PCIe decisions diverged", seq)
+		}
+	}
+}
+
+func TestChipKillSetLeavesASurvivor(t *testing.T) {
+	mk := func(seed uint64, kills, total int) []int {
+		inj, _ := NewInjector(Config{Seed: seed, ChipKills: kills})
+		return inj.ChipKillSet(total)
+	}
+	if got := mk(7, 1, 1); got != nil {
+		t.Fatalf("single-chip card lost its only processor: %v", got)
+	}
+	if got := mk(7, 2, 2); len(got) != 1 {
+		t.Fatalf("kill-all on a dual card produced %d victims, want 1", len(got))
+	}
+	a, b := mk(7, 1, 2), mk(7, 1, 2)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("chip kill set not reproducible: %v vs %v", a, b)
+	}
+	if a[0] < 0 || a[0] >= 2 {
+		t.Fatalf("victim %d out of range", a[0])
+	}
+	// The kill cycle defaults late enough to clear the PCIe window.
+	inj, _ := NewInjector(Config{ChipKills: 1})
+	if inj.ChipKillCycle() != DefaultChipKillCycle {
+		t.Fatalf("chip kill cycle %d, want default %d", inj.ChipKillCycle(), DefaultChipKillCycle)
 	}
 }
 

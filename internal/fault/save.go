@@ -22,6 +22,11 @@ func (i *Injector) SaveState(e *snapshot.Encoder) {
 	e.U64(i.Stats.TasksMigrated.Load())
 	e.U64(i.Stats.RollbackWrites.Load())
 	e.U64(i.Stats.ForeignComplete.Load())
+	e.U64(i.Stats.PCIeCorrupt.Load())
+	e.U64(i.Stats.PCIeDropped.Load())
+	e.U64(i.Stats.PCIeRetransmits.Load())
+	e.U64(i.Stats.PCIeLost.Load())
+	e.U64(i.Stats.ChipKills.Load())
 }
 
 // RestoreState implements sim.Restorer.
@@ -44,4 +49,9 @@ func (i *Injector) RestoreState(d *snapshot.Decoder) {
 	i.Stats.TasksMigrated.Store(d.U64())
 	i.Stats.RollbackWrites.Store(d.U64())
 	i.Stats.ForeignComplete.Store(d.U64())
+	i.Stats.PCIeCorrupt.Store(d.U64())
+	i.Stats.PCIeDropped.Store(d.U64())
+	i.Stats.PCIeRetransmits.Store(d.U64())
+	i.Stats.PCIeLost.Store(d.U64())
+	i.Stats.ChipKills.Store(d.U64())
 }

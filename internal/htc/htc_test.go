@@ -114,3 +114,65 @@ func TestDistributionHelpers(t *testing.T) {
 		t.Fatalf("small fraction = %v", d.SmallFraction(2))
 	}
 }
+
+// TestCDNDeterministic: the testbed model is a pure function of (config,
+// clients, seed) — identical calls must agree field-for-field, across both
+// single points and whole sweeps.
+func TestCDNDeterministic(t *testing.T) {
+	cfg := DefaultCDN()
+	for _, seed := range []uint64{1, 7, 42} {
+		a := RunCDN(cfg, 150, seed)
+		b := RunCDN(cfg, 150, seed)
+		if a != b {
+			t.Fatalf("seed %d: RunCDN not deterministic: %+v vs %+v", seed, a, b)
+		}
+	}
+	s1 := CDNSweep(cfg, 9)
+	s2 := CDNSweep(cfg, 9)
+	if len(s1) != len(s2) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sweep point %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	// The seed only drives chunk sampling: the bandwidth identities hold
+	// for any seed.
+	for _, seed := range []uint64{1, 7, 42} {
+		p := RunCDN(cfg, 150, seed)
+		if p.GoodputGbs != 150*cfg.StreamMbps/1000 {
+			t.Fatalf("seed %d perturbed goodput: %v", seed, p.GoodputGbs)
+		}
+	}
+}
+
+// TestMaxClientsBoundRespected: below MaxClients demand is fully served;
+// at and beyond it, goodput pins to the NIC rate — for several link/stream
+// combinations, not just the paper's.
+func TestMaxClientsBoundRespected(t *testing.T) {
+	for _, tc := range []struct {
+		nic    float64
+		stream float64
+	}{
+		{10, 25}, {40, 25}, {10, 50}, {1, 5},
+	} {
+		cfg := DefaultCDN()
+		cfg.NICGbps = tc.nic
+		cfg.StreamMbps = tc.stream
+		limit := cfg.MaxClients()
+		if want := int(tc.nic * 1000 / tc.stream); limit != want {
+			t.Fatalf("%+v: MaxClients = %d, want %d", tc, limit, want)
+		}
+		under := RunCDN(cfg, limit/2, 1)
+		if want := float64(limit/2) * tc.stream / 1000; under.GoodputGbs != want {
+			t.Fatalf("%+v: under limit goodput %v, want %v", tc, under.GoodputGbs, want)
+		}
+		for _, clients := range []int{limit, limit + 1, limit * 2} {
+			p := RunCDN(cfg, clients, 1)
+			if p.GoodputGbs != tc.nic {
+				t.Fatalf("%+v at %d clients: goodput %v, want NIC rate %v", tc, clients, p.GoodputGbs, tc.nic)
+			}
+		}
+	}
+}

@@ -85,6 +85,31 @@ type Config struct {
 	// writes outputs back after it halts. Shared regions (dictionaries,
 	// centroids, context tables) always stay in DRAM.
 	StageSPM bool
+	// Mem, when non-nil, is the backing store the workload's data is staged
+	// into instead of a private one. Several workloads can then share one
+	// card memory image — the mixed-traffic shape the chaos harness runs —
+	// provided each uses a disjoint Base window.
+	Mem *mem.Sparse
+	// Base overrides the arena start address (0 = the package default).
+	// Data regions grow upward from Base; callers mixing workloads must
+	// space their bases so arenas cannot collide.
+	Base uint64
+}
+
+// store returns the backing store the workload should populate.
+func (c Config) store() *mem.Sparse {
+	if c.Mem != nil {
+		return c.Mem
+	}
+	return mem.NewSparse()
+}
+
+// arena returns the workload's data-region allocator, honoring Base.
+func (c Config) arena() *arena {
+	if c.Base != 0 {
+		return &arena{next: c.Base}
+	}
+	return newArena()
 }
 
 // New builds the named workload. It is the single entry point used by the

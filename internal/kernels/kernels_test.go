@@ -181,6 +181,36 @@ func TestArenaAlignment(t *testing.T) {
 	}
 }
 
+// TestSharedStoreWithDisjointBases builds every benchmark into one backing
+// store at spaced arena bases — the mixed-traffic image the chaos harness
+// submits to a card — and verifies each workload still checks out.
+func TestSharedStoreWithDisjointBases(t *testing.T) {
+	store := mem.NewSparse()
+	const window = 0x0100_0000
+	var ws []*Workload
+	for i, name := range Names {
+		w := MustNew(name, Config{
+			Seed: 21, Tasks: 2,
+			Mem:  store,
+			Base: 0x0001_0000 + uint64(i)*window,
+		})
+		if w.Mem != store {
+			t.Fatalf("%s: workload did not use the shared store", name)
+		}
+		ws = append(ws, w)
+	}
+	for _, w := range ws {
+		if _, err := RunFunctional(w, 100_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+	for _, w := range ws {
+		if err := w.Check(); err != nil {
+			t.Fatalf("%s on shared store: %v", w.Name, err)
+		}
+	}
+}
+
 func TestTaskArgsLoadIntoARegisters(t *testing.T) {
 	// The convention is a0..a7 = Args[0..7]; spot-check via a trivial
 	// program that copies a3 to memory at a0.

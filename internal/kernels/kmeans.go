@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"smarco/internal/isa"
-	"smarco/internal/mem"
 	"smarco/internal/sim"
 )
 
@@ -101,8 +100,8 @@ func NewKMeans(cfg Config) *Workload {
 	}
 	const k, d = 4, 4
 	rng := sim.NewRNG(cfg.Seed ^ 0xA005)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "kmeans", Mem: m}
 
 	centBase := a.alloc(k * d * 8)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"smarco/internal/isa"
-	"smarco/internal/mem"
 	"smarco/internal/sim"
 )
 
@@ -97,8 +96,8 @@ func NewKMP(cfg Config) *Workload {
 		textLen = 2048
 	}
 	rng := sim.NewRNG(cfg.Seed ^ 0xA006)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "kmp", Mem: m}
 
 	pattern := []byte("abab")

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"smarco/internal/isa"
-	"smarco/internal/mem"
 	"smarco/internal/sim"
 )
 
@@ -146,8 +145,8 @@ func NewRNC(cfg Config) *Workload {
 		slots *= 2
 	}
 	rng := sim.NewRNG(cfg.Seed ^ 0xA007)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "rnc", Mem: m}
 
 	tableBase := a.alloc(slots * 32)

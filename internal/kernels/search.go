@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"smarco/internal/isa"
-	"smarco/internal/mem"
 	"smarco/internal/sim"
 )
 
@@ -73,8 +72,8 @@ func NewSearch(cfg Config) *Workload {
 	// across tasks the same way).
 	dictN := 1024
 	rng := sim.NewRNG(cfg.Seed ^ 0xA004)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "search", Mem: m}
 
 	dictBase := a.alloc(dictN * 8)

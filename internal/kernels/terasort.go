@@ -101,8 +101,8 @@ func NewTeraSort(cfg Config) *Workload {
 		keys = 64
 	}
 	rng := sim.NewRNG(cfg.Seed ^ 0xA002)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "terasort", Mem: m}
 
 	type part struct {
@@ -148,8 +148,8 @@ func NewTeraMerge(cfg Config) *Workload {
 		keys = 64
 	}
 	rng := sim.NewRNG(cfg.Seed ^ 0xA003)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "teramerge", Mem: m}
 
 	type job struct {

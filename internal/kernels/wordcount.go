@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"smarco/internal/isa"
-	"smarco/internal/mem"
 	"smarco/internal/sim"
 )
 
@@ -139,8 +138,8 @@ func NewWordCount(cfg Config) *Workload {
 	}
 	const slots = 256 // power of two, comfortably above vocabulary size
 	rng := sim.NewRNG(cfg.Seed ^ 0xA001)
-	m := mem.NewSparse()
-	a := newArena()
+	m := cfg.store()
+	a := cfg.arena()
 	w := &Workload{Name: "wordcount", Mem: m}
 
 	type shard struct {

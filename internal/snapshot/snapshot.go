@@ -10,10 +10,13 @@ package snapshot
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"math"
 	"os"
+	"path/filepath"
+	"syscall"
 )
 
 // Magic identifies a snapshot file; Version is bumped on any layout change.
@@ -300,16 +303,52 @@ func Decode(b []byte) (*File, error) {
 	return f, nil
 }
 
-// WriteFile atomically writes the encoded container to path (write to a
-// temp file in the same directory, then rename), so a crash mid-checkpoint
-// never leaves a truncated snapshot behind.
+// WriteFile atomically and durably writes the encoded container to path:
+// write to a temp file in the same directory, fsync it, rename over the
+// target, then fsync the directory so the rename itself survives a power
+// cut. A crash at any point leaves either the old snapshot or the new one,
+// never a truncated or unlinked file.
 func (f *File) WriteFile(path string) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, f.Encode(), 0o644); err != nil {
+	if err := writeSync(tmp, f.Encode()); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeSync writes data to path and flushes it to stable storage before
+// closing.
+func writeSync(path string, data []byte) error {
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms refuse to sync directories; that is not a durability bug in
+// the caller, so those errors are swallowed.
+func syncDir(dir string) error {
+	dh, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer dh.Close()
+	if err := dh.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.EBADF) {
 		return err
 	}
 	return nil

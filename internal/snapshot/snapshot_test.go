@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -189,5 +190,54 @@ func TestBisect(t *testing.T) {
 	// Diverged from the start: invariant violation reported.
 	if _, err := Bisect(divergeAt, 10_000, run(false), run(true)); err == nil {
 		t.Error("Bisect with diverging lo should error")
+	}
+}
+
+// TestWriteFileDurableRoundTrip: a checkpoint written through the
+// fsync+rename path must re-open with its CRC trailer intact, leave no
+// temp residue, replace an existing snapshot atomically, and any
+// single-byte corruption on disk must be caught by the trailer.
+func TestWriteFileDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+
+	old := NewFile()
+	old.Add("gen", []byte{1})
+	if err := old.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f := NewFile()
+	f.Add("gen", []byte{2})
+	f.Add("state", []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if err := f.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile over existing: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(g.Section("gen"), []byte{2}) {
+		t.Fatalf("stale snapshot survived the overwrite: %v", g.Section("gen"))
+	}
+	if !reflect.DeepEqual(g.Section("state"), []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Fatalf("state section = %v", g.Section("state"))
+	}
+
+	// Flip every byte position in turn: the CRC trailer (or the header
+	// check) must reject all of them.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d decoded without error", i)
+		}
 	}
 }

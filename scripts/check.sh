@@ -14,22 +14,27 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-# The engine, fault, chip, and runner suites run under the race detector:
-# the parallel executor shares ports, wake flags, and stat counters across
-# partition goroutines, and the run pool shares a result slice across
-# worker goroutines, so these packages are where a torn read would live
-# (see DESIGN.md "Quiescence and the wake protocol").
+# The engine, fault, chip, runner, card, and chaos suites run under the
+# race detector: the parallel executor shares ports, wake flags, and stat
+# counters across partition goroutines, the run pool shares a result slice
+# across worker goroutines, and the card dispatcher drives parallel-executor
+# chips through migration and restore, so these packages are where a torn
+# read would live (see DESIGN.md "Quiescence and the wake protocol").
 # 20m headroom: the chip suite alone runs several minutes under -race on a
 # single-CPU host (the executor bit-identity matrix is many full-chip runs).
 go test -race -timeout 20m ./internal/sim/... ./internal/fault/... \
-    ./internal/chip/... ./internal/runner/...
+    ./internal/chip/... ./internal/runner/... \
+    ./internal/card/... ./internal/chaos/...
 go test ./internal/noc/... ./internal/dram/... ./internal/cpu/... \
     ./internal/sched/... ./internal/cache/...
 
-# Coverage floor for the determinism-critical leaf packages: the engine and
-# the snapshot codec underpin the checkpoint/restore bit-identity contract,
-# so their own-test coverage must not erode. Baselines recorded when the
-# checkpoint layer landed (sim 78.2%, snapshot 84.4%), floors set just below.
+# Coverage floor for the determinism- and recovery-critical packages: the
+# engine and the snapshot codec underpin the checkpoint/restore bit-identity
+# contract, and the card dispatcher plus the chaos harness carry the
+# rack-level fault-tolerance accounting invariants, so their own-test
+# coverage must not erode. Baselines recorded when each layer landed
+# (sim 78.2%, snapshot 84.4%, card 83.6%, chaos 82.3%), floors set just
+# below.
 cover_floor() {
     pkg="$1"
     floor="$2"
@@ -45,6 +50,8 @@ cover_floor() {
 }
 cover_floor ./internal/sim 75.0
 cover_floor ./internal/snapshot 80.0
+cover_floor ./internal/card 78.0
+cover_floor ./internal/chaos 75.0
 
 if [ "${1:-fast}" = "full" ]; then
     # Full suite, no -short: per-package timeouts so one hung package fails
