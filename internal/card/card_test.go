@@ -9,6 +9,7 @@ import (
 	"smarco/internal/fault"
 	"smarco/internal/kernels"
 	"smarco/internal/sim"
+	"smarco/internal/snapshot"
 )
 
 func smallCardConfig(processors int) Config {
@@ -145,6 +146,47 @@ func TestChipKillMigratesTasks(t *testing.T) {
 	c2, _ := run()
 	if c.AccountingFingerprint() != c2.AccountingFingerprint() {
 		t.Fatal("chip-kill recovery not deterministic across runs")
+	}
+}
+
+// TestEngineErrorMigratesTasks: a processor that wedges mid-run with a
+// real engine watchdog error (fully faulted NoC, every packet eventually
+// lost) must be detected at the next grid boundary and its in-flight tasks
+// migrated to the survivor — the run completes instead of hanging until
+// the cycle budget.
+func TestEngineErrorMigratesTasks(t *testing.T) {
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 37, Tasks: 24, Scale: 512})
+	c := MustNew(smallCardConfig(2), w.Mem)
+	// Rebuild processor 0 with a hostile NoC and a fast watchdog: its first
+	// slice of work wedges, and RunUntil surfaces the diagnostic through the
+	// dispatcher's advance().
+	wcfg := smallCardConfig(2).Chip
+	wcfg.Fault = fault.Config{Seed: 7, LinkFaultRate: 1, MaxRetransmit: 2}
+	wcfg.WatchdogCycles = 2_000
+	wedged, err := chip.Build(wcfg, w.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.chips[0] = wedged
+	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+		t.Fatalf("run did not recover from the wedged processor: %v", err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatalf("workload broken after engine-error migration: %v", err)
+	}
+	r := c.Report()
+	accounted(t, r)
+	if r.Completed != len(w.Tasks) {
+		t.Fatalf("completed %d of %d after engine-error migration: %+v", r.Completed, len(w.Tasks), r)
+	}
+	if len(r.DeadChips) != 1 || r.DeadChips[0].Processor != 0 {
+		t.Fatalf("want processor 0 dead, got %+v", r.DeadChips)
+	}
+	if !strings.Contains(r.DeadChips[0].Cause, "watchdog") {
+		t.Fatalf("dead-chip cause is not the watchdog diagnostic: %q", r.DeadChips[0].Cause)
+	}
+	if r.Recovered == 0 || r.Resubmits == 0 {
+		t.Fatalf("engine-error recovery left no trace: %+v", r)
 	}
 }
 
@@ -328,6 +370,29 @@ func TestInterruptStopsAtBarrier(t *testing.T) {
 	}
 	if err := w.Check(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsOutOfRangeChip: a corrupted-but-well-formed dispatcher
+// section with a task assigned to a nonexistent processor must fail the
+// restore with a decode error, not panic later in harvest/moveTask.
+func TestRestoreRejectsOutOfRangeChip(t *testing.T) {
+	w := kernels.MustNew("kmp", kernels.Config{Seed: 29, Tasks: 2})
+	c := MustNew(smallCardConfig(2), w.Mem)
+	e := snapshot.NewEncoder()
+	e.Bool(true)  // started
+	e.U64(0)      // now
+	e.U64(0)      // final
+	e.Bool(false) // finished
+	e.Int(len(w.Tasks))
+	e.Int(w.Tasks[0].ID)
+	e.U8(uint8(statusPending))
+	e.String("")
+	e.U64(0)
+	e.Int(7) // chip index out of range for a 2-processor card
+	err := c.restoreDispatch(snapshot.NewDecoder(e.Bytes()), w.Tasks)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range processor index not rejected: %v", err)
 	}
 }
 

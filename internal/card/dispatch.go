@@ -72,7 +72,7 @@ type dispatcher struct {
 	// Per processor:
 	history     [][]int // task indices ever submitted, in submission order (restore replay)
 	seen        [][]int // per sub-scheduler: results already harvested
-	outstanding []int   // unresolved tasks currently assigned
+	outstanding []int   // unresolved tasks currently assigned (recomputed each grid boundary)
 	dead        []bool
 	deadAt      []uint64
 	detected    []bool
@@ -164,7 +164,11 @@ func (c *Card) Start(tasks []kernels.Task) error {
 		if rel := c.cfg.PCIe.LatencyCycles + xfer + extra; t.ReleaseCycle < rel {
 			t.ReleaseCycle = rel
 		}
-		ts.chip, ts.attempts, ts.submitted = p, 1, 0
+		// The timeout clock starts when the chip can first act on the task
+		// (PCIe pacing + latency, or its own arrival, whichever is later) —
+		// not at cycle 0, which would spuriously time out late-paced or
+		// late-arriving tasks in a fault-free run.
+		ts.chip, ts.attempts, ts.submitted = p, 1, t.ReleaseCycle
 		d.outstanding[p]++
 		d.history[p] = append(d.history[p], idx)
 		batches[p] = append(batches[p], t)
@@ -188,7 +192,9 @@ func (c *Card) pcieTransfer(chipIdx int, cycle uint64, taskID, taskAttempt int) 
 	}
 	budget := c.inj.MaxRetransmit()
 	for a := 0; ; a++ {
-		seq := uint64(taskID)*1024 + uint64(taskAttempt)*32 + uint64(a)
+		// Wide bit fields keep the per-transfer fault draws independent:
+		// task, attempt, and retransmit never collide below 2^16 retries.
+		seq := uint64(taskID)<<32 | uint64(taskAttempt)<<16 | uint64(a)
 		faulted, dropped := c.inj.PCIeFault(uint64(chipIdx), cycle, seq)
 		if !faulted {
 			return extra, false
@@ -235,11 +241,11 @@ func (c *Card) Resume(maxCycles uint64) (uint64, error) {
 		if d.now%slice == 0 {
 			c.harvest()
 			c.redispatch()
-			if d.unresolved() == 0 {
-				return c.finish(), nil
-			}
 			if c.aliveCount() == 0 {
 				return d.now, c.deadCardErr()
+			}
+			if d.unresolved() == 0 {
+				return c.finish(), nil
 			}
 		}
 		if d.now >= maxCycles {
@@ -273,10 +279,12 @@ func (c *Card) advance(target uint64) {
 		}
 		if ch.Now() < stop {
 			if _, err := ch.RunUntil(stop-ch.Now(), func() bool { return ch.Now() >= stop }); err != nil {
-				// The chip wedged or panicked. The watchdog diagnostic is
-				// host-visible, so detection is immediate; its unresolved
-				// tasks migrate at the next grid boundary.
-				d.dead[i], d.deadAt[i], d.detected[i] = true, ch.Now(), true
+				// The chip wedged or panicked. Leave detected false:
+				// redispatch() flips it at the next grid boundary (the
+				// watchdog diagnostic is host-visible, so engine errors skip
+				// the DetectCycles polling delay) and migrates the chip's
+				// unresolved tasks to a survivor.
+				d.dead[i], d.deadAt[i] = true, ch.Now()
 				d.procErr[i] = err
 				continue
 			}
@@ -309,7 +317,6 @@ func (c *Card) harvest() {
 					d.duplicates++
 					continue
 				}
-				d.outstanding[ts.chip]--
 				ts.status = statusCompleted
 				ts.resolved = r.Done
 				ts.core = r.Core
@@ -332,10 +339,28 @@ func (c *Card) harvest() {
 // then submission order.
 func (c *Card) redispatch() {
 	d := c.disp
+	// Recompute per-processor load from the pending assignments. A migrated
+	// task may complete on its previous chip (the first harvested completion
+	// wins), so incremental decrements against the current assignment would
+	// skew least-loaded selection and brownout decisions.
+	for i := range d.outstanding {
+		d.outstanding[i] = 0
+	}
+	for _, ts := range d.tasks {
+		if ts.status == statusPending && ts.chip >= 0 {
+			d.outstanding[ts.chip]++
+		}
+	}
 	newly := make([]bool, len(c.chips))
 	any := false
 	for i := range c.chips {
-		if d.dead[i] && !d.detected[i] && d.now >= d.deadAt[i]+c.cfg.Dispatch.DetectCycles {
+		if !d.dead[i] || d.detected[i] {
+			continue
+		}
+		// An engine error (watchdog stall, component panic) is a host-visible
+		// diagnostic, detected at the first boundary; a scheduled kill waits
+		// out the health-polling latency.
+		if d.procErr[i] != nil || d.now >= d.deadAt[i]+c.cfg.Dispatch.DetectCycles {
 			d.detected[i] = true
 			newly[i] = true
 			any = true
@@ -351,7 +376,7 @@ func (c *Card) redispatch() {
 	}
 	if to := c.cfg.Dispatch.SubmitTimeout; to > 0 {
 		for idx, ts := range d.tasks {
-			if ts.status == statusPending && !d.dead[ts.chip] && d.now-ts.submitted >= to {
+			if ts.status == statusPending && !d.dead[ts.chip] && d.now >= ts.submitted+to {
 				moves = append(moves, idx)
 				d.timeouts++
 			}
@@ -410,7 +435,7 @@ func (c *Card) moveTask(ts *taskState) {
 	t.ReleaseCycle = d.now + c.cfg.PCIe.LatencyCycles + retryBackoff(ts.attempts) + extra
 	ts.chip = best
 	ts.attempts++
-	ts.submitted = d.now
+	ts.submitted = t.ReleaseCycle
 	d.outstanding[best]++
 	d.history[best] = append(d.history[best], d.byID[t.ID])
 	d.resubmits++

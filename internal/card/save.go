@@ -121,6 +121,9 @@ func (c *Card) restoreDispatch(dec *snapshot.Decoder, tasks []kernels.Task) erro
 		ts.reason = dec.String()
 		ts.arrival = dec.U64()
 		ts.chip = dec.Int()
+		if ts.chip < -1 || ts.chip >= len(c.chips) {
+			return fmt.Errorf("card: snapshot task %d: processor index %d out of range", ts.task.ID, ts.chip)
+		}
 		ts.attempts = dec.Int()
 		ts.submitted = dec.U64()
 		ts.resolved = dec.U64()
@@ -155,7 +158,11 @@ func (c *Card) restoreDispatch(dec *snapshot.Decoder, tasks []kernels.Task) erro
 	d.killCycle = dec.U64()
 	d.victims = map[int]bool{}
 	for n := dec.Int(); n > 0; n-- {
-		d.victims[dec.Int()] = true
+		v := dec.Int()
+		if v < 0 || v >= len(c.chips) {
+			return fmt.Errorf("card: snapshot chip-kill victim index %d out of range", v)
+		}
+		d.victims[v] = true
 	}
 	d.resubmits = dec.U64()
 	d.duplicates = dec.U64()
