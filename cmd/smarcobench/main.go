@@ -152,11 +152,16 @@ type engineEntry struct {
 	Runs  []experiments.EngineRun `json:"runs"`
 }
 
-// benchEngine measures engine throughput on every config/executor pair and
-// appends the results to the snapshot file, preserving earlier entries.
-// With jsonPath it also writes each run's unified metrics snapshot (the
-// same chip.Snapshot schema smarcosim -json emits) as a JSON array.
-func benchEngine(path, label, jsonPath string) error {
+// benchEngine measures engine throughput on every config/variant/executor
+// triple and appends the results to the snapshot file, preserving earlier
+// entries. Variants are the lookahead A/B (classic 1-cycle links; 4-cycle
+// links with epochs off; 4-cycle links with the full conservative window);
+// runs on the same machine must agree on the simulated cycle count, and
+// benchEngine fails if they diverge — it doubles as a conformance check.
+// With -scale paper the sweep also covers the 256-core paper chip. With
+// jsonPath it also writes each run's unified metrics snapshot (the same
+// chip.Snapshot schema smarcosim -json emits) as a JSON array.
+func benchEngine(path, label, jsonPath string, paper bool) error {
 	var snap engineSnapshot
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &snap); err != nil {
@@ -168,16 +173,30 @@ func benchEngine(path, label, jsonPath string) error {
 	snap.Workload = experiments.EngineBenchWorkload
 	entry := engineEntry{Label: label, Date: time.Now().Format("2006-01-02")}
 	var snapshots []chip.Snapshot
-	for _, config := range experiments.EngineBenchConfigs {
-		for _, parallel := range []bool{false, true} {
-			r, s, err := experiments.MeasureEngineSnapshot(config, parallel)
-			if err != nil {
-				return err
+	configs := experiments.EngineBenchConfigs
+	if paper {
+		configs = append(append([]string{}, configs...), "paper")
+	}
+	machineCycles := map[string]uint64{} // config+link-latency -> simulated cycles
+	for _, config := range configs {
+		for _, v := range experiments.EngineBenchVariants {
+			for _, parallel := range []bool{false, true} {
+				r, s, err := experiments.MeasureEngineVariant(config, parallel, v)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-8s parallel=%-5v linklat=%d lookahead=%d cycles=%-10d cycles/sec=%.0f\n",
+					r.Config, r.Parallel, r.LinkLatency, r.Lookahead, r.Cycles, r.CyclesPerSec)
+				machine := fmt.Sprintf("%s/linklat=%d", config, max(r.LinkLatency, 1))
+				if want, seen := machineCycles[machine]; !seen {
+					machineCycles[machine] = r.Cycles
+				} else if r.Cycles != want {
+					return fmt.Errorf("cycle divergence on %s: parallel=%v lookahead=%d ran %d cycles, earlier runs %d",
+						machine, r.Parallel, r.Lookahead, r.Cycles, want)
+				}
+				entry.Runs = append(entry.Runs, r)
+				snapshots = append(snapshots, s)
 			}
-			fmt.Printf("%-8s parallel=%-5v cycles=%-10d cycles/sec=%.0f\n",
-				r.Config, r.Parallel, r.Cycles, r.CyclesPerSec)
-			entry.Runs = append(entry.Runs, r)
-			snapshots = append(snapshots, s)
 		}
 	}
 	snap.Entries = append(snap.Entries, entry)
@@ -256,41 +275,53 @@ func benchSuite(path, label string, seed uint64) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
-// benchFloor is the BENCH_floor.json schema: the reference throughput the
+// benchFloor is one BENCH_floor.json entry: the reference throughput the
 // CI smoke job guards, with the tolerated fractional regression.
+// BENCH_floor.json holds either a single floor object (legacy) or an array
+// of floors, each measured and enforced independently — the array form is
+// how the lookahead A/B (classic vs epoch-fused engine) stays guarded.
 type benchFloor struct {
 	Config       string  `json:"config"`
 	Parallel     bool    `json:"parallel"`
+	LinkLatency  uint64  `json:"link_latency,omitempty"`
+	Lookahead    uint64  `json:"lookahead,omitempty"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	// MaxRegress is the tolerated fractional slowdown before the smoke run
 	// fails (0 selects 0.30). Generous because CI machines vary widely.
 	MaxRegress float64 `json:"max_regress"`
 }
 
-// benchSmoke runs one engine measurement and fails if throughput fell more
-// than the floor file's tolerance below its reference rate.
+// benchSmoke measures every floor in the file and fails if any throughput
+// fell more than its tolerance below the recorded reference rate.
 func benchSmoke(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var floor benchFloor
-	if err := json.Unmarshal(raw, &floor); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	var floors []benchFloor
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		var one benchFloor
+		if err := json.Unmarshal(raw, &one); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		floors = []benchFloor{one}
 	}
-	if floor.MaxRegress == 0 {
-		floor.MaxRegress = 0.30
-	}
-	r, err := experiments.MeasureEngine(floor.Config, floor.Parallel)
-	if err != nil {
-		return err
-	}
-	limit := floor.CyclesPerSec * (1 - floor.MaxRegress)
-	fmt.Printf("%-8s parallel=%-5v cycles/sec=%.0f (floor %.0f, fail below %.0f)\n",
-		r.Config, r.Parallel, r.CyclesPerSec, floor.CyclesPerSec, limit)
-	if r.CyclesPerSec < limit {
-		return fmt.Errorf("engine throughput regression: %.0f cycles/sec is more than %.0f%% below the %.0f floor in %s",
-			r.CyclesPerSec, floor.MaxRegress*100, floor.CyclesPerSec, path)
+	for _, floor := range floors {
+		if floor.MaxRegress == 0 {
+			floor.MaxRegress = 0.30
+		}
+		v := experiments.EngineBenchVariant{LinkLatency: floor.LinkLatency, Lookahead: floor.Lookahead}
+		r, _, err := experiments.MeasureEngineVariant(floor.Config, floor.Parallel, v)
+		if err != nil {
+			return err
+		}
+		limit := floor.CyclesPerSec * (1 - floor.MaxRegress)
+		fmt.Printf("%-8s parallel=%-5v linklat=%d lookahead=%d cycles/sec=%.0f (floor %.0f, fail below %.0f)\n",
+			r.Config, r.Parallel, r.LinkLatency, r.Lookahead, r.CyclesPerSec, floor.CyclesPerSec, limit)
+		if r.CyclesPerSec < limit {
+			return fmt.Errorf("engine throughput regression: %.0f cycles/sec is more than %.0f%% below the %.0f floor in %s",
+				r.CyclesPerSec, floor.MaxRegress*100, floor.CyclesPerSec, path)
+		}
 	}
 	return nil
 }
@@ -329,7 +360,7 @@ func main() {
 	}
 
 	if *engine {
-		if err := benchEngine(*engineOut, *engineLabel, *jsonOut); err != nil {
+		if err := benchEngine(*engineOut, *engineLabel, *jsonOut, *scaleFlag == "paper"); err != nil {
 			log.Fatal(err)
 		}
 		return

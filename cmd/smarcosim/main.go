@@ -56,6 +56,8 @@ func main() {
 	executor := flag.String("executor", "", "engine executor: serial, parallel, or auto (empty defers to -parallel)")
 	partitions := flag.Int("partitions", 0, "parallel partition cap (0 = one per CPU); results identical at any value")
 	repartEvery := flag.Uint64("repartition-every", 0, "rebalance shard->partition assignment every N cycles (0 = assign once)")
+	linkLatency := flag.Uint64("link-latency", 0, "cross-shard link latency in cycles (0 = classic 1-cycle links); latencies >1 license multi-cycle engine epochs")
+	lookahead := flag.Uint64("lookahead", 0, "cap the engine's epoch length in cycles (0 = auto: the full window the link latencies allow); results identical at any setting")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic)")
 	linkRate := flag.Float64("link-fault-rate", 0, "per-traversal NoC link fault probability")
@@ -105,6 +107,8 @@ func main() {
 	cfg.Executor = *executor
 	cfg.Partitions = *partitions
 	cfg.RepartitionEvery = *repartEvery
+	cfg.LinkLatency = *linkLatency
+	cfg.Lookahead = *lookahead
 	cfg.Fault = fault.Config{
 		Seed:           *faultSeed,
 		LinkFaultRate:  *linkRate,
@@ -273,6 +277,10 @@ func main() {
 		log.Fatalf("OUTPUT CHECK FAILED: %v", err)
 	}
 	fmt.Println("output check: PASSED (bit-identical to the Go reference)")
+	if la := c.Lookahead(); la > 1 {
+		fmt.Printf("engine: lookahead %d, %d epochs over %d cycles (%.2f cycles/epoch)\n",
+			la, c.Epochs(), cycles, float64(cycles)/float64(max(c.Epochs(), 1)))
+	}
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()

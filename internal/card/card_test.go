@@ -2,6 +2,7 @@ package card
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -153,40 +154,51 @@ func TestChipKillMigratesTasks(t *testing.T) {
 // real engine watchdog error (fully faulted NoC, every packet eventually
 // lost) must be detected at the next grid boundary and its in-flight tasks
 // migrated to the survivor — the run completes instead of hanging until
-// the cycle budget.
+// the cycle budget. The linkLatency=4 variant wedges a chip running
+// multi-cycle epochs: the watchdog counts simulated cycles, not epochs, so
+// detection and migration work identically under lookahead > 1.
 func TestEngineErrorMigratesTasks(t *testing.T) {
-	w := kernels.MustNew("kmp", kernels.Config{Seed: 37, Tasks: 24, Scale: 512})
-	c := MustNew(smallCardConfig(2), w.Mem)
-	// Rebuild processor 0 with a hostile NoC and a fast watchdog: its first
-	// slice of work wedges, and RunUntil surfaces the diagnostic through the
-	// dispatcher's advance().
-	wcfg := smallCardConfig(2).Chip
-	wcfg.Fault = fault.Config{Seed: 7, LinkFaultRate: 1, MaxRetransmit: 2}
-	wcfg.WatchdogCycles = 2_000
-	wedged, err := chip.Build(wcfg, w.Mem)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.chips[0] = wedged
-	if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
-		t.Fatalf("run did not recover from the wedged processor: %v", err)
-	}
-	if err := w.Check(); err != nil {
-		t.Fatalf("workload broken after engine-error migration: %v", err)
-	}
-	r := c.Report()
-	accounted(t, r)
-	if r.Completed != len(w.Tasks) {
-		t.Fatalf("completed %d of %d after engine-error migration: %+v", r.Completed, len(w.Tasks), r)
-	}
-	if len(r.DeadChips) != 1 || r.DeadChips[0].Processor != 0 {
-		t.Fatalf("want processor 0 dead, got %+v", r.DeadChips)
-	}
-	if !strings.Contains(r.DeadChips[0].Cause, "watchdog") {
-		t.Fatalf("dead-chip cause is not the watchdog diagnostic: %q", r.DeadChips[0].Cause)
-	}
-	if r.Recovered == 0 || r.Resubmits == 0 {
-		t.Fatalf("engine-error recovery left no trace: %+v", r)
+	for _, linkLatency := range []uint64{0, 4} {
+		linkLatency := linkLatency
+		t.Run(fmt.Sprintf("linkLatency=%d", linkLatency), func(t *testing.T) {
+			w := kernels.MustNew("kmp", kernels.Config{Seed: 37, Tasks: 24, Scale: 512})
+			c := MustNew(smallCardConfig(2), w.Mem)
+			// Rebuild processor 0 with a hostile NoC and a fast watchdog: its first
+			// slice of work wedges, and RunUntil surfaces the diagnostic through the
+			// dispatcher's advance().
+			wcfg := smallCardConfig(2).Chip
+			wcfg.Fault = fault.Config{Seed: 7, LinkFaultRate: 1, MaxRetransmit: 2}
+			wcfg.WatchdogCycles = 2_000
+			wcfg.LinkLatency = linkLatency
+			wedged, err := chip.Build(wcfg, w.Mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if linkLatency > 1 && wedged.Lookahead() != linkLatency {
+				t.Fatalf("wedged chip lookahead %d, want %d", wedged.Lookahead(), linkLatency)
+			}
+			c.chips[0] = wedged
+			if _, err := c.Run(w.Tasks, 60_000_000); err != nil {
+				t.Fatalf("run did not recover from the wedged processor: %v", err)
+			}
+			if err := w.Check(); err != nil {
+				t.Fatalf("workload broken after engine-error migration: %v", err)
+			}
+			r := c.Report()
+			accounted(t, r)
+			if r.Completed != len(w.Tasks) {
+				t.Fatalf("completed %d of %d after engine-error migration: %+v", r.Completed, len(w.Tasks), r)
+			}
+			if len(r.DeadChips) != 1 || r.DeadChips[0].Processor != 0 {
+				t.Fatalf("want processor 0 dead, got %+v", r.DeadChips)
+			}
+			if !strings.Contains(r.DeadChips[0].Cause, "watchdog") {
+				t.Fatalf("dead-chip cause is not the watchdog diagnostic: %q", r.DeadChips[0].Cause)
+			}
+			if r.Recovered == 0 || r.Resubmits == 0 {
+				t.Fatalf("engine-error recovery left no trace: %+v", r)
+			}
+		})
 	}
 }
 

@@ -61,6 +61,20 @@ type Config struct {
 	// cycles from deterministic per-shard load counters (0 = assign once at
 	// start). Results are bit-identical with any setting.
 	RepartitionEvery uint64
+	// LinkLatency is the minimum cycle delay of every cross-shard boundary
+	// link (main-ring injects and ejects, direct-link endpoints, scheduler
+	// task and credit channels). 0 selects the historical 1-cycle latency.
+	// Larger values model deeper interconnect pipelines and, as a direct
+	// consequence, widen the engine's conservative lookahead window: the
+	// engine may run epochs of up to the smallest cross-shard latency
+	// without synchronizing (DESIGN.md §12). Only the ring topology has
+	// cross-shard links; the mesh baseline is one shard and ignores this.
+	LinkLatency uint64
+	// Lookahead caps the engine's epoch length in cycles. 0 means "auto":
+	// use the full conservative window derived from the link latencies.
+	// Values above the window are clamped down; results are bit-identical
+	// for every setting on the same LinkLatency machine.
+	Lookahead uint64
 	// ClockHz converts cycles to seconds for cross-machine comparisons
 	// (SmarCo runs at 1.5 GHz).
 	ClockHz float64
@@ -208,6 +222,7 @@ func Build(cfg Config, store *mem.Sparse) (*Chip, error) {
 		wd = sim.DefaultWatchdogCycles
 	}
 	c.eng.SetWatchdog(wd)
+	c.eng.SetLookahead(cfg.Lookahead)
 	var err error
 	if cfg.Topology == "mesh" {
 		err = c.buildMesh()
@@ -283,6 +298,10 @@ func (c *Chip) mcFor(addr uint64) noc.NodeID {
 // build wires every component.
 func (c *Chip) build() error {
 	cfg := c.Config
+	lat := cfg.LinkLatency
+	if lat == 0 {
+		lat = 1
+	}
 
 	// Main ring layout: hubs with MCs inserted at equal spacing, host last.
 	type stop struct{ node noc.NodeID }
@@ -317,6 +336,14 @@ func (c *Chip) build() error {
 	mainPorts := map[noc.NodeID][2]*sim.Port[*noc.Packet]{}
 	for i, st := range layout {
 		inj, ej := c.MainRing.Attach(i, st.node)
+		// Every main-ring boundary port crosses a shard: injects are owned
+		// by the ring, ejects by the attached hub/MC. The host eject is the
+		// exception — it is a host-domain sink drained between runs, with no
+		// on-chip consumer whose timing could matter.
+		inj.SetMinLatency(lat)
+		if st.node != noc.HostNode() {
+			ej.SetMinLatency(lat)
+		}
 		mainPorts[st.node] = [2]*sim.Port[*noc.Packet]{inj, ej}
 	}
 	hp := mainPorts[noc.HostNode()]
@@ -414,7 +441,11 @@ func (c *Chip) build() error {
 		for k := 0; k < cfg.CoresPerSub; k++ {
 			c.eng.AddPortFor(c.Cores[lo+k], c.Cores[lo+k].Ports()...)
 		}
-		c.eng.AddPortFor(c.Subs[s], c.Subs[s].Ports()...)
+		c.eng.AddPortFor(c.Subs[s], c.Subs[s].LocalPorts()...)
+		// The task-in port is fed by the main scheduler from its own shard.
+		in := c.Subs[s].InPort()
+		in.SetMinLatency(lat)
+		c.eng.AddCrossPortFor(c.Subs[s], in)
 	}
 	for m, mc := range c.MCs {
 		parts := []sim.Ticker{mc}
@@ -433,27 +464,40 @@ func (c *Chip) build() error {
 	c.eng.AddShard("sched", c.Main)
 	for i, st := range layout {
 		rt := c.MainRing.Router(i)
-		c.eng.AddPortFor(rt, rt.InPorts()...)
+		// Ring-direction queues are fed by neighbouring routers of the same
+		// shard; the local inject is fed by the attached hub/MC/host from
+		// another shard (or the host domain) and is a cross-shard input.
+		c.eng.AddPortFor(rt, rt.RingInPorts()...)
+		c.eng.AddCrossPortFor(rt, rt.InjectPort())
 		ej := rt.EjectPort()
 		switch {
 		case st.node.IsHub():
-			c.eng.AddPortFor(c.Hubs[st.node.HubIndex()], ej)
+			c.eng.AddCrossPortFor(c.Hubs[st.node.HubIndex()], ej)
 		case st.node.IsMC():
-			c.eng.AddPortFor(c.MCs[st.node.MCIndex()], ej)
+			c.eng.AddCrossPortFor(c.MCs[st.node.MCIndex()], ej)
 		default:
-			// The host eject is drained by harness code between steps, not
-			// by a registered component: unowned.
-			c.eng.AddPort(ej)
+			// The host eject is drained by harness code between runs, not
+			// by a registered component: a sink, committed at barriers.
+			c.eng.AddSinkPort(ej)
 		}
 	}
 	for i, dl := range directLinks {
-		c.eng.AddPortFor(dl, dl.InPorts()...)
-		_, recvA := dl.EndA()
-		_, recvB := dl.EndB()
-		c.eng.AddPortFor(c.Hubs[i], recvA)
+		sendA, recvA := dl.EndA()
+		sendB, recvB := dl.EndB()
+		// A-side ports cross between the hub's sub-ring shard and the
+		// link's memory shard; B-side ports are local to the memory shard.
+		sendA.SetMinLatency(lat)
+		recvA.SetMinLatency(lat)
+		c.eng.AddCrossPortFor(dl, sendA)
+		c.eng.AddPortFor(dl, sendB)
+		c.eng.AddCrossPortFor(c.Hubs[i], recvA)
 		c.eng.AddPortFor(c.MCs[i%len(c.MCs)], recvB)
 	}
-	c.eng.AddPortFor(c.Main, c.Main.Ports()...)
+	// Credit returns are sent by the sub-schedulers from their shards.
+	for _, p := range c.Main.CreditPorts() {
+		p.SetMinLatency(lat)
+		c.eng.AddCrossPortFor(c.Main, p)
+	}
 	return nil
 }
 
@@ -494,6 +538,14 @@ func (c *Chip) Submit(tasks []kernels.Task) {
 // Now returns the current cycle.
 func (c *Chip) Now() uint64 { return c.eng.Now() }
 
+// Lookahead returns the engine's effective epoch window in cycles: the
+// conservative window licensed by the cross-shard link latencies, clamped
+// by Config.Lookahead (1 on the mesh topology, which has no cross links).
+func (c *Chip) Lookahead() uint64 { return c.eng.Lookahead() }
+
+// Epochs counts engine synchronization rounds so far (see Snapshot.Epochs).
+func (c *Chip) Epochs() uint64 { return c.eng.Epochs() }
+
 // Step advances one cycle (exposed for fine-grained harnesses).
 func (c *Chip) Step() { c.eng.Step() }
 
@@ -526,7 +578,10 @@ func (c *Chip) Run(maxCycles uint64) (uint64, error) {
 // ring (used for offload commands such as near-memory match requests).
 func (c *Chip) HostSend(p *noc.Packet) {
 	c.hostSeq++
-	c.hostInject.Send(999_999, c.hostSeq, p)
+	// On the ring topology the host inject is a cross-shard port, so the
+	// send must carry the current cycle; on the mesh it is an ordinary
+	// intra-shard port, where SendFrom is equivalent to Send.
+	c.hostInject.SendFrom(999_999, c.hostSeq, c.eng.Now(), p)
 }
 
 // HostReceive drains packets addressed to the host.

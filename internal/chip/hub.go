@@ -74,7 +74,7 @@ func (h *hub) Tick(now uint64) {
 	}
 	// MACT deadline timers.
 	for _, b := range h.MACT.Expire(now, h.mcFor) {
-		h.toMain(b)
+		h.toMain(now, b)
 	}
 	// Inbound: packets arriving from the main ring.
 	if !h.mainEj.Empty() {
@@ -140,18 +140,19 @@ func (h *hub) outbound(now uint64, p *noc.Packet) {
 		// "especially when the ring network is in heavy congestion".
 		if p.Priority && h.directSend != nil && p.Kind == noc.KReqRead {
 			h.seq++
-			h.directSend.Send(h.key, h.seq, p)
+			// The direct link lives in its memory controller's shard.
+			h.directSend.SendFrom(h.key, h.seq, now, p)
 			return
 		}
 		outs, absorbed := h.MACT.Offer(p, now, h.mcFor)
 		for _, o := range outs {
-			h.route(o)
+			h.route(now, o)
 		}
 		if absorbed {
 			return
 		}
 	}
-	h.route(p)
+	h.route(now, p)
 }
 
 // inbound handles a packet arriving for this sub-ring.
@@ -170,17 +171,18 @@ func (h *hub) inbound(now uint64, p *noc.Packet) {
 // back into the sub-ring when it targets one of this sub-ring's cores
 // (e.g. a MACT forward), otherwise onto the main ring (memory controllers,
 // remote sub-rings, host).
-func (h *hub) route(p *noc.Packet) {
+func (h *hub) route(now uint64, p *noc.Packet) {
 	if p.Dst.IsCore() && p.Dst.CoreIndex() >= h.lo && p.Dst.CoreIndex() < h.hi {
 		h.toSub(p)
 		return
 	}
-	h.toMain(p)
+	h.toMain(now, p)
 }
 
-func (h *hub) toMain(p *noc.Packet) {
+func (h *hub) toMain(now uint64, p *noc.Packet) {
 	h.seq++
-	h.mainInj.Send(h.key, h.seq, p)
+	// The main-ring inject port is owned by a router in the ring shard.
+	h.mainInj.SendFrom(h.key, h.seq, now, p)
 }
 
 func (h *hub) toSub(p *noc.Packet) {

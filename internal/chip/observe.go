@@ -84,14 +84,22 @@ func (c *Chip) LoadReport() []sim.ShardLoad { return c.eng.LoadReport() }
 
 // SnapshotChip summarizes the configuration a snapshot was taken on.
 type SnapshotChip struct {
-	SubRings    int     `json:"sub_rings"`
-	CoresPerSub int     `json:"cores_per_sub"`
-	Cores       int     `json:"cores"`
-	Threads     int     `json:"threads"`
-	MCs         int     `json:"mcs"`
-	Topology    string  `json:"topology"`
-	Parallel    bool    `json:"parallel"` // effective executor for this run
-	Executor    string  `json:"executor,omitempty"`
+	SubRings    int    `json:"sub_rings"`
+	CoresPerSub int    `json:"cores_per_sub"`
+	Cores       int    `json:"cores"`
+	Threads     int    `json:"threads"`
+	MCs         int    `json:"mcs"`
+	Topology    string `json:"topology"`
+	Parallel    bool   `json:"parallel"` // effective executor for this run
+	Executor    string `json:"executor,omitempty"`
+	// LinkLatency is the configured cross-shard link delay (0 = historical
+	// 1-cycle links); Lookahead is the effective epoch window the engine
+	// ran with — the conservative window derived from the link latencies,
+	// clamped by Config.Lookahead, reported only when > 1 (the classic
+	// cycle-by-cycle machine omits it). Both are execution-mode facts,
+	// like Parallel: results are identical across Lookahead settings.
+	LinkLatency uint64  `json:"link_latency,omitempty"`
+	Lookahead   uint64  `json:"lookahead,omitempty"`
 	ClockHz     float64 `json:"clock_hz"`
 }
 
@@ -100,12 +108,17 @@ type SnapshotChip struct {
 // experiment harness, or a mid-run sample. Metrics are settled (see
 // Chip.Metrics) at capture time.
 type Snapshot struct {
-	Label    string       `json:"label,omitempty"`
-	Workload string       `json:"workload,omitempty"`
-	Cycles   uint64       `json:"cycles"`
-	Seconds  float64      `json:"seconds"` // simulated time at ClockHz
-	Chip     SnapshotChip `json:"chip"`
-	Metrics  Metrics      `json:"metrics"`
+	Label    string  `json:"label,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Cycles   uint64  `json:"cycles"`
+	Seconds  float64 `json:"seconds"` // simulated time at ClockHz
+	// Epochs counts engine synchronization rounds: with lookahead n the
+	// engine barriers once per epoch instead of once per cycle, so
+	// Cycles/Epochs approaches the lookahead window on busy runs. A
+	// wall-time diagnostic, not simulated state (never checkpointed).
+	Epochs  uint64       `json:"epochs,omitempty"`
+	Chip    SnapshotChip `json:"chip"`
+	Metrics Metrics      `json:"metrics"`
 	// Load is the deterministic per-shard load report (component-tick
 	// counts and shares plus the shard→partition assignment). Tick counts
 	// and shares are identical across hosts and executors; the Partition
@@ -128,6 +141,7 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 		Workload: workload,
 		Cycles:   c.Now(),
 		Seconds:  c.Seconds(c.Now()),
+		Epochs:   c.eng.Epochs(),
 		Chip: SnapshotChip{
 			SubRings:    c.Config.SubRings,
 			CoresPerSub: c.Config.CoresPerSub,
@@ -137,10 +151,14 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 			Topology:    topo,
 			Parallel:    c.Config.EffectiveParallel(),
 			Executor:    c.Config.Executor,
+			LinkLatency: c.Config.LinkLatency,
 			ClockHz:     c.Config.ClockHz,
 		},
 		Metrics: c.Metrics(),
 		Load:    c.LoadReport(),
+	}
+	if la := c.eng.Lookahead(); la > 1 {
+		s.Chip.Lookahead = la
 	}
 	if c.prof != nil {
 		s.Profile = c.prof.Partitions()

@@ -403,10 +403,13 @@ func (c *Controller) complete(now uint64, q queued) {
 	}
 	c.seq++
 	if q.direct >= 0 {
+		// Direct-link B-side ports live in this controller's shard.
 		c.directOut[q.direct].Send(c.key, c.seq, resp)
 		return
 	}
-	c.inject.Send(c.key, c.seq, resp)
+	// The main-ring inject port is owned by a router in the ring shard:
+	// cross-shard send, stamped with the current cycle.
+	c.inject.SendFrom(c.key, c.seq, now, resp)
 }
 
 // Quiescent implements sim.Quiescer: idle when no requests wait on any

@@ -63,7 +63,8 @@ func (c *Controller) tickMatch(now uint64) {
 		c.directOut[q.direct].Send(c.key, c.seq, resp)
 		return
 	}
-	c.inject.Send(c.key, c.seq, resp)
+	// Cross-shard: the main-ring inject port lives in the ring shard.
+	c.inject.SendFrom(c.key, c.seq, now, resp)
 }
 
 // scanMatch performs the functional scan (overlapping occurrences, same

@@ -19,7 +19,8 @@ var EngineBenchConfigs = []string{"small", "medium"}
 
 // EngineChipConfig returns the chip configuration for an engine-throughput
 // scale: "small" is the 4x4 test chip, "medium" an 8-sub-ring, 64-core chip
-// large enough that per-cycle engine overhead dominates wall time.
+// large enough that per-cycle engine overhead dominates wall time, and
+// "paper" the full 256-core chip of the paper (smarcobench -scale paper).
 func EngineChipConfig(name string) (chip.Config, error) {
 	switch name {
 	case "small":
@@ -30,15 +31,46 @@ func EngineChipConfig(name string) (chip.Config, error) {
 		cfg.CoresPerSub = 8
 		cfg.MCs = 4
 		return cfg, nil
+	case "paper":
+		return chip.DefaultConfig(), nil
 	}
-	return chip.Config{}, fmt.Errorf("unknown engine bench config %q (want one of %v)", name, EngineBenchConfigs)
+	return chip.Config{}, fmt.Errorf("unknown engine bench config %q (want one of %v or paper)", name, EngineBenchConfigs)
+}
+
+// EngineBenchVariant selects the timing model an engine measurement runs
+// under. The zero value is the classic machine: 1-cycle cross-shard links,
+// a barrier every cycle. LinkLatency > 1 models slower links, which also
+// licenses the engine to run multi-cycle conservative epochs; Lookahead
+// caps the epoch window (0 = auto, the full window the links allow; 1
+// disables epochs so the same machine runs cycle-by-cycle).
+type EngineBenchVariant struct {
+	LinkLatency uint64
+	Lookahead   uint64
+}
+
+// EngineBenchVariants is the lookahead A/B the engine benchmark sweeps:
+// the classic 1-cycle-link machine for continuity with older entries, then
+// the 4-cycle-link machine twice — epochs disabled (Lookahead 1) and the
+// full conservative window (auto). Runs on the same machine (equal
+// LinkLatency) must report bit-identical simulated cycle counts; the
+// benchmark driver enforces that.
+var EngineBenchVariants = []EngineBenchVariant{
+	{},
+	{LinkLatency: 4, Lookahead: 1},
+	{LinkLatency: 4},
 }
 
 // EngineRun is one engine-throughput measurement. CyclesPerSec is the
 // engine's headline metric: simulated cycles per wall-clock second.
 type EngineRun struct {
-	Config       string  `json:"config"`
-	Parallel     bool    `json:"parallel"`
+	Config   string `json:"config"`
+	Parallel bool   `json:"parallel"`
+	// LinkLatency and Lookahead describe the timing-model variant; both
+	// absent means the classic machine (1-cycle links, barrier every
+	// cycle). Lookahead records the effective epoch window the engine
+	// settled on, not the requested cap.
+	LinkLatency  uint64  `json:"link_latency,omitempty"`
+	Lookahead    uint64  `json:"lookahead,omitempty"`
 	Cycles       uint64  `json:"cycles"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
@@ -57,6 +89,12 @@ func MeasureEngine(config string, parallel bool) (EngineRun, error) {
 	return run, err
 }
 
+// MeasureEngineVariant is MeasureEngineSnapshot on an explicit timing-model
+// variant (link latency + lookahead cap).
+func MeasureEngineVariant(config string, parallel bool, v EngineBenchVariant) (EngineRun, chip.Snapshot, error) {
+	return measureEngine(config, parallel, v)
+}
+
 // MeasureEngineSnapshot is MeasureEngine plus the run's unified JSON
 // metrics snapshot (see chip.Snapshot). It deliberately does NOT enable
 // the engine's wall-time profiler: CyclesPerSec is the headline
@@ -64,11 +102,17 @@ func MeasureEngine(config string, parallel bool) (EngineRun, error) {
 // the hot loop with two clock reads per partition per phase. Attribution
 // profiles come from runs that opt in (smarcosim -profile).
 func MeasureEngineSnapshot(config string, parallel bool) (EngineRun, chip.Snapshot, error) {
+	return measureEngine(config, parallel, EngineBenchVariant{})
+}
+
+func measureEngine(config string, parallel bool, v EngineBenchVariant) (EngineRun, chip.Snapshot, error) {
 	cfg, err := EngineChipConfig(config)
 	if err != nil {
 		return EngineRun{}, chip.Snapshot{}, err
 	}
 	cfg.Parallel = parallel
+	cfg.LinkLatency = v.LinkLatency
+	cfg.Lookahead = v.Lookahead
 	w := kernels.MustNew("kmp", kernels.Config{Seed: 1, Tasks: 2 * cfg.Cores(), Scale: 512})
 	c, err := chip.Build(cfg, w.Mem)
 	if err != nil {
@@ -87,10 +131,17 @@ func MeasureEngineSnapshot(config string, parallel bool) (EngineRun, chip.Snapsh
 	run := EngineRun{
 		Config:       config,
 		Parallel:     parallel,
+		LinkLatency:  v.LinkLatency,
 		Cycles:       cycles,
 		WallSeconds:  wall,
 		CyclesPerSec: float64(cycles) / wall,
 	}
+	if v.LinkLatency > 1 || v.Lookahead > 1 {
+		run.Lookahead = c.Lookahead() // effective window, not the requested cap
+	}
 	label := fmt.Sprintf("engine %s parallel=%v", config, parallel)
+	if v.LinkLatency != 0 || v.Lookahead != 0 {
+		label = fmt.Sprintf("%s linklat=%d lookahead=%d", label, v.LinkLatency, v.Lookahead)
+	}
 	return run, c.Snapshot(label, EngineBenchWorkload), nil
 }

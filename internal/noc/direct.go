@@ -137,6 +137,9 @@ func (d *DirectLink) deliverDue(now uint64, q *delayQueue, out *sim.Port[*Packet
 	for q.Len() > 0 && (*q)[0].due <= now {
 		v := heap.Pop(q).(delayed)
 		v.pkt.Hops++
-		out.Send(d.key, v.seq, v.pkt)
+		// SendFrom: the hub-side receive port (outA) crosses into the
+		// sub-ring shard; outB stays within the memory shard, where this is
+		// equivalent to Send.
+		out.SendFrom(d.key, v.seq, now, v.pkt)
 	}
 }

@@ -197,7 +197,10 @@ func (r *Router) ejectLocal(now uint64) {
 			}
 			in.Pop()
 			head.Hops++
-			r.eject.Send(r.key, r.nextSeq(), head)
+			// SendFrom (not Send) because main-ring eject ports cross shard
+			// boundaries to their hub/MC owner; on sub-rings, where the
+			// consumer shares the shard, it is equivalent to Send.
+			r.eject.SendFrom(r.key, r.nextSeq(), now, head)
 			r.Stats.Ejected.Inc()
 			ejected++
 		}
@@ -354,6 +357,18 @@ func (r *Router) nextSeq() uint64 {
 func (r *Router) InPorts() []interface{ Commit(uint64) } {
 	return []interface{ Commit(uint64) }{r.inCW, r.inCCW, r.inject}
 }
+
+// RingInPorts returns only the ring-direction input queues — always fed by
+// neighbouring routers of the same ring (same shard). Used together with
+// InjectPort when the local inject crosses a shard boundary and must be
+// registered separately (sim.Engine.AddCrossPortFor).
+func (r *Router) RingInPorts() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{r.inCW, r.inCCW}
+}
+
+// InjectPort returns the local inject queue: the port the attached
+// component (hub, memory controller, host) sends packets to.
+func (r *Router) InjectPort() *sim.Port[*Packet] { return r.inject }
 
 // EjectPort returns the local delivery port; it is an input of the attached
 // component (core, hub, memory controller), which should own it.

@@ -53,6 +53,10 @@ func (m *MainScheduler) Ports() []interface{ Commit(uint64) } {
 	return out
 }
 
+// CreditPorts returns the typed credit ports so the chip can register them
+// as cross-shard inputs (each is fed by a sub-scheduler in another shard).
+func (m *MainScheduler) CreditPorts() []*sim.Port[int] { return m.creditP }
+
 // SetWake implements sim.Wakeable: Submit can arrive while the scheduler is
 // quiescent (nothing pending, all credits out), so it must re-arm itself.
 func (m *MainScheduler) SetWake(f func()) { m.wake = f }
@@ -141,7 +145,8 @@ func (m *MainScheduler) Tick(now uint64) {
 		m.credits[best]--
 		m.rr = (best + 1) % len(m.subs)
 		m.seq++
-		m.subs[best].InPort().Send(m.key, m.seq, w)
+		// The sub-scheduler lives in its sub-ring's shard: cross-shard send.
+		m.subs[best].InPort().SendFrom(m.key, m.seq, now, w)
 		m.Stats.Dispatched.Inc()
 	}
 }

@@ -151,6 +151,14 @@ func (s *SubScheduler) Ports() []interface{ Commit(uint64) } {
 	return []interface{ Commit(uint64) }{s.in, s.done, s.orphan}
 }
 
+// LocalPorts returns the ports fed from within the sub-ring's own shard
+// (core completions and orphan returns). The task-in port is excluded: it
+// is fed by the main scheduler in another shard and is registered as a
+// cross-shard input (sim.Engine.AddCrossPortFor) instead.
+func (s *SubScheduler) LocalPorts() []interface{ Commit(uint64) } {
+	return []interface{ Commit(uint64) }{s.done, s.orphan}
+}
+
 // SetFaultInjector connects the RAS counters.
 func (s *SubScheduler) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
 
@@ -259,7 +267,8 @@ func (s *SubScheduler) Tick(now uint64) {
 		s.Results = append(s.Results, res)
 		if s.credit != nil {
 			s.seq++
-			s.credit.Send(s.key, s.seq, 1)
+			// The main scheduler owns the credit port in its own shard.
+			s.credit.SendFrom(s.key, s.seq, now, 1)
 		}
 	}
 

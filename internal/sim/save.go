@@ -40,9 +40,11 @@ func (r *RNG) Save(e *snapshot.Encoder) { e.U64(r.state) }
 // Restore loads the generator.
 func (r *RNG) Restore(d *snapshot.Decoder) { r.state = d.U64() }
 
-// SavePort serializes a port's visible queue with the provided element
-// encoder. It panics if the port holds staged (uncommitted) messages:
-// checkpoints are only legal at cycle boundaries.
+// SavePort serializes a port's visible queue and, for cross-shard ports,
+// the sealed future entries still waiting for their release cycle (legal
+// state at an epoch barrier). It panics if the port holds staged
+// (uncommitted) messages: checkpoints are only legal at epoch boundaries,
+// where every barrier has sealed and nothing is mid-flight unstamped.
 func SavePort[T any](e *snapshot.Encoder, p *Port[T], save func(*snapshot.Encoder, T)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -53,11 +55,21 @@ func SavePort[T any](e *snapshot.Encoder, p *Port[T], save func(*snapshot.Encode
 	for _, msg := range p.queue {
 		save(e, msg)
 	}
+	e.U32(uint32(len(p.future)))
+	for i := range p.future {
+		e.U64(p.future[i].at)
+		e.U64(p.future[i].key)
+		e.U64(p.future[i].seq)
+		save(e, p.future[i].msg)
+	}
 }
 
-// RestorePort replaces a port's visible queue with decoded elements. The
-// port keeps its identity, capacity, and engine wiring (onDirty/onDeliver
-// callbacks); only the queued contents change.
+// RestorePort replaces a port's visible queue and pending future entries
+// with decoded contents. The port keeps its identity, capacity, latency,
+// and engine wiring (onDirty/onDeliver callbacks). Restoring into an
+// engine running a different lookahead is sound: release cycles are
+// carried by the entries themselves, and the done/watchdog grid is a pure
+// function of the wiring, not of the lookahead override.
 func RestorePort[T any](d *snapshot.Decoder, p *Port[T], load func(*snapshot.Decoder) T) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -69,6 +81,19 @@ func RestorePort[T any](d *snapshot.Decoder, p *Port[T], load func(*snapshot.Dec
 		p.queue = append(p.queue, load(d))
 	}
 	p.visLen.Store(int32(len(p.queue)))
+	nf := int(d.U32())
+	p.future = p.future[:0]
+	for i := 0; i < nf; i++ {
+		at := d.U64()
+		key := d.U64()
+		seq := d.U64()
+		p.future = append(p.future, envelope[T]{key: key, seq: seq, at: at, msg: load(d)})
+	}
+	if len(p.future) == 0 {
+		p.nextDue = WakeNever
+	} else {
+		p.nextDue = p.future[0].at
+	}
 }
 
 // SaveState serializes the engine's scheduling state: the cycle counter,
@@ -106,7 +131,7 @@ func (e *Engine) SaveState(enc *snapshot.Encoder) {
 	}
 	enc.U64(e.lastSum)
 	enc.U64(e.lastCheck)
-	enc.Int(e.stuck)
+	enc.U64(e.stuckSince)
 }
 
 // RestoreState loads the engine scheduling state saved by SaveState,
@@ -151,8 +176,18 @@ func (e *Engine) RestoreState(dec *snapshot.Decoder) {
 		sh.lastTicks = dec.U64()
 		// Transient per-step state: nothing can be dirty at a boundary.
 		sh.dirtyPorts = sh.dirtyPorts[:0]
+		// Rebuild the woken queue from the restored flags: a component that
+		// slept with a pending wake mark must be re-queued or it would
+		// never be scanned again.
+		sh.wokenList = sh.wokenList[:0]
+		for i, cs := range sh.comps {
+			if cs.asleep && cs.woken.Load() {
+				sh.wokenList = append(sh.wokenList, int32(i))
+			}
+		}
 	}
 	e.lastSum = dec.U64()
 	e.lastCheck = dec.U64()
-	e.stuck = dec.Int()
+	e.stuckSince = dec.U64()
+	e.dirtyCross = e.dirtyCross[:0]
 }

@@ -133,9 +133,26 @@ type committer interface {
 }
 
 // deliverNotifier is implemented by Port: the engine installs a callback so
-// a delivery re-arms the quiesced owner.
+// a delivery re-arms the quiesced owner. The callback receives the first
+// cycle the delivered messages are visible to the consumer.
 type deliverNotifier interface {
-	SetOnDeliver(func())
+	SetOnDeliver(func(visibleAt uint64))
+}
+
+// CrossPort is the engine-facing interface of a cross-shard port: a *Port
+// registered with AddCrossPortFor. Cross-shard ports declare a minimum
+// delivery latency and buffer sends across epoch barriers (Seal), releasing
+// each message on the exact cycle its timestamp dictates (ReleaseDue) — the
+// mechanism behind conservative multi-cycle lookahead. The unexported
+// method restricts implementations to this package's Port.
+type CrossPort interface {
+	Seal(now uint64)
+	ReleaseDue(nextTick uint64)
+	NextDue() uint64
+	MinLatency() uint64
+	SetOnDirty(func())
+	SetOnDeliver(func(visibleAt uint64))
+	markCross()
 }
 
 // dirtyNotifier is implemented by Port: the engine installs a callback fired
@@ -181,6 +198,22 @@ type shard struct {
 	asleep     int         // number of comps with asleep set
 	cur        Ticker      // component under execution, for panic diagnostics
 
+	// crossIn holds the cross-shard ports owned by this shard's components.
+	// The shard releases their due deliveries each port phase (sealed
+	// entries from earlier epochs whose cycle has arrived); the engine
+	// seals freshly staged entries at epoch barriers.
+	crossIn []CrossPort
+
+	// wokenList queues components marked woken since the last tick phase,
+	// replacing a per-cycle scan of every component. Appended under wokenMu
+	// from wherever a wake fires (port deliveries on the owning goroutine,
+	// barrier releases on the coordinator, Wakeable callbacks from
+	// anywhere); entries are deduplicated by the woken CAS and may be stale
+	// by drain time (the drain re-checks asleep and the flag).
+	wokenMu   sync.Mutex
+	wokenList []int32
+	spareWoke []int32 // double buffer reused by the drain
+
 	// Deterministic load estimate: ticks accumulates the number of
 	// component Ticks this shard has executed (a pure function of the
 	// simulated history, identical across executors); weight is the static
@@ -210,6 +243,18 @@ func (sh *shard) markDirty(pt committer) {
 	sh.dirtyMu.Unlock()
 }
 
+// markWoken flags a component for wake-up at the shard's next tick phase.
+// The CAS on the woken flag bounds the queue: a component already marked is
+// not appended again, and the flag is cleared when the component wakes or
+// (stale marks) when it quiesces with all deliveries visible.
+func (sh *shard) markWoken(cs *compState) {
+	if cs.woken.CompareAndSwap(false, true) {
+		sh.wokenMu.Lock()
+		sh.wokenList = append(sh.wokenList, cs.si)
+		sh.wokenMu.Unlock()
+	}
+}
+
 // partition is one unit of parallelism: the set of shards currently
 // executed by one goroutine under the parallel executor.
 type partition struct {
@@ -231,16 +276,35 @@ type Engine struct {
 	repartEvery uint64 // opt-in periodic repartition interval; 0 = off
 	nextRepart  uint64
 
-	// Watchdog state.
+	// Watchdog state. stuckSince is the first cycle of the current
+	// zero-progress streak (0 = not stuck): counting in simulated cycles
+	// instead of check intervals keeps the firing cycle independent of the
+	// epoch length.
 	watchEvery uint64
 	reporters  []ProgressReporter
 	lastSum    uint64
 	lastCheck  uint64
-	stuck      int
+	stuckSince uint64
 
-	// First panic recovered from a partition phase.
-	errMu sync.Mutex
-	errs  []partitionErr
+	// Conservative lookahead state. crossPorts lists every registered
+	// cross-shard port; dirtyCross queues the ones sent to since the last
+	// barrier (self-enqueued via their onDirty hook) for sealing.
+	// lookahead is the configured epoch cap (0 = auto); epochs counts
+	// completed multi-cycle epochs for observability.
+	crossPorts []CrossPort
+	sinkPorts  []committer
+	crossMu    sync.Mutex
+	dirtyCross []CrossPort
+	spareCross []CrossPort
+	lookahead  uint64
+	epochs     uint64
+	epochN     uint64 // cycles in the epoch being dispatched to workers
+
+	// First panic recovered from a partition phase. errCount mirrors
+	// len(errs) so the per-cycle Err poll is one atomic load.
+	errMu    sync.Mutex
+	errs     []partitionErr
+	errCount atomic.Int32
 
 	// Persistent phase workers (parallel mode inside Run). One buffered
 	// channel per partition plus a single completion channel replaces the
@@ -351,7 +415,7 @@ func (e *Engine) addToShard(sh *shard, components ...Ticker) {
 			e.owners[t] = cs
 		}
 		if w, ok := t.(Wakeable); ok {
-			w.SetWake(func() { cs.woken.Store(true) })
+			w.SetWake(func() { sh.markWoken(cs) })
 		}
 		if pr, ok := t.(ProgressReporter); ok {
 			e.reporters = append(e.reporters, pr)
@@ -405,18 +469,105 @@ func (e *Engine) AddPortFor(owner Ticker, ports ...interface{ Commit(now uint64)
 	for _, p := range ports {
 		if dn, ok := p.(deliverNotifier); ok {
 			// The callback fires from Port.Commit during the owning shard's
-			// port phase, so the trace write below lands in that shard's
-			// buffer without synchronization.
-			dn.SetOnDeliver(func() {
-				cs.woken.Store(true)
+			// port phase (or from a barrier release on the coordinator, with
+			// workers idle), so the trace write below lands in that shard's
+			// buffer without extra synchronization.
+			dn.SetOnDeliver(func(visibleAt uint64) {
+				sh.markWoken(cs)
 				if t := e.trace; t != nil {
-					t.deliver(sh.id, si, e.now)
+					t.deliver(sh.id, si, visibleAt)
 				}
 			})
 		}
 		registerPort(sh, p)
 	}
 }
+
+// AddCrossPortFor registers input ports of owner whose producers live in a
+// different shard. A cross-shard port must declare its link's minimum
+// delivery latency (Port.SetMinLatency) and be sent to with SendFrom; the
+// engine's safe epoch length (conservative lookahead) is the minimum
+// declared latency over all cross-shard ports. Deliveries are buffered at
+// epoch barriers and released on the exact cycle their timestamp dictates,
+// so the simulated history is bit-identical to single-cycle execution.
+// Unlike AddPortFor, the owner must be a registered component.
+func (e *Engine) AddCrossPortFor(owner Ticker, ports ...CrossPort) {
+	var cs *compState
+	if comparableTicker(owner) {
+		cs = e.owners[owner]
+	}
+	if cs == nil {
+		panic("sim: AddCrossPortFor owner is not a registered component")
+	}
+	sh, si := cs.sh, cs.si
+	for _, p := range ports {
+		p.markCross()
+		cp := p
+		cp.SetOnDirty(func() { e.markCrossDirty(cp) })
+		cp.SetOnDeliver(func(visibleAt uint64) {
+			sh.markWoken(cs)
+			if t := e.trace; t != nil {
+				t.deliver(sh.id, si, visibleAt)
+			}
+		})
+		sh.crossIn = append(sh.crossIn, cp)
+		e.crossPorts = append(e.crossPorts, cp)
+	}
+}
+
+// markCrossDirty queues a cross-shard port for sealing at the next epoch
+// barrier. Fired at most once per port per epoch (the port's dirty CAS).
+func (e *Engine) markCrossDirty(p CrossPort) {
+	e.crossMu.Lock()
+	e.dirtyCross = append(e.dirtyCross, p)
+	e.crossMu.Unlock()
+}
+
+// AddSinkPort registers a port consumed outside the simulated component
+// graph (a host-side collector). Sink ports are committed at epoch
+// barriers only, so with lookahead > 1 the host observes deliveries
+// quantized to barriers — harness code that reads them between Run calls
+// sees the same history either way.
+func (e *Engine) AddSinkPort(p committer) {
+	e.sinkPorts = append(e.sinkPorts, p)
+}
+
+// SetLookahead caps the epoch length: the number of cycles every partition
+// runs between barriers. 0 (the default) selects the maximum safe value —
+// the minimum declared MinLatency over all cross-shard ports; explicit
+// values are clamped to that bound, so lookahead can only be lowered (1
+// restores classic cycle-by-cycle execution). Results are bit-identical
+// for every setting.
+func (e *Engine) SetLookahead(n uint64) { e.lookahead = n }
+
+// autoLookahead returns the maximum safe epoch length: the minimum
+// declared delivery latency over all cross-shard ports (1 when none are
+// registered). It is also the grid on which Run evaluates the done
+// condition and the watchdog — a pure function of the wiring, independent
+// of any SetLookahead override, so stop cycles are identical across
+// lookahead settings.
+func (e *Engine) autoLookahead() uint64 {
+	la := uint64(1)
+	for i, cp := range e.crossPorts {
+		if lat := cp.MinLatency(); i == 0 || lat < la {
+			la = lat
+		}
+	}
+	return la
+}
+
+// Lookahead returns the effective epoch length the engine runs with.
+func (e *Engine) Lookahead() uint64 {
+	la := e.autoLookahead()
+	if e.lookahead > 0 && e.lookahead < la {
+		la = e.lookahead
+	}
+	return la
+}
+
+// Epochs returns the number of completed multi-cycle epochs (epochs of
+// length 1 are not counted: they take the classic per-cycle path).
+func (e *Engine) Epochs() uint64 { return e.epochs }
 
 // SetWatchdog sets the zero-progress observation interval in cycles
 // (0 disables the watchdog). The watchdog is evaluated inside Run: when the
@@ -550,7 +701,7 @@ func (e *Engine) repartition() {
 // panic has been recovered in parallel mode (see Err), Step is a no-op:
 // the faulting partition's state is no longer trustworthy.
 func (e *Engine) Step() {
-	if len(e.errs) > 0 {
+	if e.errCount.Load() > 0 {
 		return
 	}
 	e.ensureParts()
@@ -574,6 +725,78 @@ func (e *Engine) Step() {
 		e.prof.steps++
 	}
 	e.now++
+	e.barrier()
+}
+
+// advance runs the next n cycles as one epoch, including the barrier that
+// follows them. n == 1 is exactly Step; n > 1 takes the fused epoch path:
+// each partition runs its shards' three phases cycle by cycle with no
+// global synchronization until the epoch ends. Safe only when every
+// inter-shard port is cross-registered with MinLatency >= n (guaranteed by
+// the Lookahead clamp), because mid-epoch a shard only observes its own
+// state plus deliveries sealed at earlier barriers.
+func (e *Engine) advance(n uint64) {
+	if n <= 1 {
+		e.Step()
+		return
+	}
+	if e.errCount.Load() > 0 {
+		return
+	}
+	e.ensureParts()
+	e.epochN = n
+	switch {
+	case !e.parallel:
+		for _, p := range e.parts {
+			p.runEpochPhases(e.now, n)
+		}
+	case e.workersOn:
+		e.pending.Store(int32(len(e.parts)))
+		for _, ch := range e.workCh {
+			ch <- opEpoch
+		}
+		<-e.doneCh
+	default:
+		for pi := range e.parts {
+			e.runEpochPart(pi)
+		}
+	}
+	if e.prof != nil {
+		e.prof.steps += n
+	}
+	e.now += n
+	e.epochs++
+	e.barrier()
+}
+
+// barrier is the epoch boundary: freshly staged cross-shard sends are
+// sealed into their ports' future lists, entries due at the next cycle are
+// released, and sink ports are committed. e.now is the next cycle to
+// execute. A send at cycle u arrived with at = u + lat >= epoch-end, so
+// sealing cannot race the epoch's own mid-cycle releases; the release here
+// covers exactly the lat == epoch-length envelopes that fall due
+// immediately (the classic next-cycle delivery when lookahead is 1).
+func (e *Engine) barrier() {
+	if len(e.crossPorts) == 0 && len(e.sinkPorts) == 0 {
+		return
+	}
+	e.crossMu.Lock()
+	dirty := e.dirtyCross
+	e.dirtyCross = e.spareCross[:0]
+	e.crossMu.Unlock()
+	for i, cp := range dirty {
+		cp.Seal(e.now)
+		dirty[i] = nil
+	}
+	e.spareCross = dirty[:0]
+	for _, cp := range e.crossPorts {
+		if cp.NextDue() <= e.now {
+			cp.ReleaseDue(e.now)
+		}
+	}
+	for _, pt := range e.sinkPorts {
+		pt.Commit(e.now)
+	}
 }
 
 func (p *partition) tickPhase(now uint64) {
@@ -616,19 +839,31 @@ func (sh *shard) tickPhase(now uint64) {
 			}
 		}
 	}
-	if sh.asleep > 0 {
-		for i, cs := range sh.comps {
+	if len(sh.wokenList) > 0 {
+		// Reading len without the mutex is safe: everything that appends is
+		// ordered before this tick phase (port deliveries and barrier
+		// releases by the phase barriers, Wakeable callbacks by their own
+		// phase), so a racing append that could be missed here cannot exist
+		// when the simulation is deterministic. Entries may be stale —
+		// the component woke or quiesced since — hence the re-check.
+		sh.wokenMu.Lock()
+		marked := sh.wokenList
+		sh.wokenList = sh.spareWoke[:0]
+		sh.wokenMu.Unlock()
+		for _, idx := range marked {
+			cs := sh.comps[idx]
 			if cs.asleep && cs.woken.Load() {
 				cs.asleep = false
 				cs.woken.Store(false)
 				sh.asleep--
-				sh.active = append(sh.active, int32(i))
+				sh.active = append(sh.active, idx)
 				woke = true
 				if sh.tr != nil {
-					sh.tr.wake(sh.id, int32(i), now, false)
+					sh.tr.wake(sh.id, idx, now, false)
 				}
 			}
 		}
+		sh.spareWoke = marked[:0]
 	}
 	if woke {
 		sortActive(sh.active)
@@ -667,6 +902,14 @@ func (sh *shard) portPhase(now uint64) {
 		dirty[i] = nil
 	}
 	sh.spareDirty = dirty[:0]
+	// Release cross-shard deliveries falling due mid-epoch: envelopes
+	// sealed at earlier barriers whose cycle has arrived. NextDue is a
+	// cached field, so idle cross ports cost one load.
+	for _, cp := range sh.crossIn {
+		if cp.NextDue() <= now+1 {
+			cp.ReleaseDue(now + 1)
+		}
+	}
 	if sh.prof != nil {
 		sh.prof.add(sh.id, 1, time.Since(t0))
 	}
@@ -748,20 +991,7 @@ func (e *Engine) stepInline() {
 // one panic recovery.
 func (e *Engine) runCycle() {
 	p := e.parts[0]
-	defer func() {
-		if r := recover(); r != nil {
-			var cur Ticker
-			for _, sh := range p.shards {
-				if sh.cur != nil {
-					cur = sh.cur
-					break
-				}
-			}
-			e.errMu.Lock()
-			e.errs = append(e.errs, partitionErr{partition: 0, component: cur, value: r})
-			e.errMu.Unlock()
-		}
-	}()
+	defer e.recoverPartition(0, p)
 	p.tickPhase(e.now)
 	p.portPhase(e.now)
 	p.commitPhase(e.now)
@@ -771,20 +1001,7 @@ func (e *Engine) runCycle() {
 // panic into a recorded error (parallel-mode semantics).
 func (e *Engine) runPhase(pi, ph int) {
 	p := e.parts[pi]
-	defer func() {
-		if r := recover(); r != nil {
-			var cur Ticker
-			for _, sh := range p.shards {
-				if sh.cur != nil {
-					cur = sh.cur
-					break
-				}
-			}
-			e.errMu.Lock()
-			e.errs = append(e.errs, partitionErr{partition: pi, component: cur, value: r})
-			e.errMu.Unlock()
-		}
-	}()
+	defer e.recoverPartition(pi, p)
 	switch ph {
 	case 0:
 		p.tickPhase(e.now)
@@ -794,6 +1011,53 @@ func (e *Engine) runPhase(pi, ph int) {
 		p.commitPhase(e.now)
 	}
 }
+
+// runEpochPhases runs n cycles of every shard in the partition, shard by
+// shard: each shard executes its whole epoch (tick/port/commit per cycle)
+// before the next shard starts, maximizing cache locality. Valid because
+// shards interact only through cross-shard ports, whose deliveries within
+// the epoch were all sealed at earlier barriers.
+func (p *partition) runEpochPhases(start, n uint64) {
+	end := start + n
+	for _, sh := range p.shards {
+		for t := start; t < end; t++ {
+			sh.tickPhase(t)
+			sh.portPhase(t)
+			sh.commitPhase(t)
+		}
+	}
+}
+
+// runEpochPart executes one partition's epoch under panic recovery
+// (parallel-mode semantics); the epoch length was published in e.epochN
+// before dispatch.
+func (e *Engine) runEpochPart(pi int) {
+	p := e.parts[pi]
+	defer e.recoverPartition(pi, p)
+	p.runEpochPhases(e.now, e.epochN)
+}
+
+// recoverPartition converts a component panic in partition p into a
+// recorded error; deferred by every parallel-mode execution wrapper.
+func (e *Engine) recoverPartition(pi int, p *partition) {
+	if r := recover(); r != nil {
+		var cur Ticker
+		for _, sh := range p.shards {
+			if sh.cur != nil {
+				cur = sh.cur
+				break
+			}
+		}
+		e.errMu.Lock()
+		e.errs = append(e.errs, partitionErr{partition: pi, component: cur, value: r})
+		e.errMu.Unlock()
+		e.errCount.Add(1)
+	}
+}
+
+// opEpoch is the worker op dispatching a whole fused epoch (length in
+// e.epochN); ops 0-2 are the single-cycle phases.
+const opEpoch uint8 = 3
 
 // stepWorkers drives the persistent workers through the three phases. The
 // barrier per phase is one atomic decrement per partition plus a single
@@ -809,8 +1073,12 @@ func (e *Engine) stepWorkers() {
 }
 
 func (e *Engine) workerLoop(pi int, ch <-chan uint8) {
-	for ph := range ch {
-		e.runPhase(pi, int(ph))
+	for op := range ch {
+		if op == opEpoch {
+			e.runEpochPart(pi)
+		} else {
+			e.runPhase(pi, int(op))
+		}
 		if e.pending.Add(-1) == 0 {
 			e.doneCh <- struct{}{}
 		}
@@ -862,7 +1130,11 @@ func (e *Engine) Settle() {
 // Err returns the error from the first component panic recovered in
 // parallel mode, or nil. When several partitions panicked in the same
 // cycle, the lowest partition index wins so the report is deterministic.
+// The no-error fast path is a single atomic load (Run polls every epoch).
 func (e *Engine) Err() error {
+	if e.errCount.Load() == 0 {
+		return nil
+	}
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
 	if len(e.errs) == 0 {
@@ -920,7 +1192,11 @@ func (e *Engine) stalledReport() string {
 }
 
 // checkWatchdog evaluates the zero-progress watchdog; a non-nil return is
-// the diagnostic error Run should stop with.
+// the diagnostic error Run should stop with. Stuckness is accounted in
+// simulated cycles (the first stuck observation records its cycle; the
+// watchdog fires one full interval later), so multi-cycle epochs neither
+// advance nor delay the firing cycle: Run evaluates the check on the same
+// cycle grid for every lookahead setting.
 func (e *Engine) checkWatchdog() error {
 	if e.watchEvery == 0 || e.now-e.lastCheck < e.watchEvery {
 		return nil
@@ -929,7 +1205,7 @@ func (e *Engine) checkWatchdog() error {
 	sum := e.progressSum()
 	if sum != e.lastSum {
 		e.lastSum = sum
-		e.stuck = 0
+		e.stuckSince = 0
 		return nil
 	}
 	// No progress over a full interval. Only a wedge if some component
@@ -937,18 +1213,21 @@ func (e *Engine) checkWatchdog() error {
 	// (e.g. waiting on future task release cycles).
 	report := e.stalledReport()
 	if report == "" {
-		e.stuck = 0
+		e.stuckSince = 0
 		return nil
 	}
-	e.stuck++
-	if e.stuck < 2 {
+	if e.stuckSince == 0 {
+		e.stuckSince = e.now
+		return nil
+	}
+	if e.now-e.stuckSince < e.watchEvery {
 		return nil
 	}
 	// Settle so any metrics read off the wedged simulation (health dumps,
 	// post-mortem snapshots) describe the cycle the diagnostic names.
 	e.Settle()
 	return fmt.Errorf("sim: watchdog: %w for %d cycles at cycle %d; stalled: %s",
-		ErrStalled, 2*e.watchEvery, e.now, report)
+		ErrStalled, e.now-e.stuckSince+e.watchEvery, e.now, report)
 }
 
 // Run advances until done returns true or the cycle budget is exhausted. It
@@ -967,12 +1246,32 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	if e.repartEvery > 0 && e.nextRepart <= e.now {
 		e.nextRepart = e.now + e.repartEvery
 	}
+	// The done condition and the watchdog are evaluated only on an absolute
+	// cycle grid whose pitch is the auto lookahead — a pure function of the
+	// wiring, NOT of any SetLookahead override — so every lookahead setting
+	// observes completion (and wedges) on the identical cycle. Epochs are
+	// clipped to realign with the grid after a mid-grid entry (e.g. a
+	// budget-sliced timeline run) and to respect the remaining budget, so
+	// no grid cycle is ever skipped and budget stops land exactly.
+	grid := e.autoLookahead()
+	look := e.Lookahead()
 	start := e.now
-	for e.now-start < maxCycles {
-		if done != nil && done() {
+	for {
+		if e.now%grid == 0 && done != nil && done() {
 			return e.now, nil
 		}
-		e.Step()
+		left := maxCycles - (e.now - start)
+		if left == 0 {
+			break
+		}
+		n := look
+		if r := grid - e.now%grid; r < n {
+			n = r
+		}
+		if left < n {
+			n = left
+		}
+		e.advance(n)
 		if e.repartEvery > 0 && e.now >= e.nextRepart {
 			e.repartition()
 			e.nextRepart = e.now + e.repartEvery
@@ -980,8 +1279,10 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 		if err := e.Err(); err != nil {
 			return e.now, err
 		}
-		if err := e.checkWatchdog(); err != nil {
-			return e.now, err
+		if e.now%grid == 0 {
+			if err := e.checkWatchdog(); err != nil {
+				return e.now, err
+			}
 		}
 	}
 	if done != nil && done() {

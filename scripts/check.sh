@@ -20,8 +20,15 @@ go build ./...
 # across worker goroutines, and the card dispatcher drives parallel-executor
 # chips through migration and restore, so these packages are where a torn
 # read would live (see DESIGN.md "Quiescence and the wake protocol").
+# The epoch/lookahead machinery (DESIGN.md §12) lives on the same hot
+# paths — cross-port future lists are staged by partition goroutines and
+# sealed at epoch barriers — and its suites ride in the same packages:
+# the sim epoch tests plus the chip lookahead conformance matrix
+# (TestLookaheadConformance, TestTimelineLookaheadIdentical,
+# TestLookaheadCheckpointCrossSetting) all run under -race here.
 # 20m headroom: the chip suite alone runs several minutes under -race on a
-# single-CPU host (the executor bit-identity matrix is many full-chip runs).
+# single-CPU host (the executor bit-identity and lookahead conformance
+# matrices are many full-chip runs).
 go test -race -timeout 20m ./internal/sim/... ./internal/fault/... \
     ./internal/chip/... ./internal/runner/... \
     ./internal/card/... ./internal/chaos/...
