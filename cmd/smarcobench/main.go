@@ -26,6 +26,7 @@ import (
 
 	"smarco/internal/chip"
 	"smarco/internal/experiments"
+	"smarco/internal/sampling"
 )
 
 type runner func(scale experiments.Scale, seed uint64) (string, error)
@@ -142,8 +143,12 @@ var order = []string{
 // engineSnapshot is the BENCH_engine.json schema: one entry per engine
 // version, oldest first, so the perf trajectory reads top to bottom.
 type engineSnapshot struct {
-	Workload string        `json:"workload"`
-	Entries  []engineEntry `json:"entries"`
+	Workload string `json:"workload"`
+	// SampledWorkload describes the sampled-vs-detailed A/B rows (the runs
+	// flagged sampled_workload), which size the task count to the chip's
+	// sampling batch floor instead of the throughput sweep's 2-per-core.
+	SampledWorkload string        `json:"sampled_workload,omitempty"`
+	Entries         []engineEntry `json:"entries"`
 }
 
 type engineEntry struct {
@@ -160,8 +165,12 @@ type engineEntry struct {
 // benchEngine fails if they diverge — it doubles as a conformance check.
 // With -scale paper the sweep also covers the 256-core paper chip. With
 // jsonPath it also writes each run's unified metrics snapshot (the same
-// chip.Snapshot schema smarcosim -json emits) as a JSON array.
-func benchEngine(path, label, jsonPath string, paper bool) error {
+// chip.Snapshot schema smarcosim -json emits) as a JSON array. When cad
+// requests sampling, the entry also carries the sampled-vs-detailed A/B on
+// the medium chip: the same workload at full detail and in sampled mode,
+// the sampled row recording the extrapolated cycle count, its confidence
+// half-width, and the wall-clock speedup.
+func benchEngine(path, label, jsonPath string, paper bool, cad sampling.Config) error {
 	var snap engineSnapshot
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &snap); err != nil {
@@ -198,6 +207,19 @@ func benchEngine(path, label, jsonPath string, paper bool) error {
 				snapshots = append(snapshots, s)
 			}
 		}
+	}
+	if cad.Enabled() {
+		snap.SampledWorkload = experiments.EngineSampledWorkload
+		det, samp, abSnaps, err := experiments.MeasureEngineSampled("medium", cad)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s sampled A/B detailed: cycles=%-10d wall=%.2fs\n",
+			det.Config, det.Cycles, det.WallSeconds)
+		fmt.Printf("%-8s sampled A/B sampled:  est=%-10d ±%.2f%% wall=%.2fs speedup=%.2fx\n",
+			samp.Config, samp.Cycles, 100*samp.EstError, samp.WallSeconds, samp.Speedup)
+		entry.Runs = append(entry.Runs, det, samp)
+		snapshots = append(snapshots, abSnaps...)
 	}
 	snap.Entries = append(snap.Entries, entry)
 	raw, err := json.MarshalIndent(&snap, "", "  ")
@@ -341,6 +363,10 @@ func main() {
 	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot file")
 	suiteLabel := flag.String("suite-label", "suite snapshot", "label for the new suite entry")
 	smoke := flag.String("engine-smoke", "", "run the CI smoke benchmark against this floor file and exit")
+	sampleEvery := flag.Uint64("sample-every", experiments.EngineSampledCadence.Every,
+		"with -engine: sampled A/B cadence period in estimated cycles (0 skips the sampled-vs-detailed rows)")
+	sampleWindow := flag.Uint64("sample-window", experiments.EngineSampledCadence.Window,
+		"with -engine: sampled A/B detailed window length in cycles")
 	chaosLadderFlag := flag.Bool("chaos", false, "run the chaos resilience ladder (seeded fault schedules on the dual card)")
 	workers := flag.Int("workers", 0, "run-pool worker bound for experiment sweeps (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
@@ -360,7 +386,8 @@ func main() {
 	}
 
 	if *engine {
-		if err := benchEngine(*engineOut, *engineLabel, *jsonOut, *scaleFlag == "paper"); err != nil {
+		cad := sampling.Config{Every: *sampleEvery, Window: *sampleWindow}
+		if err := benchEngine(*engineOut, *engineLabel, *jsonOut, *scaleFlag == "paper", cad); err != nil {
 			log.Fatal(err)
 		}
 		return

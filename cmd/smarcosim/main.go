@@ -25,6 +25,7 @@ import (
 	"smarco/internal/fault"
 	"smarco/internal/kernels"
 	"smarco/internal/power"
+	"smarco/internal/sampling"
 )
 
 // exitCodeInterrupted distinguishes a graceful SIGINT/SIGTERM stop from
@@ -59,6 +60,9 @@ func main() {
 	linkLatency := flag.Uint64("link-latency", 0, "cross-shard link latency in cycles (0 = classic 1-cycle links); latencies >1 license multi-cycle engine epochs")
 	lookahead := flag.Uint64("lookahead", 0, "cap the engine's epoch length in cycles (0 = auto: the full window the link latencies allow); results identical at any setting")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
+	sampleEvery := flag.Uint64("sample-every", 0, "sampled mode: one detailed window per N estimated cycles (0 = full detail)")
+	sampleWindow := flag.Uint64("sample-window", 10_000, "sampled mode: detailed window length in cycles")
+	sampleBatch := flag.Int("sample-batch", 0, "sampled mode: detailed batch floor in tasks (0 = chip default, 2*(threads+8*cores))")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic)")
 	linkRate := flag.Float64("link-fault-rate", 0, "per-traversal NoC link fault probability")
 	flipRate := flag.Float64("dram-flip-rate", 0, "per-word DRAM bit-flip probability per access")
@@ -109,6 +113,9 @@ func main() {
 	cfg.RepartitionEvery = *repartEvery
 	cfg.LinkLatency = *linkLatency
 	cfg.Lookahead = *lookahead
+	if *sampleEvery > 0 {
+		cfg.Sampling = sampling.Config{Every: *sampleEvery, Window: *sampleWindow, MinBatch: *sampleBatch}
+	}
 	cfg.Fault = fault.Config{
 		Seed:           *faultSeed,
 		LinkFaultRate:  *linkRate,
@@ -146,6 +153,17 @@ func main() {
 	w, err := kernels.New(*bench, kernels.Config{Seed: *seed, Tasks: nTasks, Scale: *scale, StageSPM: *stage})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if cfg.Sampling.Enabled() {
+		if *processors > 1 || *killChips > 0 || *pcieRate > 0 {
+			log.Fatal("card mode does not support -sample-every (sampled runs are single-chip)")
+		}
+		if *ckptEvery > 0 {
+			log.Fatal("-checkpoint-every cannot be combined with -sample-every: periodic checkpoints " +
+				"slice on engine cycles, which a sampled run mostly skips; slice with -budget instead " +
+				"(a sampled run stopped on its budget checkpoints exactly and resumes with -restore)")
+		}
 	}
 
 	if *processors > 1 || *killChips > 0 || *pcieRate > 0 {
@@ -262,6 +280,15 @@ func main() {
 			fmt.Printf("checkpoint at cycle %d -> %s\n", c.Now(), path)
 		}
 		cycles = c.Now()
+	} else if cfg.Sampling.Enabled() {
+		// Sampled runs alternate detailed windows with functional
+		// fast-forward on their own schedule; the budget lives on the
+		// estimated-cycle axis and a budget stop is resumable via -restore.
+		cy, err := c.Run(*budget)
+		if err != nil {
+			log.Fatalf("%v (completed %d/%d tasks)", err, c.CompletedTasks(), len(w.Tasks))
+		}
+		cycles = cy
 	} else {
 		done := func() bool { return c.CompletedTasks() >= len(w.Tasks) }
 		cy, err := c.RunUntil(*budget, func() bool { return done() || stop.Load() })
@@ -280,6 +307,11 @@ func main() {
 	if la := c.Lookahead(); la > 1 {
 		fmt.Printf("engine: lookahead %d, %d epochs over %d cycles (%.2f cycles/epoch)\n",
 			la, c.Epochs(), cycles, float64(cycles)/float64(max(c.Epochs(), 1)))
+	}
+	if r := c.Sampled(); r != nil {
+		fmt.Printf("sampled: estimate %d cycles ±%.2f%%, %d windows (%d tasks over %d detailed cycles), %d tasks fast-forwarded (%d functional instructions)\n",
+			r.EstCycles, 100*r.RelErr, len(r.Windows), len(w.Tasks)-r.FastTasks, r.DetailedCycles,
+			r.FastTasks, r.FFInstructions)
 	}
 
 	if *cpuprofile != "" {

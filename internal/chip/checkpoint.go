@@ -131,6 +131,9 @@ func (c *Chip) Checkpoint() *snapshot.File {
 	f.Add("mem", enc(c.store.Save))
 	f.Add("engine", enc(c.eng.SaveState))
 	f.Add("fault", enc(c.inj.SaveState))
+	if c.Config.Sampling.Enabled() {
+		f.Add("sampling", enc(c.saveSamplingSection))
+	}
 	for _, comp := range c.components() {
 		f.Add(comp.id, enc(comp.s.SaveState))
 	}
@@ -171,6 +174,11 @@ func (c *Chip) Restore(f *snapshot.File) error {
 	}
 	if err := dec("fault", c.inj.RestoreState); err != nil {
 		return err
+	}
+	if c.Config.Sampling.Enabled() {
+		if err := dec("sampling", c.restoreSamplingSection); err != nil {
+			return err
+		}
 	}
 	for _, comp := range c.components() {
 		if err := dec(comp.id, comp.s.RestoreState); err != nil {

@@ -17,6 +17,7 @@ import (
 	"smarco/internal/mact"
 	"smarco/internal/mem"
 	"smarco/internal/noc"
+	"smarco/internal/sampling"
 	"smarco/internal/sched"
 	"smarco/internal/sim"
 )
@@ -84,6 +85,11 @@ type Config struct {
 	// WatchdogCycles is the engine's zero-progress observation interval;
 	// 0 selects sim.DefaultWatchdogCycles.
 	WatchdogCycles uint64
+	// Sampling enables sampled simulation (DESIGN.md §13): Run alternates
+	// detailed sample windows with functional fast-forward spans and
+	// returns a SMARTS-style extrapolated cycle count. The zero value runs
+	// everything at full detail.
+	Sampling sampling.Config
 }
 
 // DefaultConfig is the paper's 256-core chip.
@@ -173,6 +179,11 @@ type Chip struct {
 	submitted int
 	inj       *fault.Injector // nil when fault injection is disabled
 
+	// Sampled-run state (sampling.go): tasks held back for the sampled
+	// schedule and the run controller (nil until RunSampled starts).
+	held []kernels.Task
+	samp *sampState
+
 	hostInject *sim.Port[*noc.Packet]
 	hostEject  *sim.Port[*noc.Packet]
 	hostSeq    uint64
@@ -201,6 +212,15 @@ func Build(cfg Config, store *mem.Sparse) (*Chip, error) {
 	// rejected rather than silently treated as "off".
 	if err := cfg.Fault.Validate(); err != nil {
 		return nil, fmt.Errorf("chip: %w", err)
+	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		return nil, fmt.Errorf("chip: %w", err)
+	}
+	if cfg.Sampling.Enabled() && cfg.Fault.Enabled() {
+		// The functional model cannot reproduce injected faults (bit flips,
+		// kills, migrations), so fast-forwarded state would diverge from the
+		// detailed machine's.
+		return nil, fmt.Errorf("chip: sampling and fault injection are mutually exclusive")
 	}
 	if cfg.Fault.Enabled() {
 		inj, err := fault.NewInjector(cfg.Fault)
@@ -512,8 +532,23 @@ func (c *Chip) codeBase(p *isa.Program) uint64 {
 	return base
 }
 
-// Submit queues workload tasks on the main scheduler.
+// Submit queues workload tasks on the main scheduler. With sampling
+// enabled the tasks are held back instead and dispatched batch by batch by
+// the sampled schedule (code segments are still assigned here, in
+// submission order, so checkpoint Work references resolve identically).
 func (c *Chip) Submit(tasks []kernels.Task) {
+	if c.Config.Sampling.Enabled() {
+		for i := range tasks {
+			c.codeBase(tasks[i].Prog)
+		}
+		c.held = append(c.held, tasks...)
+		return
+	}
+	c.submitNow(tasks)
+}
+
+// submitNow converts tasks to scheduler work and queues them immediately.
+func (c *Chip) submitNow(tasks []kernels.Task) {
 	works := make([]cpu.Work, 0, len(tasks))
 	for _, t := range tasks {
 		w := cpu.Work{
@@ -568,7 +603,12 @@ func (c *Chip) Results() []sched.Result {
 }
 
 // Run executes until every submitted task completes, or maxCycles elapse.
+// With sampling enabled it runs the sampled schedule instead and returns
+// the extrapolated cycle count (see RunSampled).
 func (c *Chip) Run(maxCycles uint64) (uint64, error) {
+	if c.Config.Sampling.Enabled() {
+		return c.RunSampled(maxCycles)
+	}
 	return c.eng.Run(maxCycles, func() bool {
 		return c.CompletedTasks() >= c.submitted
 	})

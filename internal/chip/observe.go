@@ -116,9 +116,17 @@ type Snapshot struct {
 	// engine barriers once per epoch instead of once per cycle, so
 	// Cycles/Epochs approaches the lookahead window on busy runs. A
 	// wall-time diagnostic, not simulated state (never checkpointed).
-	Epochs  uint64       `json:"epochs,omitempty"`
-	Chip    SnapshotChip `json:"chip"`
-	Metrics Metrics      `json:"metrics"`
+	Epochs uint64 `json:"epochs,omitempty"`
+	// Sampled marks a sampled run (DESIGN.md §13): Cycles/Seconds are the
+	// SMARTS extrapolation from SampleWindows detailed windows, EstError is
+	// the 95% confidence half-width relative to Cycles, and Metrics
+	// describes only the detailed windows (the functional fast-forward
+	// spans execute no timed state).
+	Sampled       bool         `json:"sampled,omitempty"`
+	SampleWindows int          `json:"sample_windows,omitempty"`
+	EstError      float64      `json:"est_error,omitempty"`
+	Chip          SnapshotChip `json:"chip"`
+	Metrics       Metrics      `json:"metrics"`
 	// Load is the deterministic per-shard load report (component-tick
 	// counts and shares plus the shard→partition assignment). Tick counts
 	// and shares are identical across hosts and executors; the Partition
@@ -156,6 +164,13 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 		},
 		Metrics: c.Metrics(),
 		Load:    c.LoadReport(),
+	}
+	if r := c.Sampled(); r != nil {
+		s.Sampled = true
+		s.SampleWindows = len(r.Windows)
+		s.EstError = r.RelErr
+		s.Cycles = r.EstCycles
+		s.Seconds = c.Seconds(r.EstCycles)
 	}
 	if la := c.eng.Lookahead(); la > 1 {
 		s.Chip.Lookahead = la

@@ -1,0 +1,6 @@
+//go:build !race
+
+package chip
+
+// See race_on_test.go.
+const raceDetectorOn = false

@@ -74,6 +74,16 @@ type EngineRun struct {
 	Cycles       uint64  `json:"cycles"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Sampled marks a sampled-mode run of the sampled-vs-detailed A/B:
+	// Cycles is the SMARTS extrapolation (est_error its confidence
+	// half-width) and Speedup is the paired full-detail run's wall time over
+	// this run's. The paired detailed run carries SampledWorkload true so
+	// the A/B rows are distinguishable from the throughput sweep, whose
+	// workload differs.
+	Sampled         bool    `json:"sampled,omitempty"`
+	SampledWorkload bool    `json:"sampled_workload,omitempty"`
+	EstError        float64 `json:"est_error,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
 }
 
 // EngineBenchWorkload describes the fixed reference workload so snapshots

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"smarco/internal/chip"
+	"smarco/internal/kernels"
+	"smarco/internal/sampling"
+)
+
+// fanOutConfig is a 4-core, 4-thread chip (batch floor 72) small enough
+// that a multi-window fan-out stays test-sized.
+func fanOutConfig() chip.Config {
+	cfg := chip.SmallConfig()
+	cfg.SubRings = 2
+	cfg.CoresPerSub = 2
+	cfg.Core.Lanes = 1
+	cfg.Core.ThreadsPerLane = 1
+	cfg.Sampling = sampling.Config{Every: 100_000, Window: 10_000}
+	return cfg
+}
+
+func fanOutWorkload() *kernels.Workload {
+	return kernels.MustNew("kmp", kernels.Config{Seed: 11, Tasks: 1440, Scale: 32})
+}
+
+const fanOutBudget = 200_000_000
+
+// TestSampledFanOutPoolInvariance is the pool-size leg of the sampling
+// metamorphic contract: farming the sample windows across the run pool
+// yields a bit-identical estimate at any worker count, window entry states
+// match the sequential sampled run exactly, and the combined estimate
+// agrees with the sequential extrapolation.
+func TestSampledFanOutPoolInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several chip runs")
+	}
+	cfg := fanOutConfig()
+
+	// Sequential sampled reference on the same workload and cadence.
+	w := fanOutWorkload()
+	c, err := chip.Build(cfg, w.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(w.Tasks)
+	seqEst, err := c.Run(fanOutBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := c.Sampled()
+	if len(seq.Windows) < 2 {
+		t.Fatalf("want a multi-window schedule, got %d windows", len(seq.Windows))
+	}
+
+	defer SetPoolWorkers(0)
+	var results []*chip.SampledResult
+	for _, workers := range []int{1, 3} {
+		SetPoolWorkers(workers)
+		r, err := SampledFanOut(cfg, fanOutWorkload, fanOutBudget)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, r)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("fan-out result depends on pool width:\n 1 worker: %+v\n 3 workers: %+v", results[0], results[1])
+	}
+
+	r := results[0]
+	if len(r.Windows) != len(seq.Windows) {
+		t.Fatalf("fan-out measured %d windows, sequential %d", len(r.Windows), len(seq.Windows))
+	}
+	for i, fw := range r.Windows {
+		// Entry state reconstruction is exact: the functional warming of the
+		// window's task prefix reproduces the sequential run's entry memory
+		// image bit for bit.
+		if fw.EntryMemCRC != seq.Windows[i].EntryMemCRC {
+			t.Errorf("window %d: fan-out entry fingerprint %#x, sequential %#x", i, fw.EntryMemCRC, seq.Windows[i].EntryMemCRC)
+		}
+		if fw.Tasks != seq.Windows[i].Tasks {
+			t.Errorf("window %d: fan-out batch %d, sequential %d", i, fw.Tasks, seq.Windows[i].Tasks)
+		}
+	}
+	// Window 0 opens from exactly the sequential run's state (cold chip,
+	// untouched memory), so its measurement matches bit for bit.
+	if r.Windows[0] != seq.Windows[0] {
+		t.Errorf("window 0 diverged:\n fan-out:    %+v\n sequential: %+v", r.Windows[0], seq.Windows[0])
+	}
+	// Later windows run on a freshly built chip (engine at cycle 0) instead
+	// of mid-run, so their rates may differ by scheduling phase — but both
+	// measure the same steady state, so the estimates agree tightly.
+	if rel := float64(r.EstCycles)/float64(seqEst) - 1; math.Abs(rel) > 0.05 {
+		t.Errorf("fan-out estimate %d vs sequential %d: %+.2f%%", r.EstCycles, seqEst, 100*rel)
+	}
+}
+
+// TestRunSampledWindowGuards pins the fan-out primitive's preconditions.
+func TestRunSampledWindowGuards(t *testing.T) {
+	cfg := fanOutConfig()
+	w := fanOutWorkload()
+	c, err := chip.Build(cfg, w.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(w.Tasks)
+	sched, err := c.SamplingSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSampledWindow(sched.Windows(), fanOutBudget); err == nil {
+		t.Error("out-of-range window index accepted")
+	}
+	if _, err := c.RunSampledWindow(0, fanOutBudget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSampledWindow(0, fanOutBudget); err == nil {
+		t.Error("consumed worker chip accepted a second window")
+	}
+
+	plain := chip.New(chip.SmallConfig(), kernels.MustNew("kmp", kernels.Config{Seed: 1, Tasks: 8, Scale: 16}).Mem)
+	if _, err := plain.RunSampledWindow(0, fanOutBudget); err == nil {
+		t.Error("unsampled chip accepted RunSampledWindow")
+	}
+	if _, err := plain.SamplingSchedule(); err == nil {
+		t.Error("unsampled chip reported a sampling schedule")
+	}
+}

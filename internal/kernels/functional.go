@@ -1,0 +1,112 @@
+// Functional task execution with SPM-staging semantics, used by the
+// sampled-simulation fast-forward path (DESIGN.md §13). Unlike
+// RunFunctional — which runs every access directly against the workload
+// memory — ExecTasksFunctional reproduces the memory image a detailed run
+// leaves behind bit-for-bit: staged regions execute against private copies
+// (the scratchpad), and only Out regions are written back to DRAM, exactly
+// as the core runtime's stage-in/stage-out DMA does.
+package kernels
+
+import (
+	"fmt"
+
+	"smarco/internal/isa"
+	"smarco/internal/mem"
+)
+
+// stagedRegion is one SPM-resident window of a task's address space.
+type stagedRegion struct {
+	base uint64
+	buf  []byte
+	out  bool
+}
+
+// stagedMem overlays a task's staged regions on the shared store: accesses
+// whose first byte falls inside a region hit the private copy, everything
+// else reaches DRAM. Staged regions are 64-byte-aligned arena allocations
+// that kernels never straddle, so first-byte routing is exact.
+type stagedMem struct {
+	store   *mem.Sparse
+	regions []stagedRegion
+}
+
+func (s *stagedMem) region(addr uint64) (*stagedRegion, uint64) {
+	for i := range s.regions {
+		r := &s.regions[i]
+		if addr >= r.base && addr < r.base+uint64(len(r.buf)) {
+			return r, addr - r.base
+		}
+	}
+	return nil, 0
+}
+
+func (s *stagedMem) Read(addr uint64, size int) uint64 {
+	r, off := s.region(addr)
+	if r == nil {
+		return s.store.Read(addr, size)
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		if a := off + uint64(i); a < uint64(len(r.buf)) {
+			v |= uint64(r.buf[a]) << (8 * uint(i))
+		}
+	}
+	return v
+}
+
+func (s *stagedMem) Write(addr uint64, size int, val uint64) {
+	r, off := s.region(addr)
+	if r == nil {
+		s.store.Write(addr, size, val)
+		return
+	}
+	for i := 0; i < size; i++ {
+		if a := off + uint64(i); a < uint64(len(r.buf)) {
+			r.buf[a] = byte(val >> (8 * uint(i)))
+		}
+	}
+}
+
+// ExecTasksFunctional retires tasks on the functional golden model against
+// store, returning total executed instructions. Each staged task runs over
+// a staging overlay: inputs are copied in (the stage-in DMA), the task's
+// accesses to staged regions stay private (the scratchpad), and Out
+// regions are copied back after halt (the stage-out DMA). The store is
+// therefore left bit-identical to a detailed run of the same tasks drained
+// to completion.
+func ExecTasksFunctional(store *mem.Sparse, tasks []Task, maxSteps uint64) (uint64, error) {
+	var total uint64
+	for i := range tasks {
+		t := &tasks[i]
+		var m isa.Memory = store
+		var overlay *stagedMem
+		if len(t.Stage) > 0 {
+			overlay = &stagedMem{store: store}
+			for _, r := range t.Stage {
+				base := uint64(t.Args[r.Arg])
+				overlay.regions = append(overlay.regions, stagedRegion{
+					base: base,
+					buf:  store.ReadBytes(base, r.Bytes),
+					out:  r.Out,
+				})
+			}
+			m = overlay
+		}
+		mach := isa.NewMachine(m)
+		for j, v := range t.Args {
+			mach.Regs.Set(uint8(10+j), v)
+		}
+		if err := mach.Run(t.Prog, maxSteps); err != nil {
+			return total, fmt.Errorf("kernels: functional task %d (%s): %w", t.ID, t.Prog.Name, err)
+		}
+		total += mach.Executed
+		if overlay != nil {
+			for _, r := range overlay.regions {
+				if r.out {
+					store.WriteBytes(r.base, r.buf)
+				}
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,43 @@
+package kernels
+
+import (
+	"testing"
+)
+
+// TestExecTasksFunctional checks every kernel verifies under the staging-
+// aware functional executor, staged or not.
+func TestExecTasksFunctional(t *testing.T) {
+	for _, name := range Names {
+		for _, staged := range []bool{false, true} {
+			w := MustNew(name, Config{Seed: 7, Tasks: 4, StageSPM: staged})
+			if _, err := ExecTasksFunctional(w.Mem, w.Tasks, 50_000_000); err != nil {
+				t.Fatalf("%s staged=%v: %v", name, staged, err)
+			}
+			if err := w.Check(); err != nil {
+				t.Fatalf("%s staged=%v: %v", name, staged, err)
+			}
+		}
+	}
+}
+
+// TestExecTasksFunctionalStagingPrivate checks staged scratch regions stay
+// out of DRAM: KMP stages its failure table (not an Out region), so the
+// table's DRAM bytes must remain zero after a staged functional run — the
+// memory image a detailed run's stage-out DMA leaves behind.
+func TestExecTasksFunctionalStagingPrivate(t *testing.T) {
+	w := MustNew("kmp", Config{Seed: 7, Tasks: 2, StageSPM: true})
+	if _, err := ExecTasksFunctional(w.Mem, w.Tasks, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range w.Tasks {
+		failBase := uint64(task.Args[4])
+		for i := 0; i < 4*8; i++ {
+			if b := w.Mem.ByteAt(failBase + uint64(i)); b != 0 {
+				t.Fatalf("task %d: staged scratch leaked to DRAM at +%d (%#x)", task.ID, i, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package sampling implements SMARTS-style sampled simulation for the HTC
+// task model (DESIGN.md §13): a run alternates detailed sample windows —
+// batches of tasks executed on the full timing model — with fast-forward
+// spans whose tasks execute only on the functional golden model, and the
+// total cycle count is extrapolated from the measured windows with a
+// reported confidence interval.
+//
+// The workload model makes this sound: a workload is a shared memory image
+// plus large numbers of small, mutually independent tasks, so any task
+// subset can be retired functionally without perturbing the architectural
+// state the remaining tasks observe, and the chip's steady-state task
+// throughput is a well-defined quantity a detailed window can measure.
+//
+// The schedule is a pure function of the task count and the cadence
+// configuration — it never depends on measured rates — so a sampled run is
+// bit-reproducible and each window's entry state can be reconstructed
+// independently (the property the fan-out path and the checkpoint seeds
+// rely on).
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config selects the sampling cadence. The zero value disables sampling.
+type Config struct {
+	// Every is the cadence period in estimated cycles: one detailed window
+	// per Every cycles of estimated execution. 0 disables sampling.
+	Every uint64
+	// Window is the detailed window length target in cycles. Together with
+	// Every it fixes the duty ratio Window/Every — the fraction of tasks
+	// executed on the timing model. Must be in (0, Every].
+	Window uint64
+	// Windows caps how many detailed windows the schedule plans (the duty
+	// ratio fixes the total detailed task count; Windows splits it into
+	// separately measured batches). 0 selects DefaultWindows.
+	Windows int
+	// MinBatch floors the detailed batch size. A window only measures the
+	// machine's steady-state task throughput if its batch keeps every
+	// hardware thread saturated through the measured region, so callers set
+	// this high enough to fill every thread and keep each core's queue deep
+	// (chip.Chip defaults it to 2·(threads + 8·cores)).
+	// Batches below the floor shrink the
+	// window count and, when necessary, raise the detailed task count above
+	// the duty ratio — degrading toward an all-detailed run rather than an
+	// inaccurate one. 0 applies no floor.
+	MinBatch int
+}
+
+// DefaultWindows is the planned window count when Config.Windows is 0.
+const DefaultWindows = 4
+
+// Enabled reports whether the configuration requests sampling.
+func (c Config) Enabled() bool { return c.Every > 0 }
+
+// Validate rejects malformed cadences.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.Window == 0 {
+		return fmt.Errorf("sampling: window is 0 (want 0 < window <= every)")
+	}
+	if c.Window > c.Every {
+		return fmt.Errorf("sampling: window %d exceeds cadence period %d", c.Window, c.Every)
+	}
+	if c.Windows < 0 {
+		return fmt.Errorf("sampling: negative window count %d", c.Windows)
+	}
+	if c.MinBatch < 0 {
+		return fmt.Errorf("sampling: negative batch floor %d", c.MinBatch)
+	}
+	return nil
+}
+
+// Span is one contiguous task-index range of a sampled schedule.
+type Span struct {
+	Start, End int  // task indices [Start, End)
+	Detailed   bool // true: detailed sample window; false: fast-forward
+}
+
+// Len returns the number of tasks in the span.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Schedule is the deterministic execution plan for a sampled run: an
+// alternating sequence of detailed windows and fast-forward spans covering
+// every task exactly once, in task order. Every fast-forward span is
+// preceded by at least one detailed window, so a measured rate is always
+// available to charge its cycles.
+type Schedule struct {
+	Spans         []Span
+	DetailedTasks int
+	FastTasks     int
+}
+
+// Windows counts the detailed windows in the schedule.
+func (s *Schedule) Windows() int {
+	n := 0
+	for _, sp := range s.Spans {
+		if sp.Detailed {
+			n++
+		}
+	}
+	return n
+}
+
+// Plan builds the schedule for a run of tasks under cfg. The duty ratio
+// Window/Every fixes the detailed task count D = max(1, round(tasks ·
+// Window/Every)); D is split into up to cfg.Windows near-equal batches and
+// the remaining tasks are distributed as fast-forward spans after each
+// window. A duty ratio of 1 (Window == Every) degenerates to a single
+// all-detailed window.
+func Plan(tasks int, cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("sampling: Plan called with sampling disabled")
+	}
+	if tasks <= 0 {
+		return nil, fmt.Errorf("sampling: no tasks to plan")
+	}
+	// Round half-up in uint64 arithmetic: D = round(tasks * Window / Every).
+	d := int((uint64(tasks)*cfg.Window + cfg.Every/2) / cfg.Every)
+	if d < 1 {
+		d = 1
+	}
+	nw := cfg.Windows
+	if nw == 0 {
+		nw = DefaultWindows
+	}
+	if cfg.MinBatch > 0 {
+		// Fewer, larger windows before smaller, unsaturated ones; then raise
+		// the detailed count to the floor if the duty ratio alone can't fill
+		// even one saturated window.
+		if maxW := d / cfg.MinBatch; nw > maxW {
+			nw = maxW
+			if nw < 1 {
+				nw = 1
+			}
+		}
+		if d < nw*cfg.MinBatch {
+			d = nw * cfg.MinBatch
+		}
+	}
+	if d > tasks {
+		d = tasks
+	}
+	if nw > d {
+		nw = d
+	}
+	fast := tasks - d
+	s := &Schedule{DetailedTasks: d, FastTasks: fast}
+	next := 0
+	for i := 0; i < nw; i++ {
+		// Near-equal splits: earlier windows/spans absorb the remainders.
+		b := d / nw
+		if i < d%nw {
+			b++
+		}
+		f := fast / nw
+		if i < fast%nw {
+			f++
+		}
+		s.Spans = append(s.Spans, Span{Start: next, End: next + b, Detailed: true})
+		next += b
+		if f > 0 {
+			s.Spans = append(s.Spans, Span{Start: next, End: next + f, Detailed: false})
+			next += f
+		}
+	}
+	if next != tasks {
+		panic(fmt.Sprintf("sampling: plan covers %d of %d tasks", next, tasks))
+	}
+	return s, nil
+}
+
+// Window is one measured detailed sample window.
+type Window struct {
+	Tasks  int     // batch size
+	Cycles uint64  // detailed cycles the window consumed (including ramp)
+	Rate   float64 // steady-state cycles per task (ramp and tail excluded)
+}
+
+// Estimator accumulates window measurements and fast-forward charges into
+// the SMARTS extrapolation.
+//
+// The estimate is Ĉ = C₀ + Σ_{i>0} Bᵢ·xᵢ + Σᵢ Fᵢ·xᵢ: the first window
+// contributes its full measured cycles (it carries the run's genuine
+// cold-start ramp), later windows contribute their batch at the measured
+// steady-state rate (their private ramp/drain overhead is a sampling
+// artifact the full-detail run does not pay), and every fast-forward span
+// is charged at the rate of the window that preceded it (capturing rate
+// drift across the run).
+type Estimator struct {
+	windows  []Window
+	detailed uint64  // real detailed cycles simulated (Σ Cᵢ)
+	est      float64 // running estimate Ĉ
+	fast     int     // fast-forwarded tasks charged so far
+}
+
+// AddWindow records a measured detailed window.
+func (e *Estimator) AddWindow(w Window) {
+	if len(e.windows) == 0 {
+		e.est += float64(w.Cycles)
+	} else {
+		e.est += float64(w.Tasks) * w.Rate
+	}
+	e.detailed += w.Cycles
+	e.windows = append(e.windows, w)
+}
+
+// AddFast charges tasks fast-forwarded after the most recent window at that
+// window's rate. It panics if no window has been measured yet (Plan never
+// emits such a schedule).
+func (e *Estimator) AddFast(tasks int) {
+	if len(e.windows) == 0 {
+		panic("sampling: fast-forward span before any detailed window")
+	}
+	e.est += float64(tasks) * e.windows[len(e.windows)-1].Rate
+	e.fast += tasks
+}
+
+// Rate returns the most recent window's steady-state cycles-per-task.
+func (e *Estimator) Rate() float64 {
+	if len(e.windows) == 0 {
+		return 0
+	}
+	return e.windows[len(e.windows)-1].Rate
+}
+
+// Windows returns the measurements recorded so far.
+func (e *Estimator) Windows() []Window { return e.windows }
+
+// DetailedCycles returns the real detailed cycles simulated so far.
+func (e *Estimator) DetailedCycles() uint64 { return e.detailed }
+
+// Cycles returns the current cycle estimate Ĉ, rounded.
+func (e *Estimator) Cycles() uint64 {
+	if e.est <= 0 {
+		return 0
+	}
+	return uint64(math.Round(e.est))
+}
+
+// Estimate is the final extrapolation of a sampled run.
+type Estimate struct {
+	// Cycles is the extrapolated total Ĉ.
+	Cycles uint64
+	// Detailed is the real detailed cycles simulated (engine time).
+	Detailed uint64
+	// Windows is the number of measured sample windows.
+	Windows int
+	// FastTasks is the number of functionally retired tasks.
+	FastTasks int
+	// RelErr is the 95% confidence half-width of the extrapolated portion,
+	// relative to Cycles: the window rates xᵢ are treated as an i.i.d.
+	// sample and the Student-t interval on their mean is scaled by the
+	// number of rate-charged tasks. 0 when fewer than two windows were
+	// measured or nothing was extrapolated.
+	RelErr float64
+}
+
+// Result computes the final estimate.
+func (e *Estimator) Result() Estimate {
+	est := Estimate{
+		Cycles:    e.Cycles(),
+		Detailed:  e.detailed,
+		Windows:   len(e.windows),
+		FastTasks: e.fast,
+	}
+	n := len(e.windows)
+	if n < 2 || est.Cycles == 0 {
+		return est
+	}
+	// Tasks charged at a measured rate: everything except window 0's batch.
+	charged := e.fast
+	for _, w := range e.windows[1:] {
+		charged += w.Tasks
+	}
+	if charged == 0 {
+		return est
+	}
+	mean := 0.0
+	for _, w := range e.windows {
+		mean += w.Rate
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, w := range e.windows {
+		d := w.Rate - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	half := tQuantile95(n-1) * sd / math.Sqrt(float64(n)) * float64(charged)
+	est.RelErr = half / float64(est.Cycles)
+	return est
+}
+
+// tTable95 holds two-sided 95% Student-t quantiles for 1..30 degrees of
+// freedom; beyond the table the normal quantile is close enough.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tQuantile95 returns the two-sided 95% Student-t quantile for df degrees
+// of freedom.
+func tQuantile95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.960
+}

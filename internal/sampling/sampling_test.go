@@ -1,0 +1,147 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanPartitionsTasks(t *testing.T) {
+	cases := []struct {
+		tasks int
+		cfg   Config
+	}{
+		{1, Config{Every: 10_000, Window: 1_000}},
+		{2, Config{Every: 10_000, Window: 1_000}},
+		{7, Config{Every: 10_000, Window: 1_000}},
+		{64, Config{Every: 10_000, Window: 1_000}},
+		{64, Config{Every: 10_000, Window: 10_000}},
+		{100, Config{Every: 5_000, Window: 1_000, Windows: 2}},
+		{100, Config{Every: 5_000, Window: 1_000, Windows: 100}},
+		{1000, Config{Every: 1_000_000, Window: 1}},
+		{3, Config{Every: 7, Window: 3, Windows: 1}},
+	}
+	for _, tc := range cases {
+		s, err := Plan(tc.tasks, tc.cfg)
+		if err != nil {
+			t.Fatalf("Plan(%d, %+v): %v", tc.tasks, tc.cfg, err)
+		}
+		next := 0
+		seenWindow := false
+		for _, sp := range s.Spans {
+			if sp.Start != next || sp.End <= sp.Start {
+				t.Fatalf("Plan(%d, %+v): span %+v breaks coverage at %d", tc.tasks, tc.cfg, sp, next)
+			}
+			if !sp.Detailed && !seenWindow {
+				t.Fatalf("Plan(%d, %+v): fast-forward span before any window", tc.tasks, tc.cfg)
+			}
+			seenWindow = seenWindow || sp.Detailed
+			next = sp.End
+		}
+		if next != tc.tasks {
+			t.Fatalf("Plan(%d, %+v): covers %d tasks", tc.tasks, tc.cfg, next)
+		}
+		if s.DetailedTasks+s.FastTasks != tc.tasks {
+			t.Fatalf("Plan(%d, %+v): detailed %d + fast %d != tasks", tc.tasks, tc.cfg, s.DetailedTasks, s.FastTasks)
+		}
+		if s.DetailedTasks < 1 {
+			t.Fatalf("Plan(%d, %+v): no detailed tasks", tc.tasks, tc.cfg)
+		}
+		if nw := s.Windows(); nw < 1 || (tc.cfg.Windows > 0 && nw > tc.cfg.Windows) {
+			t.Fatalf("Plan(%d, %+v): %d windows", tc.tasks, tc.cfg, nw)
+		}
+	}
+}
+
+func TestPlanDutyRatio(t *testing.T) {
+	s, err := Plan(1000, Config{Every: 100_000, Window: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DetailedTasks != 100 {
+		t.Fatalf("10%% duty over 1000 tasks: %d detailed, want 100", s.DetailedTasks)
+	}
+	// Window == Every degenerates to all-detailed.
+	s, err = Plan(50, Config{Every: 1_000, Window: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FastTasks != 0 || s.DetailedTasks != 50 {
+		t.Fatalf("duty 1: detailed %d fast %d, want 50/0", s.DetailedTasks, s.FastTasks)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	bad := []Config{
+		{Every: 100},                          // window 0
+		{Every: 100, Window: 101},             // window > every
+		{Every: 100, Window: 10, Windows: -1}, // negative count
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("Validate(%+v): no error", cfg)
+		}
+	}
+	if _, err := Plan(0, Config{Every: 100, Window: 10}); err == nil {
+		t.Fatal("Plan with 0 tasks: no error")
+	}
+	if _, err := Plan(10, Config{}); err == nil {
+		t.Fatal("Plan with sampling disabled: no error")
+	}
+}
+
+func TestEstimatorMath(t *testing.T) {
+	var e Estimator
+	// Window 0: 10 tasks, 1200 cycles, steady rate 100 cycles/task.
+	e.AddWindow(Window{Tasks: 10, Cycles: 1200, Rate: 100})
+	e.AddFast(40) // + 4000
+	// Window 1: 10 tasks, 1300 cycles, steady rate 110 — charged at rate.
+	e.AddWindow(Window{Tasks: 10, Cycles: 1300, Rate: 110})
+	e.AddFast(40) // + 4400
+
+	want := 1200.0 + 40*100 + 10*110 + 40*110
+	if got := e.Cycles(); got != uint64(math.Round(want)) {
+		t.Fatalf("estimate %d, want %v", got, want)
+	}
+	if e.DetailedCycles() != 2500 {
+		t.Fatalf("detailed %d, want 2500", e.DetailedCycles())
+	}
+	res := e.Result()
+	if res.Windows != 2 || res.FastTasks != 80 {
+		t.Fatalf("result %+v", res)
+	}
+	// Two windows: t(1 df) = 12.706, sd = |100-110|/sqrt(2)·sqrt(2) = ...
+	// mean 105, ss = 25+25 = 50, sd = sqrt(50/1) ≈ 7.071.
+	// half = 12.706 · 7.071/√2 · 90 charged tasks.
+	half := 12.706 * math.Sqrt(50) / math.Sqrt2 * 90
+	wantRel := half / want
+	if math.Abs(res.RelErr-wantRel) > 1e-9 {
+		t.Fatalf("RelErr %v, want %v", res.RelErr, wantRel)
+	}
+}
+
+func TestEstimatorSingleWindow(t *testing.T) {
+	var e Estimator
+	e.AddWindow(Window{Tasks: 5, Cycles: 700, Rate: 120})
+	res := e.Result()
+	if res.RelErr != 0 {
+		t.Fatalf("single window RelErr %v, want 0", res.RelErr)
+	}
+	if res.Cycles != 700 {
+		t.Fatalf("single window estimate %d, want 700", res.Cycles)
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if got := tQuantile95(1); got != 12.706 {
+		t.Fatalf("t(1) = %v", got)
+	}
+	if got := tQuantile95(31); got != 1.960 {
+		t.Fatalf("t(31) = %v", got)
+	}
+	if got := tQuantile95(0); got != 0 {
+		t.Fatalf("t(0) = %v", got)
+	}
+}

@@ -26,11 +26,19 @@ go build ./...
 # the sim epoch tests plus the chip lookahead conformance matrix
 # (TestLookaheadConformance, TestTimelineLookaheadIdentical,
 # TestLookaheadCheckpointCrossSetting) all run under -race here.
-# 20m headroom: the chip suite alone runs several minutes under -race on a
+# 30m headroom: the chip suite alone runs ~16 minutes under -race on a
 # single-CPU host (the executor bit-identity and lookahead conformance
-# matrices are many full-chip runs).
-go test -race -timeout 20m ./internal/sim/... ./internal/fault/... \
-    ./internal/chip/... ./internal/runner/... \
+# matrices are many full-chip runs), plus a few more for the sampled-mode
+# suites — the accuracy ledger trims itself to the short kernel subset
+# under the detector (race_on_test.go; the full matrix runs un-raced in
+# the no-short suite) but the estimate-invariance matrix keeps its
+# parallel-executor legs raced.
+# The sampling package rides along: its schedules drive the chip's sampled
+# runs (whose window fan-out shares a result slice across pool workers via
+# experiments.SampledFanOut), and the chip sampling suites in this same
+# command exercise those paths under -race.
+go test -race -timeout 30m ./internal/sim/... ./internal/fault/... \
+    ./internal/chip/... ./internal/runner/... ./internal/sampling/... \
     ./internal/card/... ./internal/chaos/...
 go test ./internal/noc/... ./internal/dram/... ./internal/cpu/... \
     ./internal/sched/... ./internal/cache/...
@@ -59,6 +67,9 @@ cover_floor ./internal/sim 75.0
 cover_floor ./internal/snapshot 80.0
 cover_floor ./internal/card 78.0
 cover_floor ./internal/chaos 75.0
+# The sampling planner/estimator carry the sampled-mode accuracy contract
+# (baseline 82.4% when the layer landed).
+cover_floor ./internal/sampling 78.0
 
 if [ "${1:-fast}" = "full" ]; then
     # Full suite, no -short: per-package timeouts so one hung package fails
