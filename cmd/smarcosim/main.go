@@ -16,6 +16,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -59,6 +60,11 @@ func main() {
 	repartEvery := flag.Uint64("repartition-every", 0, "rebalance shard->partition assignment every N cycles (0 = assign once)")
 	linkLatency := flag.Uint64("link-latency", 0, "cross-shard link latency in cycles (0 = classic 1-cycle links); latencies >1 license multi-cycle engine epochs")
 	lookahead := flag.Uint64("lookahead", 0, "cap the engine's epoch length in cycles (0 = auto: the full window the link latencies allow); results identical at any setting")
+	dramLatency := flag.Uint64("dram-latency", 0, "memory-class link latency in cycles: MC ring ejects and direct datapaths (0 = -link-latency)")
+	mainringLatency := flag.Uint64("mainring-latency", 0, "main-ring injection latency in cycles (0 = -link-latency)")
+	subringLatency := flag.Uint64("subring-latency", 0, "sub-ring-class latency in cycles: hub ejects and sub-scheduler inboxes (0 = -link-latency)")
+	creditLatency := flag.Uint64("credit-latency", 0, "scheduler credit-return latency in cycles (0 = -link-latency)")
+	perShardWindows := flag.Bool("per-shard-windows", true, "let each shard fuse up to its own incoming-latency window (false = engine-wide global-min window); results identical either way")
 	budget := flag.Uint64("budget", 100_000_000, "cycle budget")
 	sampleEvery := flag.Uint64("sample-every", 0, "sampled mode: one detailed window per N estimated cycles (0 = full detail)")
 	sampleWindow := flag.Uint64("sample-window", 10_000, "sampled mode: detailed window length in cycles")
@@ -113,6 +119,11 @@ func main() {
 	cfg.RepartitionEvery = *repartEvery
 	cfg.LinkLatency = *linkLatency
 	cfg.Lookahead = *lookahead
+	cfg.DRAMLatency = *dramLatency
+	cfg.MainRingLatency = *mainringLatency
+	cfg.SubRingLatency = *subringLatency
+	cfg.CreditLatency = *creditLatency
+	cfg.GlobalWindow = !*perShardWindows
 	if *sampleEvery > 0 {
 		cfg.Sampling = sampling.Config{Every: *sampleEvery, Window: *sampleWindow, MinBatch: *sampleBatch}
 	}
@@ -304,9 +315,39 @@ func main() {
 		log.Fatalf("OUTPUT CHECK FAILED: %v", err)
 	}
 	fmt.Println("output check: PASSED (bit-identical to the Go reference)")
-	if la := c.Lookahead(); la > 1 {
+	la := c.Lookahead()
+	if la > 1 {
 		fmt.Printf("engine: lookahead %d, %d epochs over %d cycles (%.2f cycles/epoch)\n",
 			la, c.Epochs(), cycles, float64(cycles)/float64(max(c.Epochs(), 1)))
+	}
+	if wr := c.WindowReport(); len(wr) > 0 {
+		var maxWin uint64
+		hist := map[uint64]int{}
+		for _, sw := range wr {
+			hist[sw.Window]++
+			if sw.Window > maxWin {
+				maxWin = sw.Window
+			}
+		}
+		if maxWin > la {
+			wins := make([]uint64, 0, len(hist))
+			for w := range hist {
+				wins = append(wins, w)
+			}
+			slices.Sort(wins)
+			var sb strings.Builder
+			for _, w := range wins {
+				if sb.Len() > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%dx window %d", hist[w], w)
+			}
+			mode := "per-shard windows"
+			if !c.PerShardWindows() {
+				mode = "global-min window (per-shard disabled)"
+			}
+			fmt.Printf("engine: %s: %s\n", mode, sb.String())
+		}
 	}
 	if r := c.Sampled(); r != nil {
 		fmt.Printf("sampled: estimate %d cycles ±%.2f%%, %d windows (%d tasks over %d detailed cycles), %d tasks fast-forwarded (%d functional instructions)\n",

@@ -71,11 +71,40 @@ type Config struct {
 	// without synchronizing (DESIGN.md §12). Only the ring topology has
 	// cross-shard links; the mesh baseline is one shard and ignores this.
 	LinkLatency uint64
+	// Per-class cross-link latencies (DESIGN.md §14). Each overrides
+	// LinkLatency for one class of cross-shard boundary ports; 0 keeps the
+	// class at the uniform LinkLatency, so the zero values reproduce the
+	// classic homogeneous machine. The classes map onto ports as:
+	//
+	//	DRAMLatency:     main-ring ejects at MC stops and both direct-
+	//	                 datapath endpoints — every link into (and out of)
+	//	                 the memory shards;
+	//	MainRingLatency: main-ring injects (hub/MC/host -> ring router);
+	//	SubRingLatency:  main-ring ejects at hub stops and the
+	//	                 sub-scheduler task inboxes — links delivering down
+	//	                 into a sub-ring shard;
+	//	CreditLatency:   credit returns into the main scheduler.
+	//
+	// Distinct values make the engine's safe window per-shard: a memory
+	// shard fed only by latency-8 links fuses 8-cycle blocks while the
+	// scheduler shard steps cycle by cycle (see GlobalWindow). As with
+	// LinkLatency, these define the simulated machine — results are
+	// bit-identical across executors, lookahead caps, and window modes on
+	// the same latency profile, but differ between profiles.
+	DRAMLatency     uint64
+	MainRingLatency uint64
+	SubRingLatency  uint64
+	CreditLatency   uint64
 	// Lookahead caps the engine's epoch length in cycles. 0 means "auto":
 	// use the full conservative window derived from the link latencies.
 	// Values above the window are clamped down; results are bit-identical
 	// for every setting on the same LinkLatency machine.
 	Lookahead uint64
+	// GlobalWindow forces the engine-wide global-min epoch window
+	// (DESIGN.md §12) instead of per-shard windows (§14). An A/B switch
+	// for benchmarking the executor: simulated results are identical
+	// either way, and uniform-latency machines behave the same regardless.
+	GlobalWindow bool
 	// ClockHz converts cycles to seconds for cross-machine comparisons
 	// (SmarCo runs at 1.5 GHz).
 	ClockHz float64
@@ -243,6 +272,7 @@ func Build(cfg Config, store *mem.Sparse) (*Chip, error) {
 	}
 	c.eng.SetWatchdog(wd)
 	c.eng.SetLookahead(cfg.Lookahead)
+	c.eng.SetPerShardWindows(!cfg.GlobalWindow)
 	var err error
 	if cfg.Topology == "mesh" {
 		err = c.buildMesh()
@@ -322,6 +352,18 @@ func (c *Chip) build() error {
 	if lat == 0 {
 		lat = 1
 	}
+	// Per-class latencies default to the uniform link latency; see the
+	// Config field docs for the class -> port mapping.
+	classLat := func(v uint64) uint64 {
+		if v == 0 {
+			return lat
+		}
+		return v
+	}
+	dramLat := classLat(cfg.DRAMLatency)
+	mainLat := classLat(cfg.MainRingLatency)
+	subLat := classLat(cfg.SubRingLatency)
+	credLat := classLat(cfg.CreditLatency)
 
 	// Main ring layout: hubs with MCs inserted at equal spacing, host last.
 	type stop struct{ node noc.NodeID }
@@ -357,12 +399,17 @@ func (c *Chip) build() error {
 	for i, st := range layout {
 		inj, ej := c.MainRing.Attach(i, st.node)
 		// Every main-ring boundary port crosses a shard: injects are owned
-		// by the ring, ejects by the attached hub/MC. The host eject is the
-		// exception — it is a host-domain sink drained between runs, with no
-		// on-chip consumer whose timing could matter.
-		inj.SetMinLatency(lat)
-		if st.node != noc.HostNode() {
-			ej.SetMinLatency(lat)
+		// by the ring, ejects by the attached hub/MC — so ejects carry the
+		// consumer shard's class (DRAM at MC stops, sub-ring at hub stops).
+		// The host eject is the exception — it is a host-domain sink
+		// drained between runs, with no on-chip consumer whose timing could
+		// matter.
+		inj.SetMinLatency(mainLat)
+		switch {
+		case st.node.IsMC():
+			ej.SetMinLatency(dramLat)
+		case st.node != noc.HostNode():
+			ej.SetMinLatency(subLat)
 		}
 		mainPorts[st.node] = [2]*sim.Port[*noc.Packet]{inj, ej}
 	}
@@ -462,9 +509,11 @@ func (c *Chip) build() error {
 			c.eng.AddPortFor(c.Cores[lo+k], c.Cores[lo+k].Ports()...)
 		}
 		c.eng.AddPortFor(c.Subs[s], c.Subs[s].LocalPorts()...)
-		// The task-in port is fed by the main scheduler from its own shard.
+		// The task-in port is fed by the main scheduler from its own shard;
+		// descriptors ride the rings down to the hub, so the inbox carries
+		// the sub-ring class.
 		in := c.Subs[s].InPort()
-		in.SetMinLatency(lat)
+		in.SetMinLatency(subLat)
 		c.eng.AddCrossPortFor(c.Subs[s], in)
 	}
 	for m, mc := range c.MCs {
@@ -506,8 +555,9 @@ func (c *Chip) build() error {
 		sendB, recvB := dl.EndB()
 		// A-side ports cross between the hub's sub-ring shard and the
 		// link's memory shard; B-side ports are local to the memory shard.
-		sendA.SetMinLatency(lat)
-		recvA.SetMinLatency(lat)
+		// Both A-side directions are memory-datapath links (DRAM class).
+		sendA.SetMinLatency(dramLat)
+		recvA.SetMinLatency(dramLat)
 		c.eng.AddCrossPortFor(dl, sendA)
 		c.eng.AddPortFor(dl, sendB)
 		c.eng.AddCrossPortFor(c.Hubs[i], recvA)
@@ -515,7 +565,7 @@ func (c *Chip) build() error {
 	}
 	// Credit returns are sent by the sub-schedulers from their shards.
 	for _, p := range c.Main.CreditPorts() {
-		p.SetMinLatency(lat)
+		p.SetMinLatency(credLat)
 		c.eng.AddCrossPortFor(c.Main, p)
 	}
 	return nil
@@ -580,6 +630,16 @@ func (c *Chip) Lookahead() uint64 { return c.eng.Lookahead() }
 
 // Epochs counts engine synchronization rounds so far (see Snapshot.Epochs).
 func (c *Chip) Epochs() uint64 { return c.eng.Epochs() }
+
+// WindowReport returns the engine's per-shard lookahead-window report:
+// each shard's safe fused-block window under the configured latencies and
+// Lookahead cap, plus the fused blocks executed so far (DESIGN.md §14).
+func (c *Chip) WindowReport() []sim.ShardWindow { return c.eng.WindowReport() }
+
+// PerShardWindows reports whether per-shard fused-block windows are enabled
+// (Config.GlobalWindow false); they still only engage when some shard's
+// window exceeds the global minimum.
+func (c *Chip) PerShardWindows() bool { return c.eng.PerShardWindows() }
 
 // Step advances one cycle (exposed for fine-grained harnesses).
 func (c *Chip) Step() { c.eng.Step() }

@@ -24,10 +24,15 @@ func lookaheadSnapshot(t *testing.T, c *Chip, kernel string) []byte {
 	s.Chip.Parallel = false
 	s.Chip.Executor = ""
 	s.Chip.Lookahead = 0
+	s.Chip.PerShardWindows = false
 	s.Epochs = 0
 	for i := range s.Load {
 		s.Load[i].Partition = 0
 	}
+	// Windows are a pure function of the wiring and the Lookahead cap, but
+	// the per-shard Blocks counts (and the cap's effect on the windows) are
+	// executor facts like Epochs: normalize the whole report away.
+	s.Windows = nil
 	raw, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +251,185 @@ func TestLookaheadCheckpointCrossSetting(t *testing.T) {
 	}
 }
 
+// heteroTestConfig is the small chip wired with the reference
+// heterogeneous latency profile (DRAM-8 / NoC-2 / credit-1): the global
+// minimum window is a single cycle, so only per-shard windows ever fuse
+// multi-cycle blocks on this machine.
+func heteroTestConfig() Config {
+	cfg := SmallConfig()
+	cfg.Executor = "serial"
+	cfg.DRAMLatency = 8
+	cfg.MainRingLatency = 2
+	cfg.SubRingLatency = 2
+	cfg.CreditLatency = 1
+	return cfg
+}
+
+// TestHeteroLatencyConformance is the per-shard-window contract at chip
+// level: on the heterogeneous DRAM-8/NoC-2/credit-1 machine, every kernel
+// produces the identical cycle count and normalized snapshot whether the
+// engine runs the global-min window or per-shard fused blocks, under both
+// executors, across SetLookahead clamps, with and without fault injection.
+// The reference is the global-min window run serially at lookahead 1 —
+// cycle-by-cycle execution of the same machine.
+func TestHeteroLatencyConformance(t *testing.T) {
+	names := kernels.Names
+	if testing.Short() {
+		names = []string{"kmp", "wordcount"}
+	}
+	for _, kn := range names {
+		kn := kn
+		t.Run(kn, func(t *testing.T) {
+			for _, faulty := range []bool{false, true} {
+				faulty := faulty
+				t.Run(fmt.Sprintf("faults=%t", faulty), func(t *testing.T) {
+					mk := func() *kernels.Workload {
+						return kernels.MustNew(kn, kernels.Config{Seed: 7, Tasks: 4})
+					}
+					base := heteroTestConfig()
+					base.GlobalWindow = true
+					base.Lookahead = 1
+					if faulty {
+						base.Fault = lookaheadFaultConfig()
+					}
+					wRef := mk()
+					ref := New(base, wRef.Mem)
+					ref.Submit(wRef.Tasks)
+					refCycles, err := ref.Run(30_000_000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := wRef.Check(); err != nil {
+						t.Fatal(err)
+					}
+					refSnap := lookaheadSnapshot(t, ref, kn)
+
+					for _, tc := range []struct {
+						global bool
+						look   uint64
+						exec   string
+					}{
+						{true, 0, "parallel"}, // global-min window, other executor
+						{false, 1, "serial"},  // per-shard clamped down to cycle-by-cycle
+						{false, 4, "serial"},  // per-shard, DRAM windows clamped 8 -> 4
+						{false, 4, "parallel"},
+						{false, 0, "serial"}, // per-shard, full windows
+						{false, 0, "parallel"},
+					} {
+						cfg := base
+						cfg.GlobalWindow = tc.global
+						cfg.Lookahead = tc.look
+						cfg.Executor = tc.exec
+						w := mk()
+						c := New(cfg, w.Mem)
+						c.Submit(w.Tasks)
+						cycles, err := c.Run(30_000_000)
+						name := fmt.Sprintf("global=%v look=%d exec=%s", tc.global, tc.look, tc.exec)
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if err := w.Check(); err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if cycles != refCycles {
+							t.Fatalf("%s: %d cycles, reference %d", name, cycles, refCycles)
+						}
+						if snap := lookaheadSnapshot(t, c, kn); !bytes.Equal(snap, refSnap) {
+							t.Fatalf("%s: snapshot diverged from reference:\n%s\nvs\n%s",
+								name, snap, refSnap)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestHeteroCheckpointCrossSetting: a checkpoint taken mid-run on the
+// heterogeneous machine — at a cycle deliberately off the 8-cycle done
+// grid — restores into a chip with a different executor, lookahead cap,
+// and window mode, and converges on the identical final state. Per-shard
+// clocks are ephemeral (all shards realign at window ends and budget
+// stops), so the checkpoint format carries no window state.
+func TestHeteroCheckpointCrossSetting(t *testing.T) {
+	mk := func() *kernels.Workload {
+		return kernels.MustNew("kmp", kernels.Config{Seed: 123, Tasks: 8})
+	}
+	base := heteroTestConfig()
+
+	// Reference: uninterrupted per-shard serial run at full windows.
+	wRef := mk()
+	ref := New(base, wRef.Mem)
+	ref.Submit(wRef.Tasks)
+	refCycles, err := ref.Run(30_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSnap := lookaheadSnapshot(t, ref, "kmp")
+
+	for _, tc := range []struct {
+		name      string
+		srcGlobal bool
+		srcLook   uint64
+		dstGlobal bool
+		dstLook   uint64
+		dstExec   string
+		dstParts  int
+	}{
+		{"per-shard-to-global-parallel", false, 0, true, 1, "parallel", 3},
+		{"global-to-per-shard-serial", true, 1, false, 0, "serial", 0},
+		{"per-shard-to-clamped-parallel", false, 0, false, 4, "parallel", 2},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			srcCfg := base
+			srcCfg.GlobalWindow = tc.srcGlobal
+			srcCfg.Lookahead = tc.srcLook
+			wSrc := mk()
+			src := New(srcCfg, wSrc.Mem)
+			src.Submit(wSrc.Tasks)
+			// Stop on an exact budget not aligned to the 8-cycle grid.
+			mid := refCycles/2 + 3
+			if _, err := src.RunUntil(mid, func() bool { return false }); !errors.Is(err, sim.ErrBudget) {
+				t.Fatalf("interrupt run: %v", err)
+			}
+			if src.Now() != mid {
+				t.Fatalf("interrupted at cycle %d, want %d", src.Now(), mid)
+			}
+			blob := src.Checkpoint().Encode()
+
+			dstCfg := base
+			dstCfg.GlobalWindow = tc.dstGlobal
+			dstCfg.Lookahead = tc.dstLook
+			dstCfg.Executor = tc.dstExec
+			dstCfg.Partitions = tc.dstParts
+			wDst := mk()
+			dst := New(dstCfg, wDst.Mem)
+			dst.Submit(wDst.Tasks)
+			loaded, err := snapshot.Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Restore(loaded); err != nil {
+				t.Fatal(err)
+			}
+			cycles, err := dst.Run(30_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wDst.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if cycles != refCycles {
+				t.Fatalf("restored run: %d cycles, reference %d", cycles, refCycles)
+			}
+			if snap := lookaheadSnapshot(t, dst, "kmp"); !bytes.Equal(snap, refSnap) {
+				t.Fatal("restored run: snapshot diverged from uninterrupted reference")
+			}
+		})
+	}
+}
+
 // FuzzEpochBoundaries drives the epoch machinery through arbitrary budget
 // slices on machines with arbitrary link latencies: chunked runs that stop
 // mid-epoch and resume must land on the same final state as an
@@ -313,6 +497,84 @@ func FuzzEpochBoundaries(f *testing.F) {
 		if snap := lookaheadSnapshot(t, c, "kmp"); !bytes.Equal(snap, refSnap) {
 			t.Fatalf("linkLat=%d look=%d slices=(%d,%d): snapshot diverged",
 				linkLat, look, s1, s2)
+		}
+	})
+}
+
+// FuzzHeteroWindowBoundaries is FuzzEpochBoundaries for heterogeneous
+// machines: arbitrary per-class latencies, an arbitrary SetLookahead
+// clamp, either window mode, and budget slices that stop shards mid-window
+// must all converge on the state of an uninterrupted global-min
+// cycle-by-cycle run of the same machine.
+func FuzzHeteroWindowBoundaries(f *testing.F) {
+	f.Add(uint64(8), uint64(2), uint64(1), uint64(0), false, uint64(137), uint64(911))
+	f.Add(uint64(5), uint64(3), uint64(2), uint64(4), false, uint64(64), uint64(1))
+	f.Add(uint64(8), uint64(2), uint64(1), uint64(0), true, uint64(1), uint64(4999))
+	f.Add(uint64(3), uint64(7), uint64(4), uint64(2), false, uint64(333), uint64(333))
+	f.Fuzz(func(t *testing.T, dram, ring, credit, look uint64, global bool, s1, s2 uint64) {
+		dram = 1 + dram%8
+		ring = 1 + ring%8
+		credit = 1 + credit%8
+		look = look % 9
+		s1 = 1 + s1%5_000
+		s2 = 1 + s2%5_000
+
+		mk := func() *kernels.Workload {
+			return kernels.MustNew("kmp", kernels.Config{Seed: 11, Tasks: 3})
+		}
+		base := SmallConfig()
+		base.Executor = "serial"
+		base.DRAMLatency = dram
+		base.MainRingLatency = ring
+		base.SubRingLatency = ring
+		base.CreditLatency = credit
+
+		refCfg := base
+		refCfg.GlobalWindow = true
+		refCfg.Lookahead = 1
+		wRef := mk()
+		ref := New(refCfg, wRef.Mem)
+		ref.Submit(wRef.Tasks)
+		refCycles, err := ref.Run(30_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSnap := lookaheadSnapshot(t, ref, "kmp")
+
+		cfg := base
+		cfg.GlobalWindow = global
+		cfg.Lookahead = look
+		w := mk()
+		c := New(cfg, w.Mem)
+		c.Submit(w.Tasks)
+		for _, slice := range []uint64{s1, s2} {
+			if c.CompletedTasks() >= 3 {
+				break
+			}
+			start := c.Now()
+			if _, err := c.RunUntil(slice, func() bool { return c.CompletedTasks() >= 3 }); err != nil {
+				if !errors.Is(err, sim.ErrBudget) {
+					t.Fatalf("slice run: %v", err)
+				}
+				if c.Now() != start+slice {
+					t.Fatalf("budget stop at %d, want %d", c.Now(), start+slice)
+				}
+			}
+		}
+		cycles, err := c.Run(30_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if cycles != refCycles {
+			t.Fatalf("dram=%d ring=%d credit=%d look=%d global=%v slices=(%d,%d): %d cycles, reference %d",
+				dram, ring, credit, look, global, s1, s2, cycles, refCycles)
+		}
+		if snap := lookaheadSnapshot(t, c, "kmp"); !bytes.Equal(snap, refSnap) {
+			t.Fatalf("dram=%d ring=%d credit=%d look=%d global=%v slices=(%d,%d): snapshot diverged",
+				dram, ring, credit, look, global, s1, s2)
 		}
 	})
 }

@@ -98,9 +98,20 @@ type SnapshotChip struct {
 	// clamped by Config.Lookahead, reported only when > 1 (the classic
 	// cycle-by-cycle machine omits it). Both are execution-mode facts,
 	// like Parallel: results are identical across Lookahead settings.
-	LinkLatency uint64  `json:"link_latency,omitempty"`
-	Lookahead   uint64  `json:"lookahead,omitempty"`
-	ClockHz     float64 `json:"clock_hz"`
+	LinkLatency uint64 `json:"link_latency,omitempty"`
+	Lookahead   uint64 `json:"lookahead,omitempty"`
+	// Per-class cross-link latencies (DESIGN.md §14); reported only when
+	// they override the uniform LinkLatency. Unlike LinkLatency they are
+	// configuration facts that define the simulated machine per class.
+	DRAMLatency     uint64 `json:"dram_latency,omitempty"`
+	MainRingLatency uint64 `json:"mainring_latency,omitempty"`
+	SubRingLatency  uint64 `json:"subring_latency,omitempty"`
+	CreditLatency   uint64 `json:"credit_latency,omitempty"`
+	// PerShardWindows marks a run under the per-shard window executor
+	// (DESIGN.md §14). An execution-mode fact like Parallel: results are
+	// identical with it on or off.
+	PerShardWindows bool    `json:"per_shard_windows,omitempty"`
+	ClockHz         float64 `json:"clock_hz"`
 }
 
 // Snapshot is the unified JSON metrics export shared by smarcosim and
@@ -133,6 +144,12 @@ type Snapshot struct {
 	// column reflects this run's assignment (all zero under serial).
 	Load    []sim.ShardLoad        `json:"load,omitempty"`
 	Profile []sim.PartitionProfile `json:"profile,omitempty"`
+	// Windows is the per-shard lookahead-window report (DESIGN.md §14),
+	// present whenever some shard may fuse multi-cycle blocks: each
+	// shard's safe window (a pure function of the wiring and the Lookahead
+	// cap — the window histogram) and the fused blocks it executed (an
+	// executor-dependent wall-time diagnostic, like Epochs).
+	Windows []sim.ShardWindow `json:"windows,omitempty"`
 	// TraceDropped counts trace events lost to the buffer cap (only
 	// meaningful with tracing enabled; 0 means the trace is complete).
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
@@ -151,16 +168,20 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 		Seconds:  c.Seconds(c.Now()),
 		Epochs:   c.eng.Epochs(),
 		Chip: SnapshotChip{
-			SubRings:    c.Config.SubRings,
-			CoresPerSub: c.Config.CoresPerSub,
-			Cores:       c.Config.Cores(),
-			Threads:     c.Config.Threads(),
-			MCs:         c.Config.MCs,
-			Topology:    topo,
-			Parallel:    c.Config.EffectiveParallel(),
-			Executor:    c.Config.Executor,
-			LinkLatency: c.Config.LinkLatency,
-			ClockHz:     c.Config.ClockHz,
+			SubRings:        c.Config.SubRings,
+			CoresPerSub:     c.Config.CoresPerSub,
+			Cores:           c.Config.Cores(),
+			Threads:         c.Config.Threads(),
+			MCs:             c.Config.MCs,
+			Topology:        topo,
+			Parallel:        c.Config.EffectiveParallel(),
+			Executor:        c.Config.Executor,
+			LinkLatency:     c.Config.LinkLatency,
+			DRAMLatency:     c.Config.DRAMLatency,
+			MainRingLatency: c.Config.MainRingLatency,
+			SubRingLatency:  c.Config.SubRingLatency,
+			CreditLatency:   c.Config.CreditLatency,
+			ClockHz:         c.Config.ClockHz,
 		},
 		Metrics: c.Metrics(),
 		Load:    c.LoadReport(),
@@ -174,6 +195,22 @@ func (c *Chip) Snapshot(label, workload string) Snapshot {
 	}
 	if la := c.eng.Lookahead(); la > 1 {
 		s.Chip.Lookahead = la
+	}
+	// The window report appears whenever some shard may fuse multi-cycle
+	// blocks; the per-shard flag only when the mode actually engages (some
+	// window exceeds the global-min epoch length). Classic 1-cycle-link
+	// snapshots stay byte-identical to older engine versions.
+	if wr := c.eng.WindowReport(); len(wr) > 0 {
+		var maxWin uint64
+		for _, w := range wr {
+			if w.Window > maxWin {
+				maxWin = w.Window
+			}
+		}
+		if maxWin > 1 {
+			s.Windows = wr
+		}
+		s.Chip.PerShardWindows = c.eng.PerShardWindows() && maxWin > c.eng.Lookahead()
 	}
 	if c.prof != nil {
 		s.Profile = c.prof.Partitions()

@@ -164,18 +164,28 @@ func TestSampledWindowEntryFingerprints(t *testing.T) {
 }
 
 // TestSampledEstimateInvariance: the estimate, the per-window rates, and
-// the final memory image are bit-identical across engine executors and
-// lookahead settings on a LinkLatency-4 machine, and across budget-sliced
-// resumption — window boundaries are observed on the engine's absolute
-// done-condition grid, which all of those share.
+// the final memory image are bit-identical across engine executors,
+// lookahead settings, and window modes — on a uniform LinkLatency-4
+// machine and on the heterogeneous DRAM-8/NoC-2/credit-1 machine — and
+// across budget-sliced resumption. Window boundaries are observed on the
+// engine's absolute done-condition grid, which all of those share; the
+// two machines have different timing, so each compares against its own
+// cycle-by-cycle reference.
 func TestSampledEstimateInvariance(t *testing.T) {
 	tasks := 720
-	run := func(exec string, look uint64, slices []uint64) (*Chip, uint64) {
+	run := func(exec string, look uint64, hetero, global bool, slices []uint64) (*Chip, uint64) {
 		cfg := sampTinyConfig()
 		cfg.Sampling = sampDefaultCadence
 		cfg.Executor = exec
 		cfg.LinkLatency = 4
 		cfg.Lookahead = look
+		if hetero {
+			cfg.DRAMLatency = 8
+			cfg.MainRingLatency = 2
+			cfg.SubRingLatency = 2
+			cfg.CreditLatency = 1
+			cfg.GlobalWindow = global
+		}
 		w := sampTinyWorkload(tasks)
 		c := New(cfg, w.Mem)
 		c.Submit(w.Tasks)
@@ -197,23 +207,35 @@ func TestSampledEstimateInvariance(t *testing.T) {
 		return c, est
 	}
 
-	ref, refEst := run("serial", 1, nil)
+	ref, refEst := run("serial", 1, false, false, nil)
+	refHet, refHetEst := run("serial", 1, true, true, nil) // hetero machine, cycle-by-cycle
 	for _, tc := range []struct {
 		name   string
 		exec   string
 		look   uint64
+		hetero bool
+		global bool
 		slices []uint64
 	}{
-		{"serial-auto", "serial", 0, nil},
-		{"parallel-look1", "parallel", 1, nil},
-		{"parallel-auto", "parallel", 0, nil},
-		{"serial-auto-sliced", "serial", 0, []uint64{100_003, 900_001}},
+		{name: "serial-auto", exec: "serial"},
+		{name: "parallel-look1", exec: "parallel", look: 1},
+		{name: "parallel-auto", exec: "parallel"},
+		{name: "serial-auto-sliced", exec: "serial", slices: []uint64{100_003, 900_001}},
+		{name: "hetero-global-auto", exec: "serial", hetero: true, global: true},
+		{name: "hetero-per-shard-serial", exec: "serial", hetero: true},
+		{name: "hetero-per-shard-parallel", exec: "parallel", hetero: true},
+		{name: "hetero-per-shard-look4", exec: "serial", look: 4, hetero: true},
+		{name: "hetero-per-shard-sliced", exec: "serial", hetero: true, slices: []uint64{100_003, 900_001}},
 	} {
-		c, est := run(tc.exec, tc.look, tc.slices)
-		if est != refEst {
-			t.Fatalf("%s: estimate %d, reference %d", tc.name, est, refEst)
+		wantC, wantEst := ref, refEst
+		if tc.hetero {
+			wantC, wantEst = refHet, refHetEst
 		}
-		a, b := c.Sampled(), ref.Sampled()
+		c, est := run(tc.exec, tc.look, tc.hetero, tc.global, tc.slices)
+		if est != wantEst {
+			t.Fatalf("%s: estimate %d, reference %d", tc.name, est, wantEst)
+		}
+		a, b := c.Sampled(), wantC.Sampled()
 		if len(a.Windows) != len(b.Windows) {
 			t.Fatalf("%s: %d windows, reference %d", tc.name, len(a.Windows), len(b.Windows))
 		}
@@ -225,7 +247,7 @@ func TestSampledEstimateInvariance(t *testing.T) {
 		if a.RelErr != b.RelErr || a.FFInstructions != b.FFInstructions {
 			t.Fatalf("%s: result %+v, reference %+v", tc.name, a, b)
 		}
-		if c.MemFingerprint() != ref.MemFingerprint() {
+		if c.MemFingerprint() != wantC.MemFingerprint() {
 			t.Fatalf("%s: final memory diverged from reference", tc.name)
 		}
 	}
@@ -465,6 +487,110 @@ func FuzzSampleBoundaries(f *testing.F) {
 		if est != refEst {
 			t.Fatalf("cad=%+v link=%d slices=(%d,%d) tasks=%d: estimate %d, reference %d",
 				cad, linkLat, s1, s2, nTasks, est, refEst)
+		}
+		r := c.Sampled()
+		if len(r.Windows) != len(refR.Windows) {
+			t.Fatalf("%d windows, reference %d", len(r.Windows), len(refR.Windows))
+		}
+		for i := range r.Windows {
+			if r.Windows[i] != refR.Windows[i] {
+				t.Fatalf("window %d = %+v, reference %+v", i, r.Windows[i], refR.Windows[i])
+			}
+		}
+		if r.RelErr != refR.RelErr || r.FFInstructions != refR.FFInstructions {
+			t.Fatalf("result %+v, reference %+v", r, refR)
+		}
+		if c.MemFingerprint() != ref.MemFingerprint() {
+			t.Fatal("final memory diverged from uninterrupted sampled run")
+		}
+	})
+}
+
+// FuzzSampleHeteroBoundaries is FuzzSampleBoundaries on heterogeneous
+// machines: arbitrary per-class latencies, SetLookahead clamps, and either
+// window mode compose with arbitrary cadences and budget slicings (plus a
+// checkpoint/restore at the first stop) without disturbing the estimate,
+// the window statistics, or the final memory image.
+func FuzzSampleHeteroBoundaries(f *testing.F) {
+	f.Add(uint64(100_000), uint64(10_000), uint64(8), uint64(2), uint64(1), uint64(0), false, uint64(137), uint64(911), uint(120))
+	f.Add(uint64(50_000), uint64(50_000), uint64(5), uint64(3), uint64(2), uint64(4), false, uint64(64), uint64(1), uint(80))
+	f.Add(uint64(9_999), uint64(377), uint64(8), uint64(2), uint64(1), uint64(0), true, uint64(1), uint64(4_999), uint(300))
+	f.Add(uint64(1_000_000), uint64(333), uint64(3), uint64(7), uint64(4), uint64(2), false, uint64(333), uint64(333), uint(16))
+	f.Fuzz(func(t *testing.T, every, window, dram, ring, credit, look uint64, global bool, s1, s2 uint64, tasks uint) {
+		cad := sampling.Config{Every: 1 + every%1_000_000}
+		cad.Window = 1 + window%cad.Every
+		dram = 1 + dram%8
+		ring = 1 + ring%8
+		credit = 1 + credit%8
+		look = look % 9
+		nTasks := 8 + int(tasks%400)
+		s1 = 1 + s1%2_000_000
+		s2 = 1 + s2%2_000_000
+
+		cfg := sampTinyConfig()
+		cfg.Sampling = cad
+		cfg.DRAMLatency = dram
+		cfg.MainRingLatency = ring
+		cfg.SubRingLatency = ring
+		cfg.CreditLatency = credit
+		cfg.Lookahead = look
+		cfg.GlobalWindow = global
+		mk := func() *kernels.Workload {
+			return kernels.MustNew("kmp", kernels.Config{Seed: 11, Tasks: nTasks, Scale: 16})
+		}
+
+		wRef := mk()
+		ref := New(cfg, wRef.Mem)
+		ref.Submit(wRef.Tasks)
+		refEst, err := ref.Run(sampTinyBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wRef.Check(); err != nil {
+			t.Fatal(err)
+		}
+		refR := ref.Sampled()
+
+		w := mk()
+		c := New(cfg, w.Mem)
+		c.Submit(w.Tasks)
+		first := true
+		for _, slice := range []uint64{s1, s1 + s2} {
+			if c.Sampled() != nil {
+				break
+			}
+			_, err := c.Run(slice)
+			if err == nil {
+				break // schedule finished inside the slice
+			}
+			if !errors.Is(err, sim.ErrBudget) {
+				t.Fatalf("slice %d: %v", slice, err)
+			}
+			if got := c.EstimatedCycles(); got > slice {
+				t.Fatalf("slice %d: budget stop at estimated cycle %d", slice, got)
+			}
+			if first {
+				first = false
+				blob := c.Checkpoint()
+				w2 := mk()
+				dst := New(cfg, w2.Mem)
+				dst.Submit(w2.Tasks)
+				if err := dst.Restore(blob); err != nil {
+					t.Fatalf("restore at slice %d: %v", slice, err)
+				}
+				c, w = dst, w2
+			}
+		}
+		est, err := c.Run(sampTinyBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if est != refEst {
+			t.Fatalf("cad=%+v dram=%d ring=%d credit=%d look=%d global=%v slices=(%d,%d) tasks=%d: estimate %d, reference %d",
+				cad, dram, ring, credit, look, global, s1, s2, nTasks, est, refEst)
 		}
 		r := c.Sampled()
 		if len(r.Windows) != len(refR.Windows) {

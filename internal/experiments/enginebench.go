@@ -42,22 +42,70 @@ func EngineChipConfig(name string) (chip.Config, error) {
 // a barrier every cycle. LinkLatency > 1 models slower links, which also
 // licenses the engine to run multi-cycle conservative epochs; Lookahead
 // caps the epoch window (0 = auto, the full window the links allow; 1
-// disables epochs so the same machine runs cycle-by-cycle).
+// disables epochs so the same machine runs cycle-by-cycle). The per-class
+// latencies override LinkLatency for one port class each (0 defers; see
+// chip.Config), making the safe window per-shard; GlobalWindow is the
+// executor A/B switch that forces the engine-wide global-min window on
+// such a machine.
 type EngineBenchVariant struct {
-	LinkLatency uint64
-	Lookahead   uint64
+	LinkLatency     uint64
+	Lookahead       uint64
+	DRAMLatency     uint64
+	MainRingLatency uint64
+	SubRingLatency  uint64
+	CreditLatency   uint64
+	GlobalWindow    bool
 }
 
-// EngineBenchVariants is the lookahead A/B the engine benchmark sweeps:
-// the classic 1-cycle-link machine for continuity with older entries, then
-// the 4-cycle-link machine twice — epochs disabled (Lookahead 1) and the
-// full conservative window (auto). Runs on the same machine (equal
-// LinkLatency) must report bit-identical simulated cycle counts; the
-// benchmark driver enforces that.
+// Hetero reports whether the variant overrides any per-class latency.
+func (v EngineBenchVariant) Hetero() bool {
+	return v.DRAMLatency != 0 || v.MainRingLatency != 0 || v.SubRingLatency != 0 || v.CreditLatency != 0
+}
+
+// MachineKey names the simulated machine the variant defines — config
+// plus every latency that shapes the timing model, excluding pure
+// executor switches (Lookahead, GlobalWindow, parallel). Runs with equal
+// keys must report bit-identical simulated cycle counts.
+func (v EngineBenchVariant) MachineKey(config string) string {
+	key := fmt.Sprintf("%s/linklat=%d", config, max(v.LinkLatency, 1))
+	if v.Hetero() {
+		key = fmt.Sprintf("%s/dram=%d/mainring=%d/subring=%d/credit=%d",
+			key, v.DRAMLatency, v.MainRingLatency, v.SubRingLatency, v.CreditLatency)
+	}
+	return key
+}
+
+// heteroProfile is the reference heterogeneous latency profile
+// (DRAM-8 / NoC-2 / credit-1): memory links at 8 cycles, ring hops at 2,
+// scheduler credits at 1. Under per-shard windows the memory shards fuse
+// 8-cycle blocks and the ring/sub-ring shards 2-cycle blocks while the
+// scheduler steps cycle by cycle; the global-min window on the same
+// machine is a single cycle.
+func heteroProfile(globalWindow bool) EngineBenchVariant {
+	return EngineBenchVariant{
+		DRAMLatency:     8,
+		MainRingLatency: 2,
+		SubRingLatency:  2,
+		CreditLatency:   1,
+		GlobalWindow:    globalWindow,
+	}
+}
+
+// EngineBenchVariants is the timing-model A/B grid the engine benchmark
+// sweeps: the classic 1-cycle-link machine for continuity with older
+// entries; the 4-cycle-link machine twice — epochs disabled (Lookahead 1)
+// and the full conservative window (auto); then the heterogeneous
+// DRAM-8/NoC-2/credit-1 profile twice — under the global-min window
+// (one-cycle epochs, capped by the credit link) and under per-shard
+// windows. Runs on the same machine (equal MachineKey) must report
+// bit-identical simulated cycle counts; the benchmark driver enforces
+// that, so the sweep doubles as a conformance check.
 var EngineBenchVariants = []EngineBenchVariant{
 	{},
 	{LinkLatency: 4, Lookahead: 1},
 	{LinkLatency: 4},
+	heteroProfile(true),
+	heteroProfile(false),
 }
 
 // EngineRun is one engine-throughput measurement. CyclesPerSec is the
@@ -67,13 +115,23 @@ type EngineRun struct {
 	Parallel bool   `json:"parallel"`
 	// LinkLatency and Lookahead describe the timing-model variant; both
 	// absent means the classic machine (1-cycle links, barrier every
-	// cycle). Lookahead records the effective epoch window the engine
-	// settled on, not the requested cap.
-	LinkLatency  uint64  `json:"link_latency,omitempty"`
-	Lookahead    uint64  `json:"lookahead,omitempty"`
-	Cycles       uint64  `json:"cycles"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// cycle). Lookahead records the effective engine-wide epoch window the
+	// engine settled on, not the requested cap. The per-class latencies
+	// mirror the variant's heterogeneous profile (absent on uniform
+	// machines); GlobalWindow marks the executor A/B row that forced the
+	// global-min window, and MaxWindow records the widest per-shard window
+	// the wiring allows (absent when it equals the global minimum).
+	LinkLatency     uint64  `json:"link_latency,omitempty"`
+	Lookahead       uint64  `json:"lookahead,omitempty"`
+	DRAMLatency     uint64  `json:"dram_latency,omitempty"`
+	MainRingLatency uint64  `json:"mainring_latency,omitempty"`
+	SubRingLatency  uint64  `json:"subring_latency,omitempty"`
+	CreditLatency   uint64  `json:"credit_latency,omitempty"`
+	GlobalWindow    bool    `json:"global_window,omitempty"`
+	MaxWindow       uint64  `json:"max_window,omitempty"`
+	Cycles          uint64  `json:"cycles"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CyclesPerSec    float64 `json:"cycles_per_sec"`
 	// Sampled marks a sampled-mode run of the sampled-vs-detailed A/B:
 	// Cycles is the SMARTS extrapolation (est_error its confidence
 	// half-width) and Speedup is the paired full-detail run's wall time over
@@ -105,6 +163,35 @@ func MeasureEngineVariant(config string, parallel bool, v EngineBenchVariant) (E
 	return measureEngine(config, parallel, v)
 }
 
+// MeasureEngineVariantBest repeats the measurement and keeps the run with
+// the highest cycles-per-second — standard practice for wall-clock
+// benchmarks on shared hosts, where a single run can absorb tens of
+// percent of scheduler noise. Simulated cycle counts must be bit-identical
+// across repeats (they are pure functions of the machine); a mismatch is
+// reported as an error, so the repeats double as a determinism check.
+func MeasureEngineVariantBest(config string, parallel bool, v EngineBenchVariant, repeats int) (EngineRun, chip.Snapshot, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best EngineRun
+	var bestSnap chip.Snapshot
+	for i := 0; i < repeats; i++ {
+		run, snap, err := measureEngine(config, parallel, v)
+		if err != nil {
+			return EngineRun{}, chip.Snapshot{}, err
+		}
+		if i > 0 && run.Cycles != best.Cycles {
+			return EngineRun{}, chip.Snapshot{}, fmt.Errorf(
+				"engine bench %s: repeat %d simulated %d cycles, repeat 0 %d — nondeterminism",
+				config, i, run.Cycles, best.Cycles)
+		}
+		if i == 0 || run.CyclesPerSec > best.CyclesPerSec {
+			best, bestSnap = run, snap
+		}
+	}
+	return best, bestSnap, nil
+}
+
 // MeasureEngineSnapshot is MeasureEngine plus the run's unified JSON
 // metrics snapshot (see chip.Snapshot). It deliberately does NOT enable
 // the engine's wall-time profiler: CyclesPerSec is the headline
@@ -123,6 +210,11 @@ func measureEngine(config string, parallel bool, v EngineBenchVariant) (EngineRu
 	cfg.Parallel = parallel
 	cfg.LinkLatency = v.LinkLatency
 	cfg.Lookahead = v.Lookahead
+	cfg.DRAMLatency = v.DRAMLatency
+	cfg.MainRingLatency = v.MainRingLatency
+	cfg.SubRingLatency = v.SubRingLatency
+	cfg.CreditLatency = v.CreditLatency
+	cfg.GlobalWindow = v.GlobalWindow
 	w := kernels.MustNew("kmp", kernels.Config{Seed: 1, Tasks: 2 * cfg.Cores(), Scale: 512})
 	c, err := chip.Build(cfg, w.Mem)
 	if err != nil {
@@ -139,19 +231,37 @@ func measureEngine(config string, parallel bool, v EngineBenchVariant) (EngineRu
 		return EngineRun{}, chip.Snapshot{}, fmt.Errorf("engine bench %s: %w", config, err)
 	}
 	run := EngineRun{
-		Config:       config,
-		Parallel:     parallel,
-		LinkLatency:  v.LinkLatency,
-		Cycles:       cycles,
-		WallSeconds:  wall,
-		CyclesPerSec: float64(cycles) / wall,
+		Config:          config,
+		Parallel:        parallel,
+		LinkLatency:     v.LinkLatency,
+		DRAMLatency:     v.DRAMLatency,
+		MainRingLatency: v.MainRingLatency,
+		SubRingLatency:  v.SubRingLatency,
+		CreditLatency:   v.CreditLatency,
+		GlobalWindow:    v.GlobalWindow,
+		Cycles:          cycles,
+		WallSeconds:     wall,
+		CyclesPerSec:    float64(cycles) / wall,
 	}
-	if v.LinkLatency > 1 || v.Lookahead > 1 {
+	if v.LinkLatency > 1 || v.Lookahead > 1 || v.Hetero() {
 		run.Lookahead = c.Lookahead() // effective window, not the requested cap
+	}
+	var maxWin uint64
+	for _, w := range c.WindowReport() {
+		if w.Window > maxWin {
+			maxWin = w.Window
+		}
+	}
+	if maxWin > c.Lookahead() {
+		run.MaxWindow = maxWin
 	}
 	label := fmt.Sprintf("engine %s parallel=%v", config, parallel)
 	if v.LinkLatency != 0 || v.Lookahead != 0 {
 		label = fmt.Sprintf("%s linklat=%d lookahead=%d", label, v.LinkLatency, v.Lookahead)
+	}
+	if v.Hetero() {
+		label = fmt.Sprintf("%s dram=%d mainring=%d subring=%d credit=%d global-window=%v",
+			label, v.DRAMLatency, v.MainRingLatency, v.SubRingLatency, v.CreditLatency, v.GlobalWindow)
 	}
 	return run, c.Snapshot(label, EngineBenchWorkload), nil
 }

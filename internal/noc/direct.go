@@ -60,7 +60,9 @@ func NewDirectLink(key uint64, delay uint64, bytesPerCy int) *DirectLink {
 	}
 }
 
-// EndA returns the hub-side send/receive ports.
+// EndA returns the hub-side send/receive ports. Both directions cross
+// the hub/memory shard boundary, so chip.Build registers them as cross
+// ports stamped with the memory latency class (chip.Config.DRAMLatency).
 func (d *DirectLink) EndA() (send, recv *sim.Port[*Packet]) { return d.inA, d.outA }
 
 // EndB returns the memory-side send/receive ports.

@@ -367,11 +367,16 @@ func (r *Router) RingInPorts() []interface{ Commit(uint64) } {
 }
 
 // InjectPort returns the local inject queue: the port the attached
-// component (hub, memory controller, host) sends packets to.
+// component (hub, memory controller, host) sends packets to. When the
+// inject crosses a shard boundary, chip.Build stamps it with the
+// main-ring latency class (chip.Config.MainRingLatency).
 func (r *Router) InjectPort() *sim.Port[*Packet] { return r.inject }
 
 // EjectPort returns the local delivery port; it is an input of the attached
-// component (core, hub, memory controller), which should own it.
+// component (core, hub, memory controller), which should own it. Its
+// latency class follows the attachment: DRAMLatency at memory-controller
+// stops, SubRingLatency at hub stops (chip.Build stamps whichever
+// applies when the eject crosses a shard boundary).
 func (r *Router) EjectPort() *sim.Port[*Packet] { return r.eject }
 
 // Quiescent implements sim.Quiescer: idle when the fast-path condition in

@@ -140,7 +140,9 @@ func NewSub(ring int, cfg Config, cores []*cpu.Core, done *sim.Port[cpu.Completi
 	return s
 }
 
-// InPort returns the port the main scheduler sends tasks to.
+// InPort returns the port the main scheduler sends tasks to. It crosses
+// the scheduler/sub-ring shard boundary, so chip.Build stamps it with the
+// sub-ring latency class (chip.Config.SubRingLatency).
 func (s *SubScheduler) InPort() *sim.Port[cpu.Work] { return s.in }
 
 // SetCreditPort connects the credit feedback channel to the main scheduler.

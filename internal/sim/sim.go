@@ -223,6 +223,12 @@ type shard struct {
 	weight    uint64
 	lastTicks uint64
 
+	// blocks counts the fused multi-cycle blocks this shard has executed
+	// (whole epochs under the global-min scheme, per-shard blocks under
+	// per-shard windows). A wall-time diagnostic like Epochs: never part of
+	// the simulated history, never checkpointed.
+	blocks uint64
+
 	// Current execution assignment. Written only between cycles (at phase
 	// barriers / before workers are resumed), read during phases; the
 	// worker channels' send/receive pairs order the two.
@@ -299,6 +305,20 @@ type Engine struct {
 	lookahead  uint64
 	epochs     uint64
 	epochN     uint64 // cycles in the epoch being dispatched to workers
+
+	// Per-shard window state (DESIGN.md §14). perShardOff disables the
+	// per-shard executor (the zero value keeps it on); shardWins and
+	// winClocks are scratch slices indexed by shard id — the effective
+	// fused-block window of each shard for the current Run, and each
+	// shard's clock within the window being advanced. roundClock/roundEnd
+	// publish the current min-clock round to the phase workers (written by
+	// the coordinator before dispatch, read by workers after their channel
+	// receive).
+	perShardOff bool
+	shardWins   []uint64
+	winClocks   []uint64
+	roundClock  uint64
+	roundEnd    uint64
 
 	// First panic recovered from a partition phase. errCount mirrors
 	// len(errs) so the per-cycle Err poll is one atomic load.
@@ -540,12 +560,12 @@ func (e *Engine) AddSinkPort(p committer) {
 // for every setting.
 func (e *Engine) SetLookahead(n uint64) { e.lookahead = n }
 
-// autoLookahead returns the maximum safe epoch length: the minimum
-// declared delivery latency over all cross-shard ports (1 when none are
-// registered). It is also the grid on which Run evaluates the done
-// condition and the watchdog — a pure function of the wiring, independent
-// of any SetLookahead override, so stop cycles are identical across
-// lookahead settings.
+// autoLookahead returns the maximum safe engine-wide epoch length: the
+// minimum declared delivery latency over all cross-shard ports (1 when
+// none are registered). On uniform-latency wirings it coincides with the
+// done grid (doneGrid); heterogeneous wirings split the two — epochs stay
+// bounded by the narrowest link while the grid follows the widest shard
+// window.
 func (e *Engine) autoLookahead() uint64 {
 	la := uint64(1)
 	for i, cp := range e.crossPorts {
@@ -566,8 +586,112 @@ func (e *Engine) Lookahead() uint64 {
 }
 
 // Epochs returns the number of completed multi-cycle epochs (epochs of
-// length 1 are not counted: they take the classic per-cycle path).
+// length 1 are not counted: they take the classic per-cycle path). Under
+// per-shard windows one "epoch" is one grid window; the per-shard block
+// counts are in WindowReport.
 func (e *Engine) Epochs() uint64 { return e.epochs }
+
+// SetPerShardWindows toggles per-shard fused-block windows inside Run
+// (on by default): with heterogeneous cross-port latencies every shard
+// fuses up to its own safe window — the minimum declared latency over its
+// incoming cross ports — instead of the engine-wide minimum, so a shard
+// fed only by latency-8 links runs 8-cycle blocks next to a latency-1
+// neighbor stepping cycle by cycle. Purely an executor choice: simulated
+// histories, stop cycles, and the done/watchdog grid are bit-identical
+// either way. Off restores the global-min epoch scheme (DESIGN.md §12);
+// uniform-latency wirings use that scheme regardless, because every
+// per-shard window already equals the global minimum.
+func (e *Engine) SetPerShardWindows(on bool) { e.perShardOff = !on }
+
+// PerShardWindows reports whether per-shard fused-block windows are
+// enabled (they still only engage when the wiring makes some shard's
+// window exceed the global minimum).
+func (e *Engine) PerShardWindows() bool { return !e.perShardOff }
+
+// shardBaseWindow is the shard's wiring-determined safe block length: the
+// minimum declared delivery latency over its incoming cross-shard ports,
+// or 0 when it has none (such a shard receives no cross-shard input and
+// is bounded only by the done grid).
+func shardBaseWindow(sh *shard) uint64 {
+	var w uint64
+	for i, cp := range sh.crossIn {
+		if lat := cp.MinLatency(); i == 0 || lat < w {
+			w = lat
+		}
+	}
+	return w
+}
+
+// doneGrid returns the pitch of the absolute cycle grid on which Run
+// evaluates the done condition and the watchdog: the maximum per-shard
+// base window (1 when no cross ports are registered). Like autoLookahead
+// it is a pure function of the wiring — independent of SetLookahead and
+// of the per-shard toggle — so stop cycles are identical across every
+// executor setting; on uniform-latency wirings it equals autoLookahead,
+// preserving the historical grid. It is also the window pitch of
+// per-shard execution: all shard clocks realign at grid multiples.
+func (e *Engine) doneGrid() uint64 {
+	g := uint64(1)
+	for _, sh := range e.shards {
+		if w := shardBaseWindow(sh); w > g {
+			g = w
+		}
+	}
+	return g
+}
+
+// shardWindows fills e.shardWins with each shard's effective fused-block
+// window — the base window clamped by the SetLookahead override, shards
+// without cross inputs bounded by the grid — and returns the slice along
+// with the largest window. Per-shard execution pays off exactly when
+// maxWin exceeds the global-min window.
+func (e *Engine) shardWindows(grid uint64) (wins []uint64, maxWin uint64) {
+	if cap(e.shardWins) < len(e.shards) {
+		e.shardWins = make([]uint64, len(e.shards))
+	}
+	wins = e.shardWins[:len(e.shards)]
+	e.shardWins = wins
+	maxWin = 1
+	for i, sh := range e.shards {
+		w := shardBaseWindow(sh)
+		if w == 0 || w > grid {
+			w = grid
+		}
+		if e.lookahead > 0 && e.lookahead < w {
+			w = e.lookahead
+		}
+		wins[i] = w
+		if w > maxWin {
+			maxWin = w
+		}
+	}
+	return wins, maxWin
+}
+
+// ShardWindow describes one shard's fused-block window: Window is the
+// safe block length the shard may run between synchronizations (min
+// incoming cross-port latency, clamped by SetLookahead and the done
+// grid), and Blocks counts the fused blocks it has executed — a
+// wall-time diagnostic, 0 under classic cycle-by-cycle execution.
+type ShardWindow struct {
+	Shard  int    `json:"shard"`
+	Label  string `json:"label"`
+	Window uint64 `json:"window"`
+	Blocks uint64 `json:"blocks,omitempty"`
+}
+
+// WindowReport returns the per-shard window picture under the current
+// wiring and SetLookahead setting, in shard-id order. Windows are pure
+// functions of the wiring; Blocks depend on the executor (global-min
+// counts whole epochs, per-shard counts per-shard blocks).
+func (e *Engine) WindowReport() []ShardWindow {
+	wins, _ := e.shardWindows(e.doneGrid())
+	out := make([]ShardWindow, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = ShardWindow{Shard: sh.id, Label: sh.label, Window: wins[i], Blocks: sh.blocks}
+	}
+	return out
+}
 
 // SetWatchdog sets the zero-progress observation interval in cycles
 // (0 disables the watchdog). The watchdog is evaluated inside Run: when the
@@ -780,6 +904,22 @@ func (e *Engine) barrier() {
 	if len(e.crossPorts) == 0 && len(e.sinkPorts) == 0 {
 		return
 	}
+	e.sealCross()
+	for _, cp := range e.crossPorts {
+		if cp.NextDue() <= e.now {
+			cp.ReleaseDue(e.now)
+		}
+	}
+	for _, pt := range e.sinkPorts {
+		pt.Commit(e.now)
+	}
+}
+
+// sealCross merges every cross-shard port's freshly staged sends into its
+// future list (the Seal is ordered by (release,key,seq), so the merge is
+// independent of the drain order here). Called with all phase work idle:
+// at epoch barriers, and at the end of every per-shard round.
+func (e *Engine) sealCross() {
 	e.crossMu.Lock()
 	dirty := e.dirtyCross
 	e.dirtyCross = e.spareCross[:0]
@@ -789,14 +929,123 @@ func (e *Engine) barrier() {
 		dirty[i] = nil
 	}
 	e.spareCross = dirty[:0]
-	for _, cp := range e.crossPorts {
-		if cp.NextDue() <= e.now {
-			cp.ReleaseDue(e.now)
+}
+
+// advanceWindow runs the next n >= 2 cycles with per-shard fused blocks:
+// the window is executed as a sequence of min-clock rounds. Each round
+// picks the minimum per-shard clock m; every shard whose clock is m runs
+// one fused block of min(its window, window end - m) cycles — releasing
+// deliveries due at the block's first cycle, then tick/port/commit per
+// cycle exactly like an epoch — and the round ends by sealing freshly
+// staged cross-shard sends while all phase work is idle. Safe because a
+// shard runnable at the global minimum clock m has every producer at
+// clock >= m, so anything it could receive before m + window was sent at
+// least one full link latency earlier and is already sealed; and no
+// in-flight send can be due before its consumer's clock (latency >= the
+// consumer's window). All clocks meet at the window end, so between
+// windows the engine state is indistinguishable from global-min
+// execution — checkpoints need no extra state — and the closing barrier
+// releases due deliveries and commits sinks exactly like advance.
+func (e *Engine) advanceWindow(n uint64) {
+	if e.errCount.Load() > 0 {
+		return
+	}
+	e.ensureParts()
+	end := e.now + n
+	if cap(e.winClocks) < len(e.shards) {
+		e.winClocks = make([]uint64, len(e.shards))
+	}
+	clocks := e.winClocks[:len(e.shards)]
+	e.winClocks = clocks
+	for i := range clocks {
+		clocks[i] = e.now
+	}
+	for {
+		m := end
+		for _, c := range clocks {
+			if c < m {
+				m = c
+			}
+		}
+		if m >= end {
+			break
+		}
+		e.roundClock, e.roundEnd = m, end
+		switch {
+		case !e.parallel:
+			for _, sh := range e.shards {
+				if clocks[sh.id] != m {
+					continue
+				}
+				w := e.shardWins[sh.id]
+				if r := end - m; r < w {
+					w = r
+				}
+				runShardBlock(sh, m, w)
+				clocks[sh.id] = m + w
+			}
+		case e.workersOn:
+			e.pending.Store(int32(len(e.parts)))
+			for _, ch := range e.workCh {
+				ch <- opRound
+			}
+			<-e.doneCh
+		default:
+			for pi := range e.parts {
+				e.runRoundPart(pi)
+			}
+		}
+		if e.errCount.Load() > 0 {
+			break
+		}
+		e.sealCross()
+	}
+	if e.prof != nil {
+		e.prof.steps += n
+	}
+	e.now = end
+	e.epochs++
+	e.barrier()
+}
+
+// runRoundPart executes one partition's share of a min-clock round under
+// panic recovery: every owned shard whose clock matches the round runs
+// its fused block. Distinct partitions touch disjoint winClocks entries,
+// and the round bounds were published before dispatch.
+func (e *Engine) runRoundPart(pi int) {
+	p := e.parts[pi]
+	defer e.recoverPartition(pi, p)
+	m, end := e.roundClock, e.roundEnd
+	for _, sh := range p.shards {
+		if e.winClocks[sh.id] != m {
+			continue
+		}
+		w := e.shardWins[sh.id]
+		if r := end - m; r < w {
+			w = r
+		}
+		runShardBlock(sh, m, w)
+		e.winClocks[sh.id] = m + w
+	}
+}
+
+// runShardBlock runs one shard's fused block of n cycles starting at
+// start: deliveries already due are released first (sealed entries from
+// earlier rounds whose cycle has arrived — later cycles release mid-block
+// in portPhase), then the three phases run cycle by cycle with the same
+// shard-major locality as runEpochPhases.
+func runShardBlock(sh *shard, start, n uint64) {
+	for _, cp := range sh.crossIn {
+		if cp.NextDue() <= start {
+			cp.ReleaseDue(start)
 		}
 	}
-	for _, pt := range e.sinkPorts {
-		pt.Commit(e.now)
+	for t, end := start, start+n; t < end; t++ {
+		sh.tickPhase(t)
+		sh.portPhase(t)
+		sh.commitPhase(t)
 	}
+	sh.blocks++
 }
 
 func (p *partition) tickPhase(now uint64) {
@@ -1025,6 +1274,7 @@ func (p *partition) runEpochPhases(start, n uint64) {
 			sh.portPhase(t)
 			sh.commitPhase(t)
 		}
+		sh.blocks++
 	}
 }
 
@@ -1056,8 +1306,12 @@ func (e *Engine) recoverPartition(pi int, p *partition) {
 }
 
 // opEpoch is the worker op dispatching a whole fused epoch (length in
-// e.epochN); ops 0-2 are the single-cycle phases.
-const opEpoch uint8 = 3
+// e.epochN); opRound dispatches one per-shard min-clock round (bounds in
+// e.roundClock/e.roundEnd); ops 0-2 are the single-cycle phases.
+const (
+	opEpoch uint8 = 3
+	opRound uint8 = 4
+)
 
 // stepWorkers drives the persistent workers through the three phases. The
 // barrier per phase is one atomic decrement per partition plus a single
@@ -1074,9 +1328,12 @@ func (e *Engine) stepWorkers() {
 
 func (e *Engine) workerLoop(pi int, ch <-chan uint8) {
 	for op := range ch {
-		if op == opEpoch {
+		switch op {
+		case opEpoch:
 			e.runEpochPart(pi)
-		} else {
+		case opRound:
+			e.runRoundPart(pi)
+		default:
 			e.runPhase(pi, int(op))
 		}
 		if e.pending.Add(-1) == 0 {
@@ -1247,14 +1504,19 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 		e.nextRepart = e.now + e.repartEvery
 	}
 	// The done condition and the watchdog are evaluated only on an absolute
-	// cycle grid whose pitch is the auto lookahead — a pure function of the
-	// wiring, NOT of any SetLookahead override — so every lookahead setting
-	// observes completion (and wedges) on the identical cycle. Epochs are
-	// clipped to realign with the grid after a mid-grid entry (e.g. a
-	// budget-sliced timeline run) and to respect the remaining budget, so
-	// no grid cycle is ever skipped and budget stops land exactly.
-	grid := e.autoLookahead()
+	// cycle grid whose pitch is the done grid — a pure function of the
+	// wiring, NOT of any SetLookahead override or the per-shard toggle — so
+	// every executor setting observes completion (and wedges) on the
+	// identical cycle. Advances are clipped to realign with the grid after
+	// a mid-grid entry (e.g. a budget-sliced timeline run) and to respect
+	// the remaining budget, so no grid cycle is ever skipped and budget
+	// stops land exactly. Per-shard windows engage only when the wiring is
+	// actually heterogeneous (some shard's window exceeds the global
+	// minimum); uniform wirings keep the global-min epoch path.
+	grid := e.doneGrid()
 	look := e.Lookahead()
+	_, maxWin := e.shardWindows(grid)
+	perShard := !e.perShardOff && maxWin > look
 	start := e.now
 	for {
 		if e.now%grid == 0 && done != nil && done() {
@@ -1265,13 +1527,20 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			break
 		}
 		n := look
+		if perShard {
+			n = grid
+		}
 		if r := grid - e.now%grid; r < n {
 			n = r
 		}
 		if left < n {
 			n = left
 		}
-		e.advance(n)
+		if perShard && n > 1 {
+			e.advanceWindow(n)
+		} else {
+			e.advance(n)
+		}
 		if e.repartEvery > 0 && e.now >= e.nextRepart {
 			e.repartition()
 			e.nextRepart = e.now + e.repartEvery
